@@ -1,0 +1,107 @@
+//! Ablation benches — the design choices DESIGN.md calls out.
+//!
+//! * sorted COO vs plain COO (the §II.A trade-off the paper declines);
+//! * blocked LINEAR vs plain LINEAR (the §II.B overflow fix's overhead);
+//! * CSF with vs without the ascending dimension sort (Algorithm 2
+//!   line 6's stated purpose is maximizing prefix sharing — measured via
+//!   index size and read time on a skewed-extent tensor).
+
+use artsparse_core::formats::csf::Csf;
+use artsparse_core::{FormatKind, Organization};
+use artsparse_metrics::OpCounter;
+use artsparse_patterns::rng::SplitMix64;
+use artsparse_patterns::{Dataset, Pattern, PatternParams, Scale};
+use artsparse_tensor::{CoordBuffer, Shape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_sorted_coo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_sorted_coo");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let ds = Dataset::for_scale(Pattern::Gsp, 3, Scale::Smoke, PatternParams::default());
+    let queries = ds.read_region().to_coords();
+    let counter = OpCounter::new();
+    for format in [FormatKind::Coo, FormatKind::SortedCoo] {
+        let org = format.create();
+        group.bench_function(BenchmarkId::new("build", format.name()), |b| {
+            b.iter(|| org.build(&ds.coords, &ds.shape, &counter).unwrap());
+        });
+        let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+        group.bench_function(BenchmarkId::new("read", format.name()), |b| {
+            b.iter(|| org.read(&built.index, &queries, &counter).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_blocked_linear");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let ds = Dataset::for_scale(Pattern::Gsp, 3, Scale::Smoke, PatternParams::default());
+    let queries = ds.read_region().to_coords();
+    let counter = OpCounter::new();
+    for format in [FormatKind::Linear, FormatKind::BlockedLinear] {
+        let org = format.create();
+        group.bench_function(BenchmarkId::new("build", format.name()), |b| {
+            b.iter(|| org.build(&ds.coords, &ds.shape, &counter).unwrap());
+        });
+        let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+        group.bench_function(BenchmarkId::new("read", format.name()), |b| {
+            b.iter(|| org.read(&built.index, &queries, &counter).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_csf_dimension_sort(c: &mut Criterion) {
+    // A skewed tensor (256 × 4 × 16): sorting dimensions ascending puts
+    // the 4-wide dimension at the root, collapsing most prefixes. We
+    // emulate "no dimension sort" by pre-permuting the data so the sorted
+    // order *is* the original order vs the pathological order.
+    let mut group = c.benchmark_group("ablate_csf_dim_sort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let counter = OpCounter::new();
+    let mut rng = SplitMix64::new(5);
+    let n = 4096;
+
+    // Favorable extents (ascending already) vs unfavorable (descending).
+    let asc = Shape::new(vec![4, 16, 256]).unwrap();
+    let mut pts_asc = CoordBuffer::new(3);
+    for _ in 0..n {
+        pts_asc
+            .push(&[rng.next_below(4), rng.next_below(16), rng.next_below(256)])
+            .unwrap();
+    }
+    // Same points with dimensions reversed: CSF's dim sort will undo this.
+    let pts_desc = pts_asc.permute_dims(&[2, 1, 0]).unwrap();
+    let desc = Shape::new(vec![256, 16, 4]).unwrap();
+
+    for (label, shape, pts) in [("pre-ascending", &asc, &pts_asc), ("descending", &desc, &pts_desc)] {
+        group.bench_function(BenchmarkId::new("build", label), |b| {
+            b.iter(|| Csf.build(pts, shape, &counter).unwrap());
+        });
+        let built = Csf.build(pts, shape, &counter).unwrap();
+        eprintln!(
+            "[ablate_csf_dim_sort] {label}: index = {} bytes (identical sizes ⇒ the dim sort normalizes layout)",
+            built.index.len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sorted_coo,
+    bench_blocked_linear,
+    bench_csf_dimension_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Table I bench — build/read scaling with n, per organization.
+//!
+//! Criterion's throughput view makes the asymptotics visible: with
+//! `Throughput::Elements(n)`, a flat per-element time across the sweep
+//! means linear behavior; growth tracks the `log n` sort factor or the
+//! `n/min{mᵢ}` scan factor.
+
+use artsparse_core::FormatKind;
+use artsparse_metrics::OpCounter;
+use artsparse_patterns::rng::SplitMix64;
+use artsparse_tensor::{CoordBuffer, Shape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn random_points(shape: &Shape, n: usize, seed: u64) -> CoordBuffer {
+    let mut rng = SplitMix64::new(seed);
+    let mut buf = CoordBuffer::with_capacity(shape.ndim(), n);
+    let mut coord = vec![0u64; shape.ndim()];
+    for _ in 0..n {
+        for (d, c) in coord.iter_mut().enumerate() {
+            *c = rng.next_below(shape.dim(d));
+        }
+        buf.push(&coord).unwrap();
+    }
+    buf
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_build_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let shape = Shape::cube(3, 64).unwrap();
+    let counter = OpCounter::new();
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let coords = random_points(&shape, n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        for format in FormatKind::PAPER_FIVE {
+            let org = format.create();
+            group.bench_with_input(BenchmarkId::new(format.name(), n), &coords, |b, coords| {
+                b.iter(|| org.build(coords, &shape, &counter).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_read_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_read_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let shape = Shape::cube(3, 64).unwrap();
+    let counter = OpCounter::new();
+    let queries = random_points(&shape, 256, 7);
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let coords = random_points(&shape, n, 42);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        for format in FormatKind::PAPER_FIVE {
+            let org = format.create();
+            let built = org.build(&coords, &shape, &counter).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format.name(), n),
+                &built.index,
+                |b, index| {
+                    b.iter(|| org.read(index, &queries, &counter).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_scaling, bench_read_scaling);
+criterion_main!(benches);

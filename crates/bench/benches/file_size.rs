@@ -1,0 +1,55 @@
+//! Fig. 4 bench — fragment size per organization × pattern ×
+//! dimensionality.
+//!
+//! Criterion measures time, so this target times the *encode* while also
+//! printing the Fig. 4 size table to stderr once, so a `cargo bench` log
+//! contains the byte numbers alongside the timings.
+
+use artsparse_core::FormatKind;
+use artsparse_metrics::OpCounter;
+use artsparse_patterns::{Dataset, Pattern, PatternParams, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_encode_and_report_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_encode");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    let counter = OpCounter::new();
+
+    eprintln!("\n[fig4] index bytes per (pattern, dims, format):");
+    for pattern in Pattern::ALL {
+        for ndim in [2usize, 3, 4] {
+            let ds = Dataset::for_scale(pattern, ndim, Scale::Smoke, PatternParams::default());
+            let mut sizes = Vec::new();
+            for format in FormatKind::PAPER_FIVE {
+                let org = format.create();
+                let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+                sizes.push(format!("{}={}", format.name(), built.index.len()));
+                let id =
+                    BenchmarkId::new(format.name(), format!("{}-{}D", pattern.name(), ndim));
+                group.bench_with_input(id, &ds, |b, ds| {
+                    b.iter(|| {
+                        org.build(&ds.coords, &ds.shape, &counter)
+                            .unwrap()
+                            .index
+                            .len()
+                    });
+                });
+            }
+            eprintln!(
+                "[fig4] {} {}D (n={}): {}",
+                pattern.name(),
+                ndim,
+                ds.nnz(),
+                sizes.join(" ")
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_and_report_sizes);
+criterion_main!(benches);

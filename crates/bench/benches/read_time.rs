@@ -1,0 +1,72 @@
+//! Fig. 5 bench — READ time per organization × pattern × dimensionality.
+//!
+//! The query is the paper's §III evaluation read: every cell of the region
+//! starting at `(m/2, …)` with size `(m/10, …)`.
+
+use artsparse_core::FormatKind;
+use artsparse_metrics::OpCounter;
+use artsparse_patterns::{Dataset, Pattern, PatternParams, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_read");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let counter = OpCounter::new();
+
+    for pattern in Pattern::ALL {
+        for ndim in [2usize, 3, 4] {
+            let ds = Dataset::for_scale(pattern, ndim, Scale::Smoke, PatternParams::default());
+            let queries = ds.read_region().to_coords();
+            for format in FormatKind::PAPER_FIVE {
+                let org = format.create();
+                let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+                let id = BenchmarkId::new(
+                    format.name(),
+                    format!(
+                        "{}-{}D-n{}-q{}",
+                        pattern.name(),
+                        ndim,
+                        ds.nnz(),
+                        queries.len()
+                    ),
+                );
+                group.bench_with_input(id, &built.index, |b, index| {
+                    b.iter(|| org.read(index, &queries, &counter).unwrap());
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_read_dimensional_crossover(c: &mut Criterion) {
+    // The §III.C crossover claim, isolated: GCSR++'s per-query bucket scan
+    // grows with d (buckets shrink relative to n) while CSF's descent does
+    // not. Same pattern in every dimensionality.
+    let mut group = c.benchmark_group("fig5_crossover");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let counter = OpCounter::new();
+    for ndim in [2usize, 3, 4] {
+        let ds = Dataset::for_scale(Pattern::Gsp, ndim, Scale::Smoke, PatternParams::default());
+        let queries = ds.read_region().to_coords();
+        for format in [FormatKind::GcsrPP, FormatKind::Csf] {
+            let org = format.create();
+            let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+            let id = BenchmarkId::new(format.name(), format!("{ndim}D"));
+            group.bench_with_input(id, &built.index, |b, index| {
+                b.iter(|| org.read(index, &queries, &counter).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read, bench_read_dimensional_crossover);
+criterion_main!(benches);

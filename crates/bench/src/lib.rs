@@ -1,0 +1,5 @@
+//! # artsparse-benches
+//!
+//! Shared helpers for the Criterion benchmarks in `benches/`. The actual
+//! figure/table regeneration logic lives in `artsparse-harness`; this crate
+//! only hosts the `cargo bench` targets and small setup utilities.

@@ -1,0 +1,234 @@
+//! Automatic organization selection — the paper's stated future work.
+//!
+//! §VI: *"In future, we plan to explore automatic strategies for selecting
+//! different organization for applications based on the characterization
+//! of sparsity in their data."* This module implements that strategy on
+//! top of the Table I cost model: characterize the tensor (size, shape,
+//! dimensionality) and the application's access profile (how write-heavy,
+//! read-heavy, and space-sensitive it is), evaluate every candidate's
+//! predicted cost, normalize exactly like the paper's Table IV score, and
+//! recommend the argmin.
+
+use crate::complexity::{predicted_build_ops, predicted_read_ops, predicted_space_words};
+use crate::traits::FormatKind;
+use artsparse_tensor::Shape;
+use serde::{Deserialize, Serialize};
+
+/// How the application accesses the tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Relative importance of write (build) time.
+    pub write_weight: f64,
+    /// Relative importance of read time.
+    pub read_weight: f64,
+    /// Relative importance of storage footprint.
+    pub space_weight: f64,
+    /// Expected point queries per stored point (`n_read / n`).
+    pub reads_per_point: f64,
+}
+
+impl AccessProfile {
+    /// Equal weights — the paper's Table IV setting ("we assume all
+    /// weights are equal") with a read volume matching its evaluation
+    /// (query region ≈ 10% per dimension).
+    pub fn balanced() -> Self {
+        AccessProfile {
+            write_weight: 1.0,
+            read_weight: 1.0,
+            space_weight: 1.0,
+            reads_per_point: 1.0,
+        }
+    }
+
+    /// Write-once, read-rarely (checkpoint/archive style).
+    pub fn write_heavy() -> Self {
+        AccessProfile {
+            write_weight: 4.0,
+            read_weight: 0.5,
+            space_weight: 1.0,
+            reads_per_point: 0.01,
+        }
+    }
+
+    /// Write-once, read-many (analysis style).
+    pub fn read_heavy() -> Self {
+        AccessProfile {
+            write_weight: 0.5,
+            read_weight: 4.0,
+            space_weight: 1.0,
+            reads_per_point: 10.0,
+        }
+    }
+}
+
+/// A scored candidate organization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The organization.
+    pub kind: FormatKind,
+    /// Normalized weighted cost (lower is better).
+    pub score: f64,
+    /// Normalized component costs `(write, read, space)`.
+    pub components: (f64, f64, f64),
+}
+
+/// The advisor's output: candidates sorted best-first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// All scored candidates, ascending score.
+    pub ranking: Vec<Candidate>,
+}
+
+impl Recommendation {
+    /// The winning organization.
+    pub fn best(&self) -> FormatKind {
+        self.ranking[0].kind
+    }
+}
+
+/// Rank `candidates` for storing `n` points of a tensor of `shape` under
+/// the given access profile. Defaults to the paper's five when
+/// `candidates` is empty.
+pub fn recommend(
+    n: u64,
+    shape: &Shape,
+    profile: &AccessProfile,
+    candidates: &[FormatKind],
+) -> Recommendation {
+    let candidates: Vec<FormatKind> = if candidates.is_empty() {
+        FormatKind::PAPER_FIVE.to_vec()
+    } else {
+        candidates.to_vec()
+    };
+    let n = n.max(1);
+    let n_read = ((n as f64 * profile.reads_per_point).ceil() as u64).max(1);
+
+    let writes: Vec<f64> = candidates
+        .iter()
+        .map(|&k| predicted_build_ops(k, n, shape))
+        .collect();
+    let reads: Vec<f64> = candidates
+        .iter()
+        .map(|&k| predicted_read_ops(k, n, n_read, shape))
+        .collect();
+    let spaces: Vec<f64> = candidates
+        .iter()
+        .map(|&k| predicted_space_words(k, n, shape))
+        .collect();
+
+    // Table IV-style normalization: each metric divided by its max.
+    let norm = |v: &[f64]| -> Vec<f64> {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+        v.iter().map(|x| x / max).collect()
+    };
+    let (wn, rn, sn) = (norm(&writes), norm(&reads), norm(&spaces));
+    let wsum = profile.write_weight + profile.read_weight + profile.space_weight;
+
+    let mut ranking: Vec<Candidate> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| Candidate {
+            kind,
+            score: (profile.write_weight * wn[i]
+                + profile.read_weight * rn[i]
+                + profile.space_weight * sn[i])
+                / wsum,
+            components: (wn[i], rn[i], sn[i]),
+        })
+        .collect();
+    ranking.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    Recommendation { ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[u64]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn write_heavy_prefers_cheap_builds() {
+        let r = recommend(
+            1_000_000,
+            &shape(&[512, 512, 512]),
+            &AccessProfile::write_heavy(),
+            &[],
+        );
+        // COO or LINEAR: no sort, tiny build.
+        assert!(
+            matches!(r.best(), FormatKind::Coo | FormatKind::Linear),
+            "got {:?}",
+            r.best()
+        );
+    }
+
+    #[test]
+    fn read_heavy_prefers_compressed() {
+        let r = recommend(
+            1_000_000,
+            &shape(&[128, 128, 128, 128]),
+            &AccessProfile::read_heavy(),
+            &[],
+        );
+        assert!(
+            matches!(
+                r.best(),
+                FormatKind::Csf | FormatKind::GcsrPP | FormatKind::GcscPP
+            ),
+            "got {:?}",
+            r.best()
+        );
+    }
+
+    #[test]
+    fn balanced_never_picks_coo() {
+        // Table IV: COO has the worst balanced score.
+        let r = recommend(
+            1_000_000,
+            &shape(&[8192, 8192]),
+            &AccessProfile::balanced(),
+            &[],
+        );
+        let last = r.ranking.last().unwrap().kind;
+        assert_ne!(r.best(), FormatKind::Coo);
+        // COO should be at or near the bottom.
+        assert!(
+            last == FormatKind::Coo || r.ranking[r.ranking.len() - 2].kind == FormatKind::Coo
+        );
+    }
+
+    #[test]
+    fn scores_are_normalized() {
+        let r = recommend(
+            10_000,
+            &shape(&[64, 64, 64]),
+            &AccessProfile::balanced(),
+            &[],
+        );
+        for c in &r.ranking {
+            assert!(c.score > 0.0 && c.score <= 1.0, "{c:?}");
+            assert!(c.components.0 <= 1.0 && c.components.1 <= 1.0 && c.components.2 <= 1.0);
+        }
+        // Ranking sorted ascending.
+        for w in r.ranking.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+    }
+
+    #[test]
+    fn explicit_candidate_list_is_respected() {
+        let r = recommend(
+            1000,
+            &shape(&[32, 32]),
+            &AccessProfile::balanced(),
+            &[FormatKind::SortedCoo, FormatKind::Linear],
+        );
+        assert_eq!(r.ranking.len(), 2);
+        assert!(r
+            .ranking
+            .iter()
+            .all(|c| matches!(c.kind, FormatKind::SortedCoo | FormatKind::Linear)));
+    }
+}

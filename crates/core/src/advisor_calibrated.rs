@@ -1,0 +1,244 @@
+//! Calibrated advisor — Table I's model turned into wall-clock estimates.
+//!
+//! The plain [`crate::advisor`] ranks organizations by abstract operation
+//! counts. That fixes the *ranking* but says nothing about seconds or
+//! device trade-offs (is the sort worth it at 2 GiB/s? at 100 MiB/s?).
+//! This module measures the host's actual per-operation costs with short
+//! micro-benchmarks — one build and one read per organization on a small
+//! calibration tensor — fits a cost-per-abstract-op coefficient, and then
+//! predicts wall-clock write/read times for a target workload by scaling
+//! the Table I formulas. The device is folded in through its
+//! bytes-per-second throughput against the format's predicted footprint.
+
+use crate::complexity::{predicted_build_ops, predicted_read_ops};
+use crate::traits::FormatKind;
+use artsparse_metrics::OpCounter;
+use artsparse_tensor::{CoordBuffer, Shape};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Host-specific per-operation costs, measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Seconds per predicted build op, per organization.
+    pub build_secs_per_op: BTreeMap<String, f64>,
+    /// Seconds per predicted read op, per organization.
+    pub read_secs_per_op: BTreeMap<String, f64>,
+    /// Calibration tensor size used.
+    pub calibration_n: usize,
+}
+
+/// A wall-clock prediction for one organization on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The organization.
+    pub kind: FormatKind,
+    /// Predicted seconds to build the index.
+    pub build_secs: f64,
+    /// Predicted seconds to push the fragment through the device.
+    pub device_secs: f64,
+    /// Predicted seconds to answer the reads.
+    pub read_secs: f64,
+    /// Weighted total used for ranking.
+    pub total_secs: f64,
+}
+
+impl Calibration {
+    /// Measure per-op costs on this host. `n` controls the calibration
+    /// tensor size (a few thousand points suffices; the fit divides by the
+    /// formula, so only the slope matters).
+    pub fn measure(candidates: &[FormatKind], n: usize) -> crate::error::Result<Calibration> {
+        let shape = Shape::cube(3, 64)?;
+        // Deterministic pseudo-random calibration points (LCG).
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 64
+        };
+        let mut coords = CoordBuffer::with_capacity(3, n);
+        for _ in 0..n {
+            coords.push(&[next(), next(), next()])?;
+        }
+        let n_read = 512.min(n.max(1));
+        let mut queries = CoordBuffer::with_capacity(3, n_read);
+        for i in 0..n_read {
+            if i % 2 == 0 {
+                queries.push(coords.point(i % coords.len().max(1)))?;
+            } else {
+                queries.push(&[next(), next(), next()])?;
+            }
+        }
+
+        let counter = OpCounter::new();
+        let mut build_secs_per_op = BTreeMap::new();
+        let mut read_secs_per_op = BTreeMap::new();
+        for &kind in candidates {
+            let org = kind.create();
+            // Warm once, then time.
+            let built = org.build(&coords, &shape, &counter)?;
+            let t0 = Instant::now();
+            let built2 = org.build(&coords, &shape, &counter)?;
+            let build_t = t0.elapsed().as_secs_f64();
+            let _ = built2;
+            org.read(&built.index, &queries, &counter)?;
+            let t0 = Instant::now();
+            org.read(&built.index, &queries, &counter)?;
+            let read_t = t0.elapsed().as_secs_f64();
+
+            let bops = predicted_build_ops(kind, n as u64, &shape).max(1.0);
+            let rops = predicted_read_ops(kind, n as u64, n_read as u64, &shape).max(1.0);
+            build_secs_per_op.insert(kind.name().to_string(), build_t / bops);
+            read_secs_per_op.insert(kind.name().to_string(), read_t / rops);
+        }
+        Ok(Calibration {
+            build_secs_per_op,
+            read_secs_per_op,
+            calibration_n: n,
+        })
+    }
+
+    /// Predict wall-clock costs for storing `n` points of `shape`,
+    /// answering `n_read` point queries, on a device moving
+    /// `device_bytes_per_sec` (use `f64::INFINITY` for in-memory).
+    pub fn predict(
+        &self,
+        kind: FormatKind,
+        n: u64,
+        n_read: u64,
+        shape: &Shape,
+        device_bytes_per_sec: f64,
+    ) -> Option<Prediction> {
+        let b = *self.build_secs_per_op.get(kind.name())?;
+        let r = *self.read_secs_per_op.get(kind.name())?;
+        let build_secs = b * predicted_build_ops(kind, n, shape);
+        let read_secs = r * predicted_read_ops(kind, n, n_read, shape);
+        let bytes = kind.create().predicted_index_words(n, shape) as f64 * 8.0;
+        let device_secs = if device_bytes_per_sec.is_finite() {
+            bytes / device_bytes_per_sec
+        } else {
+            0.0
+        };
+        Some(Prediction {
+            kind,
+            build_secs,
+            device_secs,
+            read_secs,
+            total_secs: build_secs + device_secs + read_secs,
+        })
+    }
+
+    /// Rank candidates for a workload by predicted total wall time.
+    pub fn recommend(
+        &self,
+        candidates: &[FormatKind],
+        n: u64,
+        n_read: u64,
+        shape: &Shape,
+        device_bytes_per_sec: f64,
+    ) -> Vec<Prediction> {
+        let mut out: Vec<Prediction> = candidates
+            .iter()
+            .filter_map(|&k| self.predict(k, n, n_read, shape, device_bytes_per_sec))
+            .collect();
+        out.sort_by(|a, b| a.total_secs.partial_cmp(&b.total_secs).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibration() -> Calibration {
+        Calibration::measure(&FormatKind::PAPER_FIVE, 4096).unwrap()
+    }
+
+    #[test]
+    fn measures_positive_coefficients_for_all_candidates() {
+        let c = calibration();
+        assert_eq!(c.build_secs_per_op.len(), 5);
+        assert_eq!(c.read_secs_per_op.len(), 5);
+        for (name, &v) in &c.build_secs_per_op {
+            // COO's O(1) model folds its whole serialization memcpy into
+            // one "op", so its coefficient is orders of magnitude above
+            // the per-compare coefficients of the sorting formats.
+            assert!(v > 0.0 && v < 0.5, "{name}: {v}");
+        }
+        // The sorting formats' per-op coefficients are genuinely per-op.
+        assert!(c.build_secs_per_op["GCSR++"] < 1e-5);
+        assert!(c.read_secs_per_op["CSF"] < 1e-5);
+    }
+
+    #[test]
+    fn predictions_scale_with_workload() {
+        let c = calibration();
+        let shape = Shape::cube(3, 256).unwrap();
+        let small = c
+            .predict(FormatKind::Csf, 10_000, 1_000, &shape, f64::INFINITY)
+            .unwrap();
+        let large = c
+            .predict(FormatKind::Csf, 1_000_000, 1_000, &shape, f64::INFINITY)
+            .unwrap();
+        assert!(large.build_secs > small.build_secs * 50.0);
+    }
+
+    #[test]
+    fn slow_devices_penalize_fat_indexes() {
+        let c = calibration();
+        let shape = Shape::cube(3, 256).unwrap();
+        // At 10 MB/s, COO's d× index costs real seconds; read volume tiny.
+        let ranked = c.recommend(
+            &[FormatKind::Coo, FormatKind::Linear],
+            1_000_000,
+            1,
+            &shape,
+            10e6,
+        );
+        assert_eq!(ranked[0].kind, FormatKind::Linear);
+        assert!(ranked[1].device_secs > ranked[0].device_secs * 2.0);
+    }
+
+    #[test]
+    fn read_heavy_workloads_favor_compressed_formats() {
+        let c = calibration();
+        let shape = Shape::cube(3, 256).unwrap();
+        let ranked = c.recommend(
+            &FormatKind::PAPER_FIVE,
+            500_000,
+            5_000_000,
+            &shape,
+            f64::INFINITY,
+        );
+        // A full-scan format cannot win a 10×-reads workload.
+        assert!(
+            !matches!(ranked[0].kind, FormatKind::Coo | FormatKind::Linear),
+            "got {:?}",
+            ranked[0].kind
+        );
+        // COO/LINEAR land at the bottom.
+        assert!(matches!(
+            ranked.last().unwrap().kind,
+            FormatKind::Coo | FormatKind::Linear
+        ));
+    }
+
+    #[test]
+    fn unknown_candidate_is_skipped_gracefully() {
+        let c = calibration();
+        let shape = Shape::cube(3, 64).unwrap();
+        assert!(c
+            .predict(FormatKind::HiCoo, 1000, 10, &shape, f64::INFINITY)
+            .is_none());
+        let ranked = c.recommend(
+            &[FormatKind::HiCoo, FormatKind::Linear],
+            1000,
+            10,
+            &shape,
+            f64::INFINITY,
+        );
+        assert_eq!(ranked.len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Analytic cost model — Table I as executable formulas.
+//!
+//! These formulas are the paper's asymptotic bounds with unit constants,
+//! used two ways: the `table1` experiment fits measured operation counts
+//! against them, and the [`crate::advisor`] ranks organizations for a
+//! workload by evaluating them.
+//!
+//! One documented deviation: Table I prints CSF's read complexity as
+//! `O(n_read · n/d)`, but the prose of §II.E derives `O(n_read · d)`
+//! ("for each point, the algorithm traverses the CSF tree from the root"),
+//! which is also what Algorithm 2's loop structure does. We model the
+//! prose (with a `log` factor for the per-level branch search).
+
+use crate::traits::FormatKind;
+use artsparse_tensor::Shape;
+
+/// `log2(max(n, 2))` as f64 — the comparison factor of an `O(n log n)` sort.
+fn lg(n: u64) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Predicted abstract operations to build an organization over `n` points.
+pub fn predicted_build_ops(kind: FormatKind, n: u64, shape: &Shape) -> f64 {
+    let nf = n as f64;
+    let d = shape.ndim() as f64;
+    match kind {
+        // O(1): the input already is the organization.
+        FormatKind::Coo => 1.0,
+        // O(n·d): one linearization per point.
+        FormatKind::Linear => nf * d,
+        // O(n log n + 2n): sort plus transform and packaging passes.
+        FormatKind::GcsrPP | FormatKind::GcscPP => nf * lg(n) + 2.0 * nf,
+        // O(n log n + n·d): sort plus level-by-level tree construction.
+        FormatKind::Csf => nf * lg(n) + nf * d,
+        // Extensions: sort by linear/block address (+ transform pass).
+        FormatKind::SortedCoo => nf * lg(n) + nf * d,
+        FormatKind::BlockedLinear => nf * lg(n) + nf * d,
+        FormatKind::HiCoo => nf * lg(n) + nf * d,
+        FormatKind::Adaptive => nf * lg(n) + nf * d,
+    }
+}
+
+/// Predicted abstract operations to answer `n_read` point queries against
+/// an organization holding `n` points.
+pub fn predicted_read_ops(kind: FormatKind, n: u64, n_read: u64, shape: &Shape) -> f64 {
+    let nf = n as f64;
+    let rf = n_read as f64;
+    let d = shape.ndim() as f64;
+    match kind {
+        // O(n · n_read): full scan per query.
+        FormatKind::Coo | FormatKind::Linear => nf * rf,
+        // O(n_read · n / min{m_i} + n): one bucket scanned per query.
+        FormatKind::GcsrPP | FormatKind::GcscPP => {
+            rf * (nf / shape.min_dim() as f64) + nf
+        }
+        // O(n_read · d) descent (§II.E prose), log branch factor folded in.
+        FormatKind::Csf => rf * d * lg(n.max(1)).max(1.0),
+        // O(n_read · log n) binary searches.
+        FormatKind::SortedCoo | FormatKind::BlockedLinear => rf * lg(n),
+        // Block binary search plus an intra-block scan of average
+        // occupancy (block volume bounded by 256^d but occupancy by n).
+        FormatKind::HiCoo => rf * (lg(n) + 4.0),
+        FormatKind::Adaptive => rf * (lg(n) + 4.0),
+    }
+}
+
+/// Predicted index size in 8-byte words (Table I space column; worst case
+/// for CSF).
+pub fn predicted_space_words(kind: FormatKind, n: u64, shape: &Shape) -> f64 {
+    kind.create().predicted_index_words(n, shape) as f64
+}
+
+/// CSF's space envelope `(best, average, worst)` in words (§II.E):
+/// best `O(n + d)` (a single chain), average `O(2n·(1 − (1/2)^d))`,
+/// worst `O(d·n)` (no shared prefixes).
+pub fn csf_space_bounds(n: u64, shape: &Shape) -> (f64, f64, f64) {
+    let d = shape.ndim() as f64;
+    let nf = n as f64;
+    let best = nf + d;
+    let average = 2.0 * nf * (1.0 - 0.5f64.powf(d));
+    let worst = d * nf;
+    (best, average, worst)
+}
+
+/// The build-time ranking the paper predicts (§III.A):
+/// `COO > LINEAR > GCSR++ ≥ GCSC++ > CSF` (fastest first).
+pub fn predicted_build_ranking(n: u64, shape: &Shape) -> Vec<FormatKind> {
+    let mut v = FormatKind::PAPER_FIVE.to_vec();
+    v.sort_by(|&a, &b| {
+        predicted_build_ops(a, n, shape)
+            .partial_cmp(&predicted_build_ops(b, n, shape))
+            .unwrap()
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape3d() -> Shape {
+        Shape::new(vec![512, 512, 512]).unwrap()
+    }
+
+    #[test]
+    fn build_ranking_matches_paper() {
+        let r = predicted_build_ranking(1_000_000, &shape3d());
+        assert_eq!(r[0], FormatKind::Coo);
+        assert_eq!(r[1], FormatKind::Linear);
+        // GCSR++ and GCSC++ tie; CSF is slowest of the five.
+        assert_eq!(r[4], FormatKind::Csf);
+    }
+
+    #[test]
+    fn read_cost_coo_dominates_compressed() {
+        let s = shape3d();
+        let n = 1_000_000;
+        let n_read = 10_000;
+        let coo = predicted_read_ops(FormatKind::Coo, n, n_read, &s);
+        let gcsr = predicted_read_ops(FormatKind::GcsrPP, n, n_read, &s);
+        let csf = predicted_read_ops(FormatKind::Csf, n, n_read, &s);
+        assert!(coo > gcsr * 10.0);
+        assert!(coo > csf * 10.0);
+    }
+
+    #[test]
+    fn csf_advantage_grows_with_dimensionality() {
+        // §III.C: "the read time complexity of GCSR++ and GCSC++ increases
+        // as the number of dimensions rises … CSF exhibits lower
+        // performance when handling 2D tensors but surpasses GCSR++ when
+        // dealing with 3D or 4D tensors." (The 2D slowdown is measured
+        // overhead, not asymptotics — the paper notes CSF "should
+        // theoretically be faster or at least on par" at 2D.) The model
+        // must therefore show CSF's relative cost *improving* with d and a
+        // clear CSF win at 4D.
+        let n = 2_000_000;
+        let n_read = 100_000;
+        let s2 = Shape::new(vec![8192, 8192]).unwrap();
+        let s4 = Shape::new(vec![128, 128, 128, 128]).unwrap();
+        let ratio2 = predicted_read_ops(FormatKind::Csf, n, n_read, &s2)
+            / predicted_read_ops(FormatKind::GcsrPP, n, n_read, &s2);
+        let ratio4 = predicted_read_ops(FormatKind::Csf, n, n_read, &s4)
+            / predicted_read_ops(FormatKind::GcsrPP, n, n_read, &s4);
+        assert!(ratio4 < ratio2, "CSF:GCSR++ cost ratio must shrink with d");
+        assert!(ratio4 < 0.1, "4D: CSF should win decisively ({ratio4})");
+    }
+
+    #[test]
+    fn space_ordering_matches_paper() {
+        // LINEAR < GCSR++ ≈ GCSC++ ≤ CSF(worst) ≤ COO is the Fig. 4
+        // ranking for d ≥ 2 … with COO = d·n and CSF worst-case ≈ 2·d·n
+        // in our exact accounting (fptr included), CSF's envelope tops COO.
+        let s = shape3d();
+        let n = 1_000_000;
+        let lin = predicted_space_words(FormatKind::Linear, n, &s);
+        let gcsr = predicted_space_words(FormatKind::GcsrPP, n, &s);
+        let coo = predicted_space_words(FormatKind::Coo, n, &s);
+        assert!(lin < gcsr);
+        assert!(gcsr < coo);
+        let (best, avg, worst) = csf_space_bounds(n, &s);
+        assert!(best < avg && avg < worst);
+        assert!(best < lin + s.ndim() as f64 + 1.0);
+    }
+
+    #[test]
+    fn sorted_coo_reads_beat_plain_coo() {
+        let s = shape3d();
+        let plain = predicted_read_ops(FormatKind::Coo, 1 << 20, 1 << 10, &s);
+        let sorted = predicted_read_ops(FormatKind::SortedCoo, 1 << 20, 1 << 10, &s);
+        assert!(sorted * 1000.0 < plain);
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors for organization builds, reads, and index (de)serialization.
+
+use artsparse_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by the storage organizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// An underlying coordinate/shape error.
+    Tensor(TensorError),
+    /// Encoded index does not begin with the `ASPX` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// Encoded index has an unsupported codec version.
+    BadVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// Encoded index was built by a different organization.
+    WrongFormat {
+        /// Format id the decoder expected.
+        expected: u16,
+        /// Format id found in the header.
+        found: u16,
+    },
+    /// Encoded index ended before a declared section was complete.
+    UnexpectedEof {
+        /// What the decoder was reading when the buffer ran out.
+        reading: &'static str,
+    },
+    /// Structural inconsistency in a decoded index (corruption).
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl FormatError {
+    /// Convenience constructor for [`FormatError::Corrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        FormatError::Corrupt { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Tensor(e) => write!(f, "{e}"),
+            FormatError::BadMagic { found } => {
+                write!(f, "not an artsparse index (magic {found:02x?})")
+            }
+            FormatError::BadVersion { found } => {
+                write!(f, "unsupported index codec version {found}")
+            }
+            FormatError::WrongFormat { expected, found } => write!(
+                f,
+                "index was built by format id {found}, expected {expected}"
+            ),
+            FormatError::UnexpectedEof { reading } => {
+                write!(f, "index truncated while reading {reading}")
+            }
+            FormatError::Corrupt { reason } => write!(f, "corrupt index: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FormatError {
+    fn from(e: TensorError) -> Self {
+        FormatError::Tensor(e)
+    }
+}
+
+/// Convenience alias for organization results.
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_errors() {
+        let e: FormatError = TensorError::EmptyShape.into();
+        assert!(matches!(e, FormatError::Tensor(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(FormatError::BadVersion { found: 9 }.to_string().contains('9'));
+        assert!(FormatError::corrupt("row_ptr not monotone")
+            .to_string()
+            .contains("row_ptr"));
+        assert!(FormatError::UnexpectedEof { reading: "fids" }
+            .to_string()
+            .contains("fids"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Extensions beyond the paper's five organizations.
+//!
+//! * [`sorted_coo`] — the sorted COO variant the paper discusses but does
+//!   not evaluate (§II.A: sorting cuts read complexity to
+//!   `O(max{n, n_read})`-ish at an `O(n log n)` build cost);
+//! * [`blocked_linear`] — LINEAR over a block grid, materializing the
+//!   overflow mitigation the paper sketches in §II.B.
+
+pub mod adaptive;
+pub mod blocked_linear;
+pub mod hicoo;
+pub mod sorted_coo;

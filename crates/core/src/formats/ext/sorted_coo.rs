@@ -1,0 +1,189 @@
+//! Sorted COO — the trade-off variant of §II.A, realized.
+//!
+//! The paper notes that sorting the coordinate list "can reduce the
+//! complexity of read … but it may take extra time: O(n log n) to sort
+//! before write", and evaluates only the unsorted version. This extension
+//! implements the sorted variant so the ablation benches can quantify that
+//! trade-off: build sorts by linear address (and therefore must return a
+//! `map`), reads binary-search in `O(log n)` per query.
+
+use crate::codec::{IndexDecoder, IndexEncoder};
+use crate::error::{FormatError, Result};
+use crate::traits::{BuildOutput, FormatKind, Organization};
+use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::permute::invert_permutation;
+use artsparse_tensor::{CoordBuffer, Shape};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// COO sorted by row-major linear address.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortedCoo;
+
+impl Organization for SortedCoo {
+    fn kind(&self) -> FormatKind {
+        FormatKind::SortedCoo
+    }
+
+    fn build(
+        &self,
+        coords: &CoordBuffer,
+        shape: &Shape,
+        counter: &OpCounter,
+    ) -> Result<BuildOutput> {
+        let n = coords.len();
+        let addrs = coords.linearize_all(shape)?;
+        counter.add(OpKind::Transform, n as u64);
+
+        let sort_compares = AtomicU64::new(0);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.par_sort_by(|&a, &b| {
+            sort_compares.fetch_add(1, Ordering::Relaxed);
+            addrs[a].cmp(&addrs[b]).then_with(|| a.cmp(&b))
+        });
+        counter.add(OpKind::SortCompare, sort_compares.into_inner());
+
+        let sorted: Vec<u64> = perm.iter().map(|&i| addrs[i]).collect();
+        counter.add(OpKind::Emit, n as u64);
+        let mut enc = IndexEncoder::new(FormatKind::SortedCoo.id(), shape, n as u64);
+        enc.put_section(&sorted);
+        Ok(BuildOutput {
+            index: enc.finish(),
+            map: Some(invert_permutation(&perm)),
+            n_points: n,
+        })
+    }
+
+    fn read(
+        &self,
+        index: &[u8],
+        queries: &CoordBuffer,
+        counter: &OpCounter,
+    ) -> Result<Vec<Option<u64>>> {
+        let (header, mut dec) = IndexDecoder::new(index, Some(FormatKind::SortedCoo.id()))?;
+        let addrs = dec.section_exact("addresses", header.n as usize)?;
+        dec.expect_end()?;
+        if addrs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(FormatError::corrupt("sorted-COO addresses not sorted"));
+        }
+        let shape = header.shape;
+        if queries.ndim() != shape.ndim() {
+            return Err(artsparse_tensor::TensorError::DimensionMismatch {
+                expected: shape.ndim(),
+                got: queries.ndim(),
+            }
+            .into());
+        }
+        let out: Vec<Option<u64>> = queries
+            .par_iter()
+            .map(|q| {
+                if !shape.contains(q) {
+                    counter.inc(OpKind::Compare);
+                    return None;
+                }
+                let target = shape.linearize_unchecked(q);
+                counter.inc(OpKind::Transform);
+                let pos = addrs.partition_point(|&a| a < target);
+                // log2(n)+1 comparisons for the search plus the verify.
+                counter.add(
+                    OpKind::Compare,
+                    (usize::BITS - addrs.len().leading_zeros()) as u64 + 1,
+                );
+                if pos < addrs.len() && addrs[pos] == target {
+                    Some(pos as u64)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Ok(out)
+    }
+
+    fn predicted_index_words(&self, n: u64, _shape: &Shape) -> u64 {
+        n
+    }
+
+    fn enumerate(&self, index: &[u8], counter: &OpCounter) -> Result<CoordBuffer> {
+        let (header, mut dec) = IndexDecoder::new(index, Some(FormatKind::SortedCoo.id()))?;
+        let addrs = dec.section_exact("addresses", header.n as usize)?;
+        dec.expect_end()?;
+        let shape = header.shape;
+        let volume = shape.volume();
+        let mut coords = CoordBuffer::with_capacity(shape.ndim(), addrs.len());
+        let mut coord = vec![0u64; shape.ndim()];
+        for &a in &addrs {
+            if a >= volume {
+                return Err(artsparse_tensor::TensorError::LinearOutOfBounds {
+                    addr: a,
+                    volume,
+                }
+                .into());
+            }
+            shape.delinearize_into(a, &mut coord);
+            coords.push(&coord)?;
+        }
+        counter.add(OpKind::Transform, addrs.len() as u64);
+        Ok(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::testutil::{check_against_oracle, fig1};
+
+    #[test]
+    fn fig1_roundtrip_against_oracle() {
+        let (shape, coords) = fig1();
+        check_against_oracle(&SortedCoo, &shape, &coords);
+    }
+
+    #[test]
+    fn shuffled_input_roundtrips() {
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let coords = CoordBuffer::from_points(
+            2,
+            &[[9u64, 9], [0, 0], [5, 5], [0, 15], [15, 0]],
+        )
+        .unwrap();
+        check_against_oracle(&SortedCoo, &shape, &coords);
+    }
+
+    #[test]
+    fn map_sorts_values_by_address() {
+        let shape = Shape::new(vec![4, 4]).unwrap();
+        // Addresses: 10, 2, 7 → sorted order is points 1, 2, 0.
+        let coords =
+            CoordBuffer::from_points(2, &[[2u64, 2], [0, 2], [1, 3]]).unwrap();
+        let c = OpCounter::new();
+        let out = SortedCoo.build(&coords, &shape, &c).unwrap();
+        assert_eq!(out.map, Some(vec![2, 0, 1]));
+    }
+
+    #[test]
+    fn read_is_logarithmic_not_linear() {
+        let shape = Shape::new(vec![1 << 16]).unwrap();
+        let pts: Vec<[u64; 1]> = (0..1024u64).map(|k| [k * 7]).collect();
+        let coords = CoordBuffer::from_points(1, &pts).unwrap();
+        let c = OpCounter::new();
+        let out = SortedCoo.build(&coords, &shape, &c).unwrap();
+        c.reset();
+        let q = CoordBuffer::from_points(1, &[[7u64 * 500]]).unwrap();
+        assert_eq!(SortedCoo.read(&out.index, &q, &c).unwrap(), vec![Some(500)]);
+        // Far below the 1024 compares an unsorted scan would need.
+        assert!(c.snapshot().compares <= 16);
+    }
+
+    #[test]
+    fn unsorted_index_detected_as_corrupt() {
+        let shape = Shape::new(vec![8]).unwrap();
+        let mut enc = IndexEncoder::new(FormatKind::SortedCoo.id(), &shape, 2);
+        enc.put_section(&[5, 3]);
+        let q = CoordBuffer::from_points(1, &[[3u64]]).unwrap();
+        let c = OpCounter::new();
+        assert!(matches!(
+            SortedCoo.read(&enc.finish(), &q, &c),
+            Err(FormatError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! The storage organizations.
+//!
+//! * [`coo`] — Coordinate list (baseline, §II.A)
+//! * [`linear`] — Linearized addresses (§II.B)
+//! * [`gcsr`] — Generalized Compressed Sparse Row, GCSR++ (§II.C)
+//! * [`gcsc`] — Generalized Compressed Sparse Column, GCSC++ (§II.D)
+//! * [`csf`] — Compressed Sparse Fiber tree (§II.E)
+//! * [`csr2d`] — classic 2D CSR/CSC packaging shared by GCSR++/GCSC++
+//! * [`ext`] — extensions beyond the paper (sorted COO, blocked LINEAR)
+
+pub mod coo;
+pub mod csf;
+pub mod csr2d;
+pub mod ext;
+pub mod gcsc;
+pub mod gcsr;
+pub mod linear;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use artsparse_tensor::{CoordBuffer, Shape};
+
+    /// The worked example of Fig. 1: a 3×3×3 tensor with five points.
+    pub fn fig1() -> (Shape, CoordBuffer) {
+        let shape = Shape::cube(3, 3).unwrap();
+        let coords = CoordBuffer::from_points(
+            3,
+            &[[0u64, 0, 1], [0, 1, 1], [0, 1, 2], [2, 2, 1], [2, 2, 2]],
+        )
+        .unwrap();
+        (shape, coords)
+    }
+
+    /// Exhaustive oracle check: every cell of `shape` queried against the
+    /// organization must agree with membership in `coords`, and found slots
+    /// must point at the right value after reorganization by `map`.
+    pub fn check_against_oracle(
+        org: &dyn crate::traits::Organization,
+        shape: &Shape,
+        coords: &CoordBuffer,
+    ) {
+        use artsparse_metrics::OpCounter;
+        use std::collections::HashMap;
+
+        let counter = OpCounter::new();
+        let built = org.build(coords, shape, &counter).unwrap();
+
+        // Values: the original index of each point, as u64 payload.
+        let values: Vec<u64> = (0..coords.len() as u64).collect();
+        let payload = artsparse_tensor::value::pack(&values);
+        let reorg = built.reorganize_values(&payload, 8);
+        let reorg_vals = artsparse_tensor::value::unpack::<u64>(&reorg).unwrap();
+
+        let mut truth: HashMap<Vec<u64>, u64> = HashMap::new();
+        for (i, p) in coords.iter().enumerate() {
+            // First occurrence wins for duplicates: keep earliest.
+            truth.entry(p.to_vec()).or_insert(i as u64);
+        }
+
+        let all = artsparse_tensor::Region::full(shape).to_coords();
+        let slots = org.read(&built.index, &all, &counter).unwrap();
+        assert_eq!(slots.len(), all.len());
+        let dup_set: std::collections::HashSet<Vec<u64>> = {
+            let mut seen = std::collections::HashSet::new();
+            let mut dups = std::collections::HashSet::new();
+            for p in coords.iter() {
+                if !seen.insert(p.to_vec()) {
+                    dups.insert(p.to_vec());
+                }
+            }
+            dups
+        };
+        for (q, slot) in all.iter().zip(&slots) {
+            match truth.get(q) {
+                None => assert_eq!(*slot, None, "phantom hit at {q:?}"),
+                Some(&orig) => {
+                    let slot = slot.unwrap_or_else(|| panic!("missing hit at {q:?}"));
+                    let got = reorg_vals[slot as usize];
+                    if dup_set.contains(q) {
+                        // Any of the duplicate records is acceptable.
+                        let ok = coords
+                            .iter()
+                            .enumerate()
+                            .any(|(i, c)| c == q && got == i as u64);
+                        assert!(ok, "slot points at wrong record for duplicate {q:?}");
+                    } else {
+                        assert_eq!(got, orig, "wrong value slot at {q:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment configuration shared by every table/figure runner.
+
+use artsparse_core::FormatKind;
+use artsparse_patterns::{Pattern, PatternParams, Scale};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Which storage device backs the engine during an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// In-memory store — measures pure algorithm time.
+    Mem,
+    /// Local file system (a temporary directory, or `out_dir/fragments`).
+    Fs,
+    /// Deterministic simulated device with Lustre-like bandwidth/latency —
+    /// the default, because the paper's write-time findings (Table III)
+    /// hinge on bytes-written × device throughput.
+    Sim,
+}
+
+impl BackendKind {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "mem" | "memory" => Some(BackendKind::Mem),
+            "fs" | "file" | "disk" => Some(BackendKind::Fs),
+            "sim" | "simulated" | "lustre" => Some(BackendKind::Sim),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Fs => "fs",
+            BackendKind::Sim => "sim",
+        }
+    }
+}
+
+/// Configuration for one experiment invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Tensor sizes (paper / medium / smoke).
+    pub scale: Scale,
+    /// Storage device.
+    pub backend: BackendKind,
+    /// Pattern-generation parameters (seed, thresholds, band).
+    pub params: PatternParams,
+    /// Organizations to evaluate (defaults to the paper's five).
+    pub formats: Vec<FormatKind>,
+    /// Patterns to evaluate (defaults to all three).
+    pub patterns: Vec<Pattern>,
+    /// Dimensionalities to evaluate (defaults to 2, 3, 4).
+    pub ndims: Vec<usize>,
+    /// Where to write JSON/CSV artifacts (`None` = print only).
+    pub out_dir: Option<PathBuf>,
+    /// Simulated-device bandwidth in MiB/s (used when `backend` is `Sim`).
+    pub sim_bandwidth_mib: f64,
+    /// Simulated-device per-operation latency in microseconds.
+    pub sim_latency_us: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: Scale::Medium,
+            backend: BackendKind::Sim,
+            params: PatternParams::default(),
+            formats: FormatKind::PAPER_FIVE.to_vec(),
+            patterns: Pattern::ALL.to_vec(),
+            ndims: Scale::NDIMS.to_vec(),
+            out_dir: None,
+            sim_bandwidth_mib: 2048.0,
+            sim_latency_us: 250,
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests: smoke scale, in-memory backend.
+    pub fn smoke() -> Self {
+        Config {
+            scale: Scale::Smoke,
+            backend: BackendKind::Mem,
+            ..Config::default()
+        }
+    }
+
+    /// Human label like `"medium/sim"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.scale, self.backend.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(BackendKind::parse("MEM"), Some(BackendKind::Mem));
+        assert_eq!(BackendKind::parse("lustre"), Some(BackendKind::Sim));
+        assert_eq!(BackendKind::parse("fs"), Some(BackendKind::Fs));
+        assert_eq!(BackendKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn defaults_follow_paper_grid() {
+        let c = Config::default();
+        assert_eq!(c.formats.len(), 5);
+        assert_eq!(c.patterns.len(), 3);
+        assert_eq!(c.ndims, vec![2, 3, 4]);
+        assert_eq!(c.label(), "medium/sim");
+    }
+}

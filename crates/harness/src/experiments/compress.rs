@@ -1,0 +1,123 @@
+//! Compression orthogonality — §II's claim, measured.
+//!
+//! *"Common practice … is to choose a basic sparse organization first and
+//! then apply compression algorithms to further reduce data size."* This
+//! experiment crosses every organization with every codec and reports the
+//! fragment size, showing (a) compression composes with any organization
+//! and (b) how much each index layout has left for a codec to squeeze —
+//! sorted-address layouts (LINEAR on TSP) compress far better than raw
+//! coordinate lists.
+
+use crate::config::Config;
+use crate::experiments::ExperimentOutput;
+use crate::matrix::make_backend;
+use crate::Result;
+use artsparse_metrics::Table;
+use artsparse_patterns::{Dataset, Pattern};
+use artsparse_storage::{Codec, StorageEngine};
+use artsparse_tensor::value::pack;
+use serde::Serialize;
+
+const CODECS: [Codec; 3] = [Codec::None, Codec::Rle, Codec::DeltaVarint];
+
+#[derive(Debug, Serialize)]
+struct Row {
+    pattern: String,
+    format: String,
+    codec: String,
+    fragment_bytes: u64,
+    ratio_vs_raw: f64,
+}
+
+/// Run the (format × codec) grid on 2D TSP and 3D GSP datasets.
+pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
+    let datasets = [
+        Dataset::for_scale(Pattern::Tsp, 2, cfg.scale, cfg.params),
+        Dataset::for_scale(Pattern::Gsp, 3, cfg.scale, cfg.params),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut tables = Vec::new();
+    for ds in &datasets {
+        let payload = pack(&ds.values());
+        let mut table = Table::new(
+            format!("Fragment bytes with index compression — {}", ds.label()),
+            &["format", "none", "rle", "delta-varint", "best ratio"],
+        );
+        for &format in &cfg.formats {
+            let mut sizes = Vec::new();
+            for codec in CODECS {
+                let handle = make_backend(cfg)?;
+                let engine =
+                    StorageEngine::open(handle.backend, format, ds.shape.clone(), 8)?
+                        .with_compression(codec, Codec::None);
+                let report = engine.write(&ds.coords, &payload)?;
+                sizes.push(report.total_bytes as u64);
+                rows.push(Row {
+                    pattern: ds.pattern.name().to_string(),
+                    format: format.name().to_string(),
+                    codec: codec.name().to_string(),
+                    fragment_bytes: report.total_bytes as u64,
+                    ratio_vs_raw: 0.0, // filled below
+                });
+            }
+            let raw = sizes[0] as f64;
+            for (i, r) in rows.iter_mut().rev().take(CODECS.len()).enumerate() {
+                let _ = i;
+                r.ratio_vs_raw = r.fragment_bytes as f64 / raw;
+            }
+            let best = sizes.iter().copied().min().unwrap_or(0) as f64 / raw;
+            table.push_row(vec![
+                format.name().to_string(),
+                sizes[0].to_string(),
+                sizes[1].to_string(),
+                sizes[2].to_string(),
+                format!("{best:.2}"),
+            ]);
+        }
+        tables.push(table);
+    }
+
+    Ok(ExperimentOutput {
+        name: "compress",
+        notes: vec![
+            "Every organization composes with every codec (reads are unchanged); the delta-".into(),
+            "varint codec collapses sorted-address layouts (LINEAR/COO-SORTED on banded data).".into(),
+        ],
+        tables,
+        json: serde_json::json!({ "scale": cfg.scale, "rows": rows }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_formats_times_codecs_times_datasets() {
+        let cfg = Config::smoke();
+        let out = run(&cfg).unwrap();
+        let rows = out.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 2 * cfg.formats.len() * CODECS.len());
+        // Ratios are filled and ≤ slightly above 1 (codecs can add a little
+        // overhead on incompressible data, never silently lose bytes).
+        for r in rows {
+            let ratio = r["ratio_vs_raw"].as_f64().unwrap();
+            assert!(ratio > 0.0 && ratio < 1.6, "{r}");
+        }
+    }
+
+    #[test]
+    fn delta_varint_beats_raw_for_linear_on_tsp() {
+        let out = run(&Config::smoke()).unwrap();
+        let rows = out.json["rows"].as_array().unwrap();
+        let get = |fmt: &str, codec: &str| -> u64 {
+            rows.iter()
+                .find(|r| r["pattern"] == "TSP" && r["format"] == fmt && r["codec"] == codec)
+                .unwrap()["fragment_bytes"]
+                .as_u64()
+                .unwrap()
+        };
+        assert!(get("LINEAR", "delta-varint") < get("LINEAR", "none") * 7 / 10);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 5 — time to read sparse tensors under each organization.
+//!
+//! The read is the paper's §III evaluation query: every cell of the region
+//! starting at `(m/2, …)` with size `(m/10, …)`, answered through Algorithm
+//! 3's READ (fragment discovery, organization-specific lookup, merge).
+
+use crate::config::Config;
+use crate::experiments::{grid_table, ExperimentOutput};
+use crate::matrix::{run_matrix, Matrix};
+use crate::Result;
+
+/// Build the Fig. 5 report from a measured matrix.
+pub fn from_matrix(cfg: &Config, matrix: &Matrix) -> ExperimentOutput {
+    let formats: Vec<String> = cfg.formats.iter().map(|f| f.name().to_string()).collect();
+    let table = grid_table(
+        &format!("Fig. 5 — READ wall time in seconds ({} scale)", cfg.scale),
+        matrix,
+        &formats,
+        |c| format!("{:.4}", c.read_secs),
+    );
+    let hits = grid_table(
+        "Query-region hits / queries",
+        matrix,
+        &formats,
+        |c| format!("{}/{}", c.read_hits, c.n_queries),
+    );
+    ExperimentOutput {
+        name: "fig5",
+        notes: vec![
+            "Expected ranking (paper §III.C): COO ≈ LINEAR slowest (O(n·n_read) scans);".into(),
+            "GCSR++/GCSC++/CSF fast, with CSF's advantage growing from 2D to 4D.".into(),
+        ],
+        tables: vec![table, hits],
+        json: serde_json::to_value(matrix).expect("matrix serializes"),
+    }
+}
+
+/// Measure the grid, then report.
+pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
+    let matrix = run_matrix(cfg)?;
+    Ok(from_matrix(cfg, &matrix))
+}

@@ -1,0 +1,191 @@
+//! Table I — empirical validation of the time-complexity bounds.
+//!
+//! For each organization, sweep the point count `n`, run the instrumented
+//! build and read, and compare measured abstract-operation counts against
+//! the Table I formulas (`crate::complexity` in artsparse-core). If the
+//! bounds are right, the measured/predicted ratio stays within a narrow
+//! band as `n` grows; the table reports that band per organization.
+
+use crate::config::Config;
+use crate::experiments::ExperimentOutput;
+use crate::Result;
+use artsparse_core::complexity::{predicted_build_ops, predicted_read_ops};
+use artsparse_metrics::{OpCounter, Table};
+use artsparse_patterns::rng::SplitMix64;
+use artsparse_tensor::{CoordBuffer, Shape};
+use serde::Serialize;
+
+/// Point counts swept.
+const SWEEP: [usize; 3] = [1 << 10, 1 << 12, 1 << 14];
+/// Queries per read measurement.
+const N_READ: usize = 512;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    format: String,
+    n: usize,
+    build_measured: u64,
+    build_predicted: f64,
+    build_ratio: f64,
+    read_measured: u64,
+    read_predicted: f64,
+    read_ratio: f64,
+}
+
+/// Random distinct-ish points in `shape` (duplicates possible but rare).
+fn random_points(shape: &Shape, n: usize, seed: u64) -> CoordBuffer {
+    let mut rng = SplitMix64::new(seed);
+    let mut buf = CoordBuffer::with_capacity(shape.ndim(), n);
+    let mut coord = vec![0u64; shape.ndim()];
+    for _ in 0..n {
+        for (d, c) in coord.iter_mut().enumerate() {
+            *c = rng.next_below(shape.dim(d));
+        }
+        buf.push(&coord).expect("arity matches");
+    }
+    buf
+}
+
+/// Half-hit / half-miss queries.
+fn queries_for(shape: &Shape, stored: &CoordBuffer, n_read: usize, seed: u64) -> CoordBuffer {
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD);
+    let mut buf = CoordBuffer::with_capacity(shape.ndim(), n_read);
+    let mut coord = vec![0u64; shape.ndim()];
+    for i in 0..n_read {
+        if i % 2 == 0 && !stored.is_empty() {
+            let k = rng.next_below(stored.len() as u64) as usize;
+            buf.push(stored.point(k)).expect("arity");
+        } else {
+            for (d, c) in coord.iter_mut().enumerate() {
+                *c = rng.next_below(shape.dim(d));
+            }
+            buf.push(&coord).expect("arity");
+        }
+    }
+    buf
+}
+
+/// Run the sweep and build the report.
+pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
+    let shape = Shape::cube(3, 64)?;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &format in &cfg.formats {
+        let org = format.create();
+        for &n in &SWEEP {
+            let coords = random_points(&shape, n, cfg.params.seed);
+            let queries = queries_for(&shape, &coords, N_READ, cfg.params.seed);
+
+            let counter = OpCounter::new();
+            let built = org.build(&coords, &shape, &counter)?;
+            // `.max(1)` keeps COO's O(1)=zero-op build well-defined.
+            let build_measured = counter.snapshot().total().max(1);
+
+            counter.reset();
+            org.read(&built.index, &queries, &counter)?;
+            let read_measured = counter.snapshot().total();
+
+            let build_predicted = predicted_build_ops(format, n as u64, &shape).max(1.0);
+            let read_predicted =
+                predicted_read_ops(format, n as u64, N_READ as u64, &shape).max(1.0);
+            rows.push(Row {
+                format: format.name().to_string(),
+                n,
+                build_measured,
+                build_predicted,
+                build_ratio: build_measured as f64 / build_predicted,
+                read_measured,
+                read_predicted,
+                read_ratio: read_measured as f64 / read_predicted,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "Table I — measured ops vs predicted complexity (3D 64^3)",
+        &[
+            "format", "n", "build meas", "build pred", "ratio", "read meas", "read pred",
+            "ratio",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.format.clone(),
+            r.n.to_string(),
+            r.build_measured.to_string(),
+            format!("{:.0}", r.build_predicted),
+            format!("{:.2}", r.build_ratio),
+            r.read_measured.to_string(),
+            format!("{:.0}", r.read_predicted),
+            format!("{:.2}", r.read_ratio),
+        ]);
+    }
+
+    // Ratio stability per format: max/min across the sweep.
+    let mut stability = Table::new(
+        "Ratio stability across the n sweep (≈1.0× drift validates the bound)",
+        &["format", "build drift", "read drift"],
+    );
+    let mut drifts: Vec<(String, f64, f64)> = Vec::new();
+    for &format in &cfg.formats {
+        let fr: Vec<&Row> = rows.iter().filter(|r| r.format == format.name()).collect();
+        let drift = |sel: fn(&Row) -> f64| -> f64 {
+            let vals: Vec<f64> = fr.iter().map(|r| sel(r)).collect();
+            let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        let b = drift(|r| r.build_ratio);
+        let rd = drift(|r| r.read_ratio);
+        stability.push_row(vec![
+            format.name().to_string(),
+            format!("{b:.2}x"),
+            format!("{rd:.2}x"),
+        ]);
+        drifts.push((format.name().to_string(), b, rd));
+    }
+
+    Ok(ExperimentOutput {
+        name: "table1",
+        notes: vec![
+            "Measured abstract operations (transforms + compares + sort compares + node visits + emits)".into(),
+            "divided by the Table I formula; a flat ratio across the 16x n sweep validates the bound.".into(),
+        ],
+        tables: vec![table, stability],
+        json: serde_json::json!({ "rows": rows, "drifts": drifts }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_stable_for_the_paper_five() {
+        let cfg = Config::smoke();
+        let out = run(&cfg).unwrap();
+        let drifts = out.json["drifts"].as_array().unwrap();
+        assert_eq!(drifts.len(), 5);
+        for d in drifts {
+            let name = d[0].as_str().unwrap();
+            let build_drift = d[1].as_f64().unwrap();
+            let read_drift = d[2].as_f64().unwrap();
+            // The sweep spans 16×; a wrong exponent would drift ≳4×.
+            assert!(
+                build_drift < 3.0,
+                "{name} build ratio drifted {build_drift}x"
+            );
+            assert!(read_drift < 3.5, "{name} read ratio drifted {read_drift}x");
+        }
+    }
+
+    #[test]
+    fn random_points_and_queries_are_in_bounds() {
+        let shape = Shape::cube(3, 64).unwrap();
+        let pts = random_points(&shape, 100, 1);
+        assert!(pts.check_against(&shape).is_ok());
+        let qs = queries_for(&shape, &pts, 64, 1);
+        assert!(qs.check_against(&shape).is_ok());
+        assert_eq!(qs.len(), 64);
+    }
+}

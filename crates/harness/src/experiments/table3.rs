@@ -1,0 +1,158 @@
+//! Table III — breakdown of the total write time for the 4D MSP pattern.
+//!
+//! Runs Algorithm 3's WRITE for every organization on the 4D MSP dataset
+//! and reports the Build / Reorg. / Write / Others phases. The paper's
+//! headline effects to look for: COO's Build is ~0 but its Write dominates
+//! (the fragment is ~d× larger); GCSC++'s Build exceeds GCSR++'s because
+//! the row-major input stream is maximally shuffled for a column sort.
+
+use crate::config::Config;
+use crate::experiments::ExperimentOutput;
+use crate::matrix::make_backend;
+use crate::Result;
+use artsparse_metrics::{Table, WritePhase};
+use artsparse_patterns::{Dataset, Pattern};
+use artsparse_storage::StorageEngine;
+use artsparse_tensor::value::pack;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Column {
+    format: String,
+    build: f64,
+    reorg: f64,
+    write: f64,
+    others: f64,
+    sum: f64,
+}
+
+/// The paper's measured Table III (seconds), for side-by-side reference.
+pub fn paper_breakdown() -> Vec<(&'static str, [f64; 5])> {
+    vec![
+        // phase, then COO, LINEAR, GCSR++, GCSC++, CSF
+        ("Build", [0.0, 0.0109, 0.1888, 0.4484, 0.3014]),
+        ("Reorg.", [0.0, 0.0, 0.0073, 0.0195, 0.0073]),
+        ("Write", [0.1217, 0.0504, 0.0493, 0.0513, 0.0751]),
+        ("Others", [0.0177, 0.0167, 0.0179, 0.0174, 0.0179]),
+    ]
+}
+
+/// Run the 4D MSP write for every configured organization.
+pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
+    let dataset = Dataset::for_scale(Pattern::Msp, 4, cfg.scale, cfg.params);
+    let payload = pack(&dataset.values());
+
+    let mut cols = Vec::new();
+    for &format in &cfg.formats {
+        let handle = make_backend(cfg)?;
+        let engine = StorageEngine::open(handle.backend, format, dataset.shape.clone(), 8)?;
+        let report = engine.write(&dataset.coords, &payload)?;
+        let b = report.breakdown;
+        cols.push(Column {
+            format: format.name().to_string(),
+            build: b.build,
+            reorg: b.reorg,
+            write: b.write,
+            others: b.others,
+            sum: b.sum(),
+        });
+    }
+
+    let mut header: Vec<String> = vec!["".to_string()];
+    header.extend(cols.iter().map(|c| c.format.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!(
+            "Table III — write-time breakdown, 4D MSP ({} scale, {} points)",
+            cfg.scale,
+            dataset.nnz()
+        ),
+        &header_refs,
+    );
+    for phase in WritePhase::ALL {
+        let mut row = vec![phase.label().to_string()];
+        for c in &cols {
+            let v = match phase {
+                WritePhase::Build => c.build,
+                WritePhase::Reorg => c.reorg,
+                WritePhase::Write => c.write,
+                WritePhase::Others => c.others,
+            };
+            row.push(format!("{v:.4}"));
+        }
+        table.push_row(row);
+    }
+    let mut sum_row = vec!["Sum".to_string()];
+    for c in &cols {
+        sum_row.push(format!("{:.4}", c.sum));
+    }
+    table.push_row(sum_row);
+
+    Ok(ExperimentOutput {
+        name: "table3",
+        notes: vec![
+            "Expected shape (paper Table III): COO Build ≈ 0 but the largest Write; GCSC++".into(),
+            "Build > GCSR++ Build (column sort of a row-major stream); LINEAR lowest Sum.".into(),
+        ],
+        tables: vec![table],
+        json: serde_json::json!({
+            "scale": cfg.scale,
+            "n_points": dataset.nnz(),
+            "columns": cols,
+            "paper_seconds": paper_breakdown()
+                .into_iter()
+                .map(|(phase, vals)| serde_json::json!({"phase": phase, "values": vals}))
+                .collect::<Vec<_>>(),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artsparse_core::FormatKind;
+
+    #[test]
+    fn breakdown_reproduces_paper_shape() {
+        let cfg = Config::smoke();
+        let out = run(&cfg).unwrap();
+        let cols = out.json["columns"].as_array().unwrap();
+        assert_eq!(cols.len(), 5);
+        let get = |name: &str, field: &str| -> f64 {
+            cols.iter()
+                .find(|c| c["format"] == name)
+                .unwrap()[field]
+                .as_f64()
+                .unwrap()
+        };
+        // COO build is (near) zero and below every sorting format's build.
+        assert!(get("COO", "build") <= get("GCSR++", "build"));
+        assert!(get("COO", "build") <= get("CSF", "build"));
+        // COO writes the largest fragment, so its Write phase dominates
+        // LINEAR's on the simulated-bandwidth device (slowed down so the
+        // per-byte cost is well above timing noise at smoke scale).
+        let cfg_sim = Config {
+            backend: crate::config::BackendKind::Sim,
+            sim_bandwidth_mib: 10.0,
+            sim_latency_us: 0,
+            ..Config::smoke()
+        };
+        let out = run(&cfg_sim).unwrap();
+        let cols = out.json["columns"].as_array().unwrap();
+        let get = |name: &str, field: &str| -> f64 {
+            cols.iter()
+                .find(|c| c["format"] == name)
+                .unwrap()[field]
+                .as_f64()
+                .unwrap()
+        };
+        assert!(get("COO", "write") > get("LINEAR", "write"));
+        let _ = FormatKind::PAPER_FIVE;
+    }
+
+    #[test]
+    fn table_has_five_rows() {
+        let out = run(&Config::smoke()).unwrap();
+        assert_eq!(out.tables[0].len(), 5); // Build/Reorg/Write/Others/Sum
+    }
+}

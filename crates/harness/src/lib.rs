@@ -1,0 +1,28 @@
+//! # artsparse-harness
+//!
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§III–IV), plus the `artsparse-bench` CLI:
+//!
+//! | Experiment | Paper artifact | Module |
+//! |------------|----------------|--------|
+//! | `table1` | Table I complexity validation | [`experiments::table1`] |
+//! | `table2` | Table II dataset densities | [`experiments::table2`] |
+//! | `fig2` | Fig. 2 pattern renders | [`experiments::fig2`] |
+//! | `fig3` | Fig. 3 write time | [`experiments::fig3`] |
+//! | `table3` | Table III write breakdown | [`experiments::table3`] |
+//! | `fig4` | Fig. 4 file size | [`experiments::fig4`] |
+//! | `fig5` | Fig. 5 read time | [`experiments::fig5`] |
+//! | `table4` | Table IV overall scores | [`experiments::table4`] |
+//! | `ablate` | extensions + advisor (beyond the paper) | [`experiments::ablate`] |
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod matrix;
+
+pub use config::{BackendKind, Config};
+pub use matrix::{run_matrix, Matrix};
+
+/// Error-erased result used across the harness.
+pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

@@ -1,0 +1,152 @@
+//! `artsparse-bench` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! artsparse-bench <experiment>... [options]
+//!
+//! experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 ablate
+//!              compress sweep all
+//! options:
+//!   --scale paper|medium|smoke   tensor sizes        (default: medium)
+//!   --backend mem|fs|sim         storage device      (default: sim)
+//!   --seed N                     generator seed
+//!   --out DIR                    write JSON/CSV artifacts
+//!   --formats A,B,…              organizations       (default: paper five)
+//! ```
+
+use artsparse_core::FormatKind;
+use artsparse_harness::experiments::{
+    ablate, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3,
+    table4, ExperimentOutput,
+};
+use artsparse_harness::{run_matrix, BackendKind, Config, Result};
+use artsparse_patterns::Scale;
+use std::path::PathBuf;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
+    "ablate", "compress", "sweep", "io",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
+         [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..]\n\
+         experiments: {} all",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<String>, Config) {
+    let mut cfg = Config::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.backend = BackendKind::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.params.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.out_dir = Some(PathBuf::from(v));
+            }
+            "--formats" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.formats = v
+                    .split(',')
+                    .map(|s| FormatKind::parse(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    (wanted, cfg)
+}
+
+fn emit(cfg: &Config, out: ExperimentOutput) -> Result<()> {
+    out.print();
+    if let Some(dir) = &cfg.out_dir {
+        out.save(dir)?;
+        eprintln!("[saved] {}/{}.json", dir.display(), out.name);
+    }
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let (wanted, cfg) = parse_args();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || wanted.iter().any(|w| w == name);
+
+    for w in &wanted {
+        if w != "all" && !EXPERIMENTS.contains(&w.as_str()) {
+            eprintln!("unknown experiment: {w}");
+            usage();
+        }
+    }
+
+    eprintln!("[config] {} (seed {})", cfg.label(), cfg.params.seed);
+
+    if wants("table1") {
+        emit(&cfg, table1::run(&cfg)?)?;
+    }
+    if wants("table2") {
+        emit(&cfg, table2::run(&cfg)?)?;
+    }
+    if wants("fig1") {
+        emit(&cfg, fig1::run(&cfg)?)?;
+    }
+    if wants("fig2") {
+        emit(&cfg, fig2::run(&cfg)?)?;
+    }
+
+    // fig3/fig4/fig5/table4 share one measured matrix.
+    let needs_matrix = ["fig3", "fig4", "fig5", "table4"]
+        .iter()
+        .any(|e| wants(e));
+    if needs_matrix {
+        let matrix = run_matrix(&cfg)?;
+        if wants("fig3") {
+            emit(&cfg, fig3::from_matrix(&cfg, &matrix))?;
+        }
+        if wants("fig4") {
+            emit(&cfg, fig4::from_matrix(&cfg, &matrix))?;
+        }
+        if wants("fig5") {
+            emit(&cfg, fig5::from_matrix(&cfg, &matrix))?;
+        }
+        if wants("table4") {
+            emit(&cfg, table4::from_matrix(&cfg, &matrix)?)?;
+        }
+    }
+
+    if wants("table3") {
+        emit(&cfg, table3::run(&cfg)?)?;
+    }
+    if wants("ablate") {
+        emit(&cfg, ablate::run(&cfg)?)?;
+    }
+    if wants("compress") {
+        emit(&cfg, compress::run(&cfg)?)?;
+    }
+    if wants("sweep") {
+        emit(&cfg, sweep::run(&cfg)?)?;
+    }
+    if wants("io") {
+        emit(&cfg, io::run(&cfg)?)?;
+    }
+    Ok(())
+}

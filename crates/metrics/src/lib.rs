@@ -1,0 +1,24 @@
+//! # artsparse-metrics
+//!
+//! Instrumentation for the `artsparse` reproduction:
+//!
+//! * [`counter`] — abstract operation counters that empirically validate
+//!   the asymptotic bounds of the paper's Table I;
+//! * [`stopwatch`] — phase timers producing Table III's Build / Reorg. /
+//!   Write / Others breakdown;
+//! * [`score`] — the Table IV overall-score formula;
+//! * [`report`] — aligned ASCII tables plus CSV/JSON emission.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod report;
+pub mod score;
+pub mod stats;
+pub mod stopwatch;
+
+pub use counter::{OpCounter, OpCounts, OpKind};
+pub use report::Table;
+pub use score::{overall_scores, ranking, Measurement, ScoreError};
+pub use stats::{repeat_measure, Summary};
+pub use stopwatch::{time_it, PhaseTimer, WriteBreakdown, WritePhase};

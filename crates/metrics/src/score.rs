@@ -1,0 +1,216 @@
+//! The paper's overall score formula (Table IV).
+//!
+//! §IV: every measurement `m_i` (organization `i`, one metric, one pattern,
+//! one dimensionality) is normalized by the maximum across organizations,
+//! `r_i = m_i / max_j m_j`, then averaged with equal weights over
+//! dimensionalities, then patterns (and, to land on a single number per
+//! organization, over the metrics write-time / read-time / file-size).
+//! Lower is better; the paper reports LINEAR = 0.34 as the best balance.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One raw measurement feeding the score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Organization name (e.g. `"LINEAR"`).
+    pub org: String,
+    /// Sparsity pattern (e.g. `"TSP"`).
+    pub pattern: String,
+    /// Dimensionality label (e.g. `"2D"`).
+    pub dim: String,
+    /// Metric name (e.g. `"write_time"`).
+    pub metric: String,
+    /// Raw value (seconds, bytes, …). Must be ≥ 0.
+    pub value: f64,
+}
+
+/// Error from score computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// A (pattern, dim, metric) group is missing a measurement for an org.
+    MissingMeasurement {
+        /// The organization without a value.
+        org: String,
+        /// The `(pattern, dim, metric)` group.
+        group: String,
+    },
+    /// The same (org, pattern, dim, metric) combination appeared twice.
+    DuplicateMeasurement {
+        /// The duplicated combination.
+        key: String,
+    },
+    /// No measurements were supplied.
+    Empty,
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::MissingMeasurement { org, group } => {
+                write!(f, "organization {org} has no measurement for group {group}")
+            }
+            ScoreError::DuplicateMeasurement { key } => {
+                write!(f, "duplicate measurement for {key}")
+            }
+            ScoreError::Empty => write!(f, "no measurements supplied"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// Compute the Table IV scores: `org → score`, lower is better.
+///
+/// Requires a complete grid: every organization must have exactly one
+/// value for every `(pattern, dim, metric)` combination that appears.
+pub fn overall_scores(
+    measurements: &[Measurement],
+) -> Result<BTreeMap<String, f64>, ScoreError> {
+    if measurements.is_empty() {
+        return Err(ScoreError::Empty);
+    }
+
+    // Group values by (metric, pattern, dim) → org → value.
+    let mut groups: BTreeMap<(String, String, String), BTreeMap<String, f64>> = BTreeMap::new();
+    let mut orgs: Vec<String> = Vec::new();
+    for m in measurements {
+        if !orgs.contains(&m.org) {
+            orgs.push(m.org.clone());
+        }
+        let group = groups
+            .entry((m.metric.clone(), m.pattern.clone(), m.dim.clone()))
+            .or_default();
+        if group.insert(m.org.clone(), m.value).is_some() {
+            return Err(ScoreError::DuplicateMeasurement {
+                key: format!("{}/{}/{}/{}", m.org, m.pattern, m.dim, m.metric),
+            });
+        }
+    }
+
+    // Normalize within each group by the per-group max across orgs.
+    // normalized[(metric, pattern)] accumulates per-org sums over dims.
+    let mut per_org_ratios: BTreeMap<String, Vec<f64>> =
+        orgs.iter().map(|o| (o.clone(), Vec::new())).collect();
+    for ((metric, pattern, dim), group) in &groups {
+        for org in &orgs {
+            if !group.contains_key(org) {
+                return Err(ScoreError::MissingMeasurement {
+                    org: org.clone(),
+                    group: format!("{pattern}/{dim}/{metric}"),
+                });
+            }
+        }
+        let max = group.values().cloned().fold(f64::MIN, f64::max);
+        for org in &orgs {
+            let v = group[org];
+            let r = if max > 0.0 { v / max } else { 0.0 };
+            per_org_ratios.get_mut(org).unwrap().push(r);
+        }
+    }
+
+    // Equal weights for every (metric, pattern, dim) cell — with a complete
+    // grid the nested equal-weight averages of the paper collapse to the
+    // flat mean of normalized ratios.
+    Ok(per_org_ratios
+        .into_iter()
+        .map(|(org, ratios)| {
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            (org, mean)
+        })
+        .collect())
+}
+
+/// Rank organizations by ascending score (best first).
+pub fn ranking(scores: &BTreeMap<String, f64>) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = scores.iter().map(|(k, &s)| (k.clone(), s)).collect();
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(org: &str, pattern: &str, dim: &str, metric: &str, value: f64) -> Measurement {
+        Measurement {
+            org: org.into(),
+            pattern: pattern.into(),
+            dim: dim.into(),
+            metric: metric.into(),
+            value,
+        }
+    }
+
+    #[test]
+    fn normalizes_by_group_max() {
+        let ms = vec![
+            m("A", "TSP", "2D", "write", 1.0),
+            m("B", "TSP", "2D", "write", 4.0),
+        ];
+        let s = overall_scores(&ms).unwrap();
+        assert!((s["A"] - 0.25).abs() < 1e-12);
+        assert!((s["B"] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_across_groups_equally() {
+        let ms = vec![
+            m("A", "TSP", "2D", "write", 1.0),
+            m("B", "TSP", "2D", "write", 2.0),
+            m("A", "GSP", "2D", "write", 3.0),
+            m("B", "GSP", "2D", "write", 1.0),
+        ];
+        let s = overall_scores(&ms).unwrap();
+        assert!((s["A"] - (0.5 + 1.0) / 2.0).abs() < 1e-12);
+        assert!((s["B"] - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_worst_everywhere_scores_one() {
+        let ms = vec![
+            m("worst", "TSP", "2D", "write", 10.0),
+            m("best", "TSP", "2D", "write", 1.0),
+            m("worst", "TSP", "3D", "read", 9.0),
+            m("best", "TSP", "3D", "read", 3.0),
+        ];
+        let s = overall_scores(&ms).unwrap();
+        assert_eq!(s["worst"], 1.0);
+        assert!(s["best"] < 1.0);
+        let r = ranking(&s);
+        assert_eq!(r[0].0, "best");
+    }
+
+    #[test]
+    fn detects_missing_and_duplicate() {
+        let ms = vec![
+            m("A", "TSP", "2D", "write", 1.0),
+            m("B", "TSP", "2D", "write", 2.0),
+            m("A", "GSP", "2D", "write", 3.0),
+        ];
+        assert!(matches!(
+            overall_scores(&ms),
+            Err(ScoreError::MissingMeasurement { .. })
+        ));
+        let dup = vec![
+            m("A", "TSP", "2D", "write", 1.0),
+            m("A", "TSP", "2D", "write", 2.0),
+        ];
+        assert!(matches!(
+            overall_scores(&dup),
+            Err(ScoreError::DuplicateMeasurement { .. })
+        ));
+        assert_eq!(overall_scores(&[]), Err(ScoreError::Empty));
+    }
+
+    #[test]
+    fn zero_max_group_contributes_zero() {
+        let ms = vec![
+            m("A", "TSP", "2D", "write", 0.0),
+            m("B", "TSP", "2D", "write", 0.0),
+        ];
+        let s = overall_scores(&ms).unwrap();
+        assert_eq!(s["A"], 0.0);
+        assert_eq!(s["B"], 0.0);
+    }
+}

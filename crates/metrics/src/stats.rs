@@ -1,0 +1,134 @@
+//! Summary statistics for repeated measurements.
+//!
+//! Wall-clock benchmarks on shared machines are noisy; the harness runs
+//! each cell several times and reports these summaries (the Rust
+//! Performance Book's advice: mediocre benchmarking beats none, but
+//! always look at the spread, not one sample).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (mean of middle pair for even counts).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Coefficient of variation (`stddev / mean`), 0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// `"median ± stddev"` with the given precision.
+    pub fn display(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$} ±{:.d$}",
+            self.median,
+            self.stddev,
+            d = decimals
+        )
+    }
+}
+
+/// Run `f` `repeats` times and summarize the returned measurements.
+pub fn repeat_measure(repeats: usize, mut f: impl FnMut() -> f64) -> Summary {
+    assert!(repeats > 0, "at least one repetition");
+    let samples: Vec<f64> = (0..repeats).map(|_| f()).collect();
+    Summary::of(&samples).expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_and_empty() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn cv_and_display() {
+        let s = Summary::of(&[10.0, 10.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.display(2), "10.00 ±0.00");
+        let z = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(z.cv(), 0.0);
+    }
+
+    #[test]
+    fn repeat_measure_collects() {
+        let mut k = 0.0;
+        let s = repeat_measure(5, || {
+            k += 1.0;
+            k
+        });
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+}

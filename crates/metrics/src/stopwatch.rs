@@ -1,0 +1,205 @@
+//! Phase timing — the machinery behind Table III's write breakdown.
+//!
+//! The paper decomposes the total WRITE time into **Build** (constructing
+//! the coordinate organization), **Reorg.** (permuting the value payload by
+//! `map`), **Write** (serializing the fragment to the device), and
+//! **Others** (metadata etc.). [`PhaseTimer`] records named phases;
+//! [`WriteBreakdown`] is the typed Table III row.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The WRITE phases of Algorithm 3, as broken down in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePhase {
+    /// Construct the coordinate organization (`*_BUILD`).
+    Build,
+    /// Reorganize the value payload by the returned `map`.
+    Reorg,
+    /// Write the concatenated fragment to the storage device.
+    Write,
+    /// Everything else (metadata, bounding boxes, bookkeeping).
+    Others,
+}
+
+impl WritePhase {
+    /// All phases in Table III's row order.
+    pub const ALL: [WritePhase; 4] = [
+        WritePhase::Build,
+        WritePhase::Reorg,
+        WritePhase::Write,
+        WritePhase::Others,
+    ];
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WritePhase::Build => "Build",
+            WritePhase::Reorg => "Reorg.",
+            WritePhase::Write => "Write",
+            WritePhase::Others => "Others",
+        }
+    }
+}
+
+/// Accumulated per-phase durations for one WRITE call (one Table III column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WriteBreakdown {
+    /// Seconds spent building the organization.
+    pub build: f64,
+    /// Seconds spent reorganizing values.
+    pub reorg: f64,
+    /// Seconds spent writing the fragment.
+    pub write: f64,
+    /// Seconds spent on everything else.
+    pub others: f64,
+}
+
+impl WriteBreakdown {
+    /// Total write time (Table III "Sum" row).
+    pub fn sum(&self) -> f64 {
+        self.build + self.reorg + self.write + self.others
+    }
+
+    /// Seconds recorded for one phase.
+    pub fn get(&self, phase: WritePhase) -> f64 {
+        match phase {
+            WritePhase::Build => self.build,
+            WritePhase::Reorg => self.reorg,
+            WritePhase::Write => self.write,
+            WritePhase::Others => self.others,
+        }
+    }
+
+    /// Add seconds to one phase.
+    pub fn add(&mut self, phase: WritePhase, seconds: f64) {
+        match phase {
+            WritePhase::Build => self.build += seconds,
+            WritePhase::Reorg => self.reorg += seconds,
+            WritePhase::Write => self.write += seconds,
+            WritePhase::Others => self.others += seconds,
+        }
+    }
+
+    /// Element-wise accumulate another breakdown.
+    pub fn merge(&mut self, other: &WriteBreakdown) {
+        self.build += other.build;
+        self.reorg += other.reorg;
+        self.write += other.write;
+        self.others += other.others;
+    }
+}
+
+/// A running timer that attributes elapsed wall time to phases.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    breakdown: WriteBreakdown,
+    current: Option<(WritePhase, Instant)>,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// A stopped timer with zeroed phases.
+    pub fn new() -> Self {
+        PhaseTimer {
+            breakdown: WriteBreakdown::default(),
+            current: None,
+        }
+    }
+
+    /// Start (or switch to) a phase, closing out the previous one.
+    pub fn enter(&mut self, phase: WritePhase) {
+        self.close();
+        self.current = Some((phase, Instant::now()));
+    }
+
+    /// Stop timing, attributing the open interval to its phase.
+    pub fn close(&mut self) {
+        if let Some((phase, start)) = self.current.take() {
+            self.breakdown.add(phase, start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Run `f` attributed to `phase`, restoring the stopped state after.
+    pub fn time<T>(&mut self, phase: WritePhase, f: impl FnOnce() -> T) -> T {
+        self.close();
+        let start = Instant::now();
+        let out = f();
+        self.breakdown.add(phase, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Finish and return the accumulated breakdown.
+    pub fn finish(mut self) -> WriteBreakdown {
+        self.close();
+        self.breakdown
+    }
+}
+
+/// Measure the wall time of `f`, returning `(duration, output)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let mut t = PhaseTimer::new();
+        t.time(WritePhase::Build, || std::thread::sleep(Duration::from_millis(5)));
+        t.time(WritePhase::Build, || std::thread::sleep(Duration::from_millis(5)));
+        t.time(WritePhase::Write, || ());
+        let b = t.finish();
+        assert!(b.build >= 0.009, "build={}", b.build);
+        assert!(b.reorg == 0.0);
+        assert!((b.sum() - (b.build + b.write + b.others)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enter_switches_phases() {
+        let mut t = PhaseTimer::new();
+        t.enter(WritePhase::Build);
+        std::thread::sleep(Duration::from_millis(2));
+        t.enter(WritePhase::Others);
+        std::thread::sleep(Duration::from_millis(2));
+        let b = t.finish();
+        assert!(b.build > 0.0);
+        assert!(b.others > 0.0);
+        assert_eq!(b.write, 0.0);
+    }
+
+    #[test]
+    fn breakdown_get_add_merge() {
+        let mut b = WriteBreakdown::default();
+        b.add(WritePhase::Reorg, 1.5);
+        assert_eq!(b.get(WritePhase::Reorg), 1.5);
+        let mut c = WriteBreakdown::default();
+        c.add(WritePhase::Reorg, 0.5);
+        c.add(WritePhase::Write, 2.0);
+        b.merge(&c);
+        assert_eq!(b.reorg, 2.0);
+        assert_eq!(b.sum(), 4.0);
+    }
+
+    #[test]
+    fn labels_match_table_iii() {
+        let labels: Vec<&str> = WritePhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["Build", "Reorg.", "Write", "Others"]);
+    }
+
+    #[test]
+    fn time_it_returns_output() {
+        let (d, v) = time_it(|| 42);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 1);
+    }
+}

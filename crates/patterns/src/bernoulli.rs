@@ -1,0 +1,147 @@
+//! Chunked, parallel, deterministic Bernoulli cell sampling.
+//!
+//! The GSP and MSP generators decide each cell's occupancy with a uniform
+//! draw against a threshold (§III: "a (0,1) random number generator is
+//! employed to determine whether a cell of the sparse tensor should have a
+//! value"). Cells are visited in row-major linear-address order, split
+//! into fixed chunks; every chunk draws from its own `(seed, chunk)`
+//! stream, so the result is identical no matter how many threads run.
+
+use crate::rng::SplitMix64;
+use artsparse_tensor::{CoordBuffer, Region, Shape};
+use rayon::prelude::*;
+
+/// Cells per generation chunk (and per RNG stream).
+const CHUNK: u64 = 1 << 18;
+
+/// Sample every cell of `shape`: occupied iff `uniform(0,1) > threshold`.
+///
+/// `skip` (if given) excludes cells inside a region — MSP uses it so
+/// background points never collide with the dense region's points.
+pub fn bernoulli_cells(
+    shape: &Shape,
+    threshold: f64,
+    seed: u64,
+    stream_salt: u64,
+    skip: Option<&Region>,
+) -> CoordBuffer {
+    let volume = shape.volume();
+    let nchunks = volume.div_ceil(CHUNK);
+    let ndim = shape.ndim();
+
+    let flat: Vec<u64> = (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let lo = chunk * CHUNK;
+            let hi = (lo + CHUNK).min(volume);
+            let mut rng = SplitMix64::for_stream(seed ^ stream_salt, chunk);
+            let mut out: Vec<u64> = Vec::new();
+            let mut coord = vec![0u64; ndim];
+            for addr in lo..hi {
+                // One draw per cell, consumed even for skipped cells so the
+                // stream is independent of the skip region.
+                let occupied = rng.next_f64() > threshold;
+                if occupied {
+                    shape.delinearize_into(addr, &mut coord);
+                    if skip.is_none_or(|r| !r.contains(&coord)) {
+                        out.extend_from_slice(&coord);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+
+    CoordBuffer::from_flat(ndim, flat).expect("generator emits whole points")
+}
+
+/// Sample the cells of `region` (within `shape`): occupied iff
+/// `uniform(0,1) < fill`. `fill >= 1.0` selects every cell.
+pub fn bernoulli_region(
+    shape: &Shape,
+    region: &Region,
+    fill: f64,
+    seed: u64,
+    stream_salt: u64,
+) -> CoordBuffer {
+    assert!(region.fits_in(shape), "region must lie inside the shape");
+    let ndim = shape.ndim();
+    let mut rng = SplitMix64::for_stream(seed ^ stream_salt, u64::MAX);
+    let mut buf = CoordBuffer::new(ndim);
+    for cell in region.iter_cells() {
+        if fill >= 1.0 || rng.next_f64() < fill {
+            buf.push(&cell).expect("region cells match arity");
+        } else {
+            continue;
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_tracks_threshold() {
+        let shape = Shape::new(vec![512, 512]).unwrap();
+        let pts = bernoulli_cells(&shape, 0.99, 42, 0, None);
+        let density = pts.len() as f64 / shape.volume() as f64;
+        assert!((density - 0.01).abs() < 0.002, "density={density}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let shape = Shape::new(vec![128, 128]).unwrap();
+        let a = bernoulli_cells(&shape, 0.95, 7, 0, None);
+        let b = bernoulli_cells(&shape, 0.95, 7, 0, None);
+        assert_eq!(a, b);
+        let c = bernoulli_cells(&shape, 0.95, 8, 0, None);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_is_row_major_sorted_and_in_bounds() {
+        let shape = Shape::new(vec![64, 64, 4]).unwrap();
+        let pts = bernoulli_cells(&shape, 0.97, 3, 0, None);
+        assert!(pts.len() > 100);
+        let mut prev = 0u64;
+        for p in pts.iter() {
+            assert!(shape.contains(p));
+            let addr = shape.linearize(p).unwrap();
+            assert!(addr >= prev, "not in row-major order");
+            prev = addr;
+        }
+    }
+
+    #[test]
+    fn skip_region_excludes_cells() {
+        let shape = Shape::new(vec![64, 64]).unwrap();
+        let hole = Region::from_corners(&[16, 16], &[47, 47]).unwrap();
+        let pts = bernoulli_cells(&shape, 0.9, 11, 0, Some(&hole));
+        assert!(pts.len() > 50);
+        for p in pts.iter() {
+            assert!(!hole.contains(p), "point {p:?} inside skip region");
+        }
+    }
+
+    #[test]
+    fn full_region_fill_selects_everything() {
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let r = Region::from_corners(&[4, 4], &[7, 9]).unwrap();
+        let pts = bernoulli_region(&shape, &r, 1.0, 0, 0);
+        assert_eq!(pts.len() as u64, r.volume());
+    }
+
+    #[test]
+    fn partial_region_fill_samples() {
+        let shape = Shape::new(vec![128, 128]).unwrap();
+        let r = Region::from_corners(&[0, 0], &[99, 99]).unwrap();
+        let pts = bernoulli_region(&shape, &r, 0.25, 5, 0);
+        let frac = pts.len() as f64 / r.volume() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac={frac}");
+        for p in pts.iter() {
+            assert!(r.contains(p));
+        }
+    }
+}

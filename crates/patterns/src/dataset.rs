@@ -1,0 +1,124 @@
+//! Dataset assembly: pattern × shape × parameters → coordinates + values.
+
+use crate::rng::SplitMix64;
+use crate::spec::{Pattern, PatternParams, Scale};
+use crate::{gsp, msp, tsp};
+use artsparse_tensor::{CoordBuffer, Region, Shape};
+
+/// A generated synthetic dataset — one cell of Table II.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The sparsity pattern.
+    pub pattern: Pattern,
+    /// The tensor shape.
+    pub shape: Shape,
+    /// Generated coordinates (deterministic for a given `params.seed`).
+    pub coords: CoordBuffer,
+    /// The parameters used.
+    pub params: PatternParams,
+}
+
+impl Dataset {
+    /// Generate a dataset for an arbitrary shape.
+    pub fn generate(pattern: Pattern, shape: Shape, params: PatternParams) -> Dataset {
+        let coords = match pattern {
+            Pattern::Tsp => tsp::generate(&shape, params.tsp_band),
+            Pattern::Gsp => gsp::generate(&shape, params.gsp_threshold, params.seed),
+            Pattern::Msp => msp::generate(
+                &shape,
+                params.msp_threshold,
+                params.msp_region_fill,
+                params.seed,
+            ),
+        };
+        Dataset { pattern, shape, coords, params }
+    }
+
+    /// Generate the Table II cell for `(pattern, ndim)` at `scale`.
+    pub fn for_scale(pattern: Pattern, ndim: usize, scale: Scale, params: PatternParams) -> Dataset {
+        let shape = scale.shape(ndim).expect("scale shapes are valid");
+        Dataset::generate(pattern, shape, params)
+    }
+
+    /// Number of points.
+    pub fn nnz(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Occupied fraction (the Table II "density" column).
+    pub fn density(&self) -> f64 {
+        self.shape.density(self.nnz() as u64)
+    }
+
+    /// Deterministic `f64` values for the points (what `b_data` holds in
+    /// Algorithm 3). Values are seeded from the dataset seed so the whole
+    /// fragment is reproducible.
+    pub fn values(&self) -> Vec<f64> {
+        let mut rng = SplitMix64::for_stream(self.params.seed, 0x5641_4C55);
+        (0..self.nnz()).map(|_| rng.next_f64()).collect()
+    }
+
+    /// The evaluation read region (start `(m/2, …)`, size `(m/10, …)`).
+    pub fn read_region(&self) -> Region {
+        Region::paper_read_region(&self.shape).expect("paper region fits")
+    }
+
+    /// A human label like `"TSP 3D 256x256x256"`.
+    pub fn label(&self) -> String {
+        format!("{} {}D {}", self.pattern, self.shape.ndim(), self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_table_ii_cells_at_smoke_scale() {
+        for pattern in Pattern::ALL {
+            for ndim in Scale::NDIMS {
+                let ds = Dataset::for_scale(
+                    pattern,
+                    ndim,
+                    Scale::Smoke,
+                    PatternParams::default(),
+                );
+                assert!(ds.nnz() > 0, "{}", ds.label());
+                assert!(ds.density() > 0.0 && ds.density() < 0.5, "{}", ds.label());
+                assert!(ds.coords.check_against(&ds.shape).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn gsp_density_near_one_percent_like_table_ii() {
+        let ds = Dataset::for_scale(
+            Pattern::Gsp,
+            2,
+            Scale::Smoke,
+            PatternParams::default(),
+        );
+        assert!((ds.density() - 0.01).abs() < 0.004, "{}", ds.density());
+    }
+
+    #[test]
+    fn values_align_with_points_and_are_deterministic() {
+        let ds = Dataset::for_scale(Pattern::Tsp, 2, Scale::Smoke, PatternParams::default());
+        let v1 = ds.values();
+        let v2 = ds.values();
+        assert_eq!(v1.len(), ds.nnz());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn read_region_is_inside_shape() {
+        let ds = Dataset::for_scale(Pattern::Msp, 3, Scale::Smoke, PatternParams::default());
+        assert!(ds.read_region().fits_in(&ds.shape));
+    }
+
+    #[test]
+    fn label_is_descriptive() {
+        let ds = Dataset::for_scale(Pattern::Gsp, 4, Scale::Smoke, PatternParams::default());
+        assert_eq!(ds.label(), "GSP 4D 16x16x16x16");
+    }
+}

@@ -1,0 +1,327 @@
+//! MatrixMarket (`.mtx`) coordinate I/O.
+//!
+//! The paper surveys real sparse data through the SuiteSparse collection
+//! [25], which distributes matrices in the MatrixMarket exchange format.
+//! This module reads and writes the `matrix coordinate` flavor so real
+//! datasets can be pulled into the benchmark alongside the synthetic
+//! patterns.
+//!
+//! Supported header: `%%MatrixMarket matrix coordinate
+//! {real|integer|pattern} {general|symmetric}`. Indices are 1-based in
+//! the file and 0-based in memory; symmetric inputs are expanded to both
+//! triangles.
+
+use artsparse_tensor::{CoordBuffer, Shape};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A loaded 2D sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtxMatrix {
+    /// `rows × cols`.
+    pub shape: Shape,
+    /// 2D coordinates, file order (symmetric mirrors appended).
+    pub coords: CoordBuffer,
+    /// One value per coordinate (`1.0` for `pattern` files).
+    pub values: Vec<f64>,
+}
+
+impl MtxMatrix {
+    /// Number of stored entries (after symmetric expansion).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Errors from MatrixMarket parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax or semantic error, with the 1-based line number.
+    Parse {
+        /// Line the error occurred on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "mtx I/O error: {e}"),
+            MtxError::Parse { line, message } => write!(f, "mtx line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> MtxError {
+    MtxError::Parse { line, message: message.into() }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Read a MatrixMarket coordinate matrix.
+pub fn read_mtx<R: BufRead>(reader: R) -> Result<MtxMatrix, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Banner.
+    let (lineno, banner) = loop {
+        match lines.next() {
+            None => return Err(parse_err(0, "empty file")),
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+        }
+    };
+    let tokens: Vec<String> = banner
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" {
+        return Err(parse_err(lineno, "missing %%MatrixMarket banner"));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_err(
+            lineno,
+            format!("unsupported object/format: {} {}", tokens[1], tokens[2]),
+        ));
+    }
+    let field = match tokens[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(lineno, format!("unsupported field: {other}"))),
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => return Err(parse_err(lineno, format!("unsupported symmetry: {other}"))),
+    };
+
+    // Size line (skipping comments).
+    let (lineno, size_line) = loop {
+        match lines.next() {
+            None => return Err(parse_err(lineno, "missing size line")),
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (i + 1, line);
+                }
+            }
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(lineno, "size line must be `rows cols nnz`"));
+    }
+    let rows: u64 = dims[0]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad row count"))?;
+    let cols: u64 = dims[1]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad column count"))?;
+    let nnz: usize = dims[2]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad nnz count"))?;
+    let shape = Shape::new(vec![rows, cols])
+        .map_err(|e| parse_err(lineno, format!("bad dimensions: {e}")))?;
+
+    let mut coords = CoordBuffer::with_capacity(2, nnz);
+    let mut values = Vec::with_capacity(nnz);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let lineno = i + 1;
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let want = if field == Field::Pattern { 2 } else { 3 };
+        if parts.len() < want {
+            return Err(parse_err(lineno, format!("expected {want} fields")));
+        }
+        let r: u64 = parts[0]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad row index"))?;
+        let c: u64 = parts[1]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad column index"))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(
+                lineno,
+                format!("entry ({r},{c}) outside 1..={rows} × 1..={cols}"),
+            ));
+        }
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            _ => parts[2]
+                .parse()
+                .map_err(|_| parse_err(lineno, "bad value"))?,
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        coords.push(&[r0, c0]).expect("2D arity");
+        values.push(v);
+        if symmetry == Symmetry::Symmetric && r0 != c0 {
+            coords.push(&[c0, r0]).expect("2D arity");
+            values.push(v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            0,
+            format!("file declared {nnz} entries but contained {seen}"),
+        ));
+    }
+    Ok(MtxMatrix { shape, coords, values })
+}
+
+/// Parse from an in-memory string.
+pub fn read_mtx_str(s: &str) -> Result<MtxMatrix, MtxError> {
+    read_mtx(std::io::BufReader::new(s.as_bytes()))
+}
+
+/// Read from a file path.
+pub fn read_mtx_file(path: impl AsRef<std::path::Path>) -> Result<MtxMatrix, MtxError> {
+    read_mtx(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write a `matrix coordinate real general` file.
+pub fn write_mtx<W: Write>(
+    mut w: W,
+    shape: &Shape,
+    coords: &CoordBuffer,
+    values: &[f64],
+) -> std::io::Result<()> {
+    assert_eq!(shape.ndim(), 2, "MatrixMarket stores 2D matrices");
+    assert_eq!(coords.len(), values.len(), "one value per coordinate");
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by artsparse")?;
+    writeln!(w, "{} {} {}", shape.dim(0), shape.dim(1), coords.len())?;
+    for (p, v) in coords.iter().zip(values) {
+        writeln!(w, "{} {} {}", p[0] + 1, p[1] + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 0.5
+3 4 -2
+2 2 7.25
+";
+
+    #[test]
+    fn reads_general_real() {
+        let m = read_mtx_str(SAMPLE).unwrap();
+        assert_eq!(m.shape.dims(), &[3, 4]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.coords.point(0), &[0, 0]);
+        assert_eq!(m.coords.point(1), &[2, 3]);
+        assert_eq!(m.values, vec![0.5, -2.0, 7.25]);
+    }
+
+    #[test]
+    fn reads_symmetric_with_expansion() {
+        let s = "\
+%%MatrixMarket matrix coordinate integer symmetric
+3 3 2
+2 1 5
+3 3 9
+";
+        let m = read_mtx_str(s).unwrap();
+        // (2,1) mirrors to (1,2); diagonal (3,3) does not.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.coords.point(0), &[1, 0]);
+        assert_eq!(m.coords.point(1), &[0, 1]);
+        assert_eq!(m.coords.point(2), &[2, 2]);
+        assert_eq!(m.values, vec![5.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn reads_pattern_files_as_ones() {
+        let s = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+";
+        let m = read_mtx_str(s).unwrap();
+        assert_eq!(m.values, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn roundtrips_through_write() {
+        let m = read_mtx_str(SAMPLE).unwrap();
+        let mut out = Vec::new();
+        write_mtx(&mut out, &m.shape, &m.coords, &m.values).unwrap();
+        let again = read_mtx_str(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(again, m);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_mtx_str("").is_err());
+        assert!(read_mtx_str("%%MatrixMarket tensor coordinate real general\n1 1 0\n").is_err());
+        assert!(read_mtx_str("%%MatrixMarket matrix array real general\n1 1 0\n").is_err());
+        assert!(
+            read_mtx_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err()
+        );
+        // Out-of-range entry.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_mtx_str(s).is_err());
+        // Zero-based index (invalid).
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_mtx_str(s).is_err());
+        // Declared nnz mismatch.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_mtx_str(s).is_err());
+        // Bad value.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n";
+        assert!(read_mtx_str(s).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("m.mtx");
+        let m = read_mtx_str(SAMPLE).unwrap();
+        let f = std::fs::File::create(&path).unwrap();
+        write_mtx(f, &m.shape, &m.coords, &m.values).unwrap();
+        let again = read_mtx_file(&path).unwrap();
+        assert_eq!(again, m);
+        assert!(read_mtx_file(dir.path().join("missing.mtx")).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! FROSTT `.tns` tensor I/O.
+//!
+//! CSF comes from SPLATT [14, 15], whose ecosystem (the FROSTT
+//! collection) exchanges sparse tensors as `.tns` text: one line per
+//! nonzero, `d` 1-based coordinates followed by the value, `#` comments.
+//! Unlike MatrixMarket there is no header — the dimensionality is the
+//! column count and the extents are the per-dimension maxima (an explicit
+//! shape can be supplied to override).
+
+use artsparse_tensor::{CoordBuffer, Shape};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A loaded `.tns` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TnsTensor {
+    /// Tensor extents (per-dimension maxima unless overridden).
+    pub shape: Shape,
+    /// Coordinates in file order (0-based).
+    pub coords: CoordBuffer,
+    /// One value per coordinate.
+    pub values: Vec<f64>,
+}
+
+impl TnsTensor {
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Errors from `.tns` parsing.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax/semantic problem at a 1-based line number.
+    Parse {
+        /// Offending line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "tns I/O error: {e}"),
+            TnsError::Parse { line, message } => write!(f, "tns line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> TnsError {
+    TnsError::Parse { line, message: message.into() }
+}
+
+/// Read a `.tns` stream. `shape` overrides the inferred extents (entries
+/// outside it are an error); `None` infers extents from the data.
+pub fn read_tns<R: BufRead>(reader: R, shape: Option<Shape>) -> Result<TnsTensor, TnsError> {
+    let mut ndim: Option<usize> = None;
+    let mut flat: Vec<u64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() < 2 {
+            return Err(parse_err(lineno, "need at least one index and a value"));
+        }
+        let d = parts.len() - 1;
+        match ndim {
+            None => ndim = Some(d),
+            Some(nd) if nd != d => {
+                return Err(parse_err(
+                    lineno,
+                    format!("entry has {d} indices, earlier entries had {nd}"),
+                ))
+            }
+            _ => {}
+        }
+        for part in &parts[..d] {
+            let idx: u64 = part
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad index {part:?}")))?;
+            if idx == 0 {
+                return Err(parse_err(lineno, "indices are 1-based"));
+            }
+            flat.push(idx - 1);
+        }
+        let v: f64 = parts[d]
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("bad value {:?}", parts[d])))?;
+        values.push(v);
+    }
+
+    let ndim = ndim.ok_or_else(|| parse_err(0, "no entries in file"))?;
+    let coords = CoordBuffer::from_flat(ndim, flat)
+        .map_err(|e| parse_err(0, format!("internal: {e}")))?;
+    let shape = match shape {
+        Some(s) => {
+            coords
+                .check_against(&s)
+                .map_err(|e| parse_err(0, format!("entry outside supplied shape: {e}")))?;
+            s
+        }
+        None => coords
+            .local_boundary_shape()
+            .ok_or_else(|| parse_err(0, "no entries in file"))?,
+    };
+    Ok(TnsTensor { shape, coords, values })
+}
+
+/// Parse from an in-memory string.
+pub fn read_tns_str(s: &str, shape: Option<Shape>) -> Result<TnsTensor, TnsError> {
+    read_tns(std::io::BufReader::new(s.as_bytes()), shape)
+}
+
+/// Read from a file path.
+pub fn read_tns_file(
+    path: impl AsRef<std::path::Path>,
+    shape: Option<Shape>,
+) -> Result<TnsTensor, TnsError> {
+    read_tns(std::io::BufReader::new(std::fs::File::open(path)?), shape)
+}
+
+/// Write a `.tns` stream (1-based indices).
+pub fn write_tns<W: Write>(
+    mut w: W,
+    coords: &CoordBuffer,
+    values: &[f64],
+) -> std::io::Result<()> {
+    assert_eq!(coords.len(), values.len(), "one value per coordinate");
+    writeln!(w, "# written by artsparse")?;
+    for (p, v) in coords.iter().zip(values) {
+        for c in p {
+            write!(w, "{} ", c + 1)?;
+        }
+        writeln!(w, "{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a 3D tensor
+1 1 2 0.5
+1 2 2 -1
+3 3 3 2.25
+";
+
+    #[test]
+    fn reads_and_infers_shape() {
+        let t = read_tns_str(SAMPLE, None).unwrap();
+        assert_eq!(t.shape.dims(), &[3, 3, 3]);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.coords.point(0), &[0, 0, 1]);
+        assert_eq!(t.coords.point(2), &[2, 2, 2]);
+        assert_eq!(t.values, vec![0.5, -1.0, 2.25]);
+    }
+
+    #[test]
+    fn explicit_shape_overrides_and_validates() {
+        let shape = Shape::new(vec![10, 10, 10]).unwrap();
+        let t = read_tns_str(SAMPLE, Some(shape.clone())).unwrap();
+        assert_eq!(t.shape, shape);
+        let tiny = Shape::new(vec![2, 2, 2]).unwrap();
+        assert!(read_tns_str(SAMPLE, Some(tiny)).is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_write() {
+        let t = read_tns_str(SAMPLE, None).unwrap();
+        let mut out = Vec::new();
+        write_tns(&mut out, &t.coords, &t.values).unwrap();
+        let again = read_tns_str(std::str::from_utf8(&out).unwrap(), None).unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn handles_4d_and_1d() {
+        let t = read_tns_str("1 2 3 4 9.0\n4 3 2 1 8.0\n", None).unwrap();
+        assert_eq!(t.shape.ndim(), 4);
+        assert_eq!(t.shape.dims(), &[4, 3, 3, 4]);
+        let t = read_tns_str("5 1.0\n", None).unwrap();
+        assert_eq!(t.shape.dims(), &[5]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_tns_str("", None).is_err());
+        assert!(read_tns_str("# only comments\n", None).is_err());
+        assert!(read_tns_str("1 2 3\n1 2 3 4 5\n", None).is_err()); // arity change
+        assert!(read_tns_str("0 1 1.0\n", None).is_err()); // 0-based
+        assert!(read_tns_str("x 1 1.0\n", None).is_err()); // bad index
+        assert!(read_tns_str("1 1 z\n", None).is_err()); // bad value
+        assert!(read_tns_str("1\n", None).is_err()); // value only
+    }
+
+    #[test]
+    fn loaded_tensor_feeds_the_formats() {
+        use artsparse_tensor::value::pack;
+        let t = read_tns_str(SAMPLE, None).unwrap();
+        // The CSF lineage: a .tns tensor goes straight into a CSF build.
+        let payload = pack(&t.values);
+        assert_eq!(payload.len(), t.nnz() * 8);
+        assert!(t.coords.check_against(&t.shape).is_ok());
+    }
+}

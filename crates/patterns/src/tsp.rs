@@ -1,0 +1,162 @@
+//! TSP — Tridiagonal Sparse Pattern generator (§III, Fig. 2a).
+//!
+//! Values concentrate along the diagonal band: a cell `(c_1, …, c_d)` is
+//! occupied iff every consecutive coordinate pair stays within the band,
+//! `|c_i − c_{i+1}| ≤ (band−1)/2`. With the paper's band length 9 this is
+//! the d-dimensional generalization of a 9-diagonal banded matrix — the
+//! structure of one-hot encodings and stencil discretizations the paper
+//! cites. (The paper's Table II densities for TSP are not derivable from
+//! its own band-9 description; this generator implements the description
+//! and reports measured densities — see DESIGN.md.)
+
+use artsparse_tensor::{CoordBuffer, Shape};
+use rayon::prelude::*;
+
+/// Generate the TSP point set for `shape` with total band width `band`
+/// (an odd number; 9 reproduces the paper's setting). Points come out in
+/// row-major order.
+pub fn generate(shape: &Shape, band: u64) -> CoordBuffer {
+    assert!(band >= 1, "band must be at least 1");
+    let h = band / 2; // half-width: offsets in [-h, +h]
+    let ndim = shape.ndim();
+    if ndim == 1 {
+        // Degenerate: every cell is on the diagonal.
+        let flat: Vec<u64> = (0..shape.dim(0)).collect();
+        return CoordBuffer::from_flat(1, flat).expect("arity 1");
+    }
+
+    let flat: Vec<u64> = (0..shape.dim(0))
+        .into_par_iter()
+        .flat_map_iter(|c0| {
+            let mut out = Vec::new();
+            let mut coord = vec![0u64; ndim];
+            coord[0] = c0;
+            emit_band(shape, h, 1, &mut coord, &mut out);
+            out
+        })
+        .collect();
+    CoordBuffer::from_flat(ndim, flat).expect("generator emits whole points")
+}
+
+/// Recursively enumerate dimensions `dim..d`, constraining each coordinate
+/// to the band around its predecessor.
+fn emit_band(shape: &Shape, h: u64, dim: usize, coord: &mut [u64], out: &mut Vec<u64>) {
+    let prev = coord[dim - 1];
+    let lo = prev.saturating_sub(h);
+    let hi = (prev + h).min(shape.dim(dim) - 1);
+    for c in lo..=hi {
+        coord[dim] = c;
+        if dim + 1 == shape.ndim() {
+            out.extend_from_slice(coord);
+        } else {
+            emit_band(shape, h, dim + 1, coord, out);
+        }
+    }
+}
+
+/// Exact number of TSP points, computed without materializing them
+/// (dynamic program over per-dimension band reachability).
+pub fn count(shape: &Shape, band: u64) -> u64 {
+    let h = band / 2;
+    let ndim = shape.ndim();
+    if ndim == 1 {
+        return shape.dim(0);
+    }
+    // counts[c] = number of band-suffixes starting with coordinate value c
+    // at the current dimension. Walk dimensions from last to second.
+    let last = shape.dim(ndim - 1) as usize;
+    let mut counts: Vec<u64> = vec![1; last];
+    for dim in (1..ndim - 1).rev() {
+        let m = shape.dim(dim) as usize;
+        let next_m = counts.len();
+        let mut nxt = vec![0u64; m];
+        for (c, slot) in nxt.iter_mut().enumerate() {
+            let lo = c.saturating_sub(h as usize);
+            let hi = ((c + h as usize) + 1).min(next_m);
+            *slot = counts[lo..hi].iter().sum();
+        }
+        counts = nxt;
+    }
+    let m0 = shape.dim(0);
+    (0..m0 as usize)
+        .map(|c| {
+            let lo = c.saturating_sub(h as usize);
+            let hi = ((c + h as usize) + 1).min(counts.len());
+            counts[lo..hi].iter().sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_one_is_the_main_diagonal() {
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let pts = generate(&shape, 1);
+        assert_eq!(pts.len(), 8);
+        for p in pts.iter() {
+            assert_eq!(p[0], p[1]);
+        }
+    }
+
+    #[test]
+    fn band_nine_2d_matches_banded_matrix_count() {
+        // 9-diagonal m×m matrix: 9m − 2·(1+2+3+4) = 9m − 20 nonzeros.
+        let m = 64u64;
+        let shape = Shape::new(vec![m, m]).unwrap();
+        let pts = generate(&shape, 9);
+        assert_eq!(pts.len() as u64, 9 * m - 20);
+        assert_eq!(count(&shape, 9), 9 * m - 20);
+        for p in pts.iter() {
+            assert!(p[0].abs_diff(p[1]) <= 4);
+        }
+    }
+
+    #[test]
+    fn count_matches_generation_in_3d_and_4d() {
+        for dims in [vec![16u64, 16, 16], vec![8, 8, 8, 8]] {
+            let shape = Shape::new(dims).unwrap();
+            let pts = generate(&shape, 5);
+            assert_eq!(pts.len() as u64, count(&shape, 5), "{shape}");
+            for p in pts.iter() {
+                for w in p.windows(2) {
+                    assert!(w[0].abs_diff(w[1]) <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_row_major_and_unique() {
+        let shape = Shape::new(vec![16, 16, 16]).unwrap();
+        let pts = generate(&shape, 3);
+        let mut prev = None;
+        for p in pts.iter() {
+            let addr = shape.linearize(p).unwrap();
+            if let Some(q) = prev {
+                assert!(addr > q, "not strictly increasing");
+            }
+            prev = Some(addr);
+        }
+    }
+
+    #[test]
+    fn rectangle_shapes_clip_the_band() {
+        let shape = Shape::new(vec![16, 4]).unwrap();
+        let pts = generate(&shape, 9);
+        for p in pts.iter() {
+            assert!(p[1] < 4);
+        }
+        // Rows beyond 4+4 have no cell within the band of dim-1's extent.
+        assert!(pts.iter().all(|p| p[0] < 8 + 1));
+    }
+
+    #[test]
+    fn one_dimensional_tsp_is_dense() {
+        let shape = Shape::new(vec![32]).unwrap();
+        assert_eq!(generate(&shape, 9).len(), 32);
+        assert_eq!(count(&shape, 9), 32);
+    }
+}

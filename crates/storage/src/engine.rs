@@ -1,0 +1,725 @@
+//! The fragment storage engine — Algorithm 3's WRITE and READ.
+//!
+//! WRITE packages a coordinate buffer with the configured organization,
+//! reorganizes the value payload by the build's `map`, concatenates
+//! `index ∥ values` into a fragment, and writes it to the backend —
+//! accumulating the Build / Reorg. / Write / Others phase breakdown of
+//! Table III as it goes.
+//!
+//! READ discovers all fragments whose bounding box overlaps the query's,
+//! runs the organization-specific read against each, gathers
+//! `⟨coord, value⟩` hits, and merges them sorted by linear address
+//! (Algorithm 3 line 12).
+
+use crate::backend::StorageBackend;
+use crate::codec::Codec;
+use crate::error::{Result, StorageError};
+use crate::fragment::{decode_fragment, decode_meta, encode_fragment, FragmentMeta};
+use artsparse_core::FormatKind;
+use artsparse_metrics::{OpCounter, PhaseTimer, WriteBreakdown, WritePhase};
+use artsparse_tensor::value::Element;
+use artsparse_tensor::{CoordBuffer, Region, Shape};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Prefix + suffix of fragment blob names.
+const FRAG_PREFIX: &str = "frag-";
+const FRAG_SUFFIX: &str = ".asf";
+
+/// A sparse tensor stored as fragments on a backend.
+pub struct StorageEngine<B: StorageBackend> {
+    backend: B,
+    kind: FormatKind,
+    shape: Shape,
+    elem_size: u32,
+    next_id: AtomicU64,
+    counter: OpCounter,
+    index_codec: Codec,
+    value_codec: Codec,
+}
+
+/// Outcome of one WRITE call.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Name of the fragment written.
+    pub fragment: String,
+    /// Phase breakdown (one Table III column).
+    pub breakdown: WriteBreakdown,
+    /// Bytes of encoded index.
+    pub index_bytes: usize,
+    /// Bytes of value payload.
+    pub value_bytes: usize,
+    /// Total fragment size (what Fig. 4 reports).
+    pub total_bytes: usize,
+    /// Points written.
+    pub n_points: usize,
+}
+
+/// One matched point from a READ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadHit {
+    /// Index into the query buffer.
+    pub query_index: usize,
+    /// Row-major linear address (the merge key of Algorithm 3 line 12).
+    pub addr: u64,
+    /// The coordinate.
+    pub coord: Vec<u64>,
+    /// The raw value record.
+    pub value: Vec<u8>,
+    /// Which fragment supplied it.
+    pub fragment: String,
+}
+
+/// Outcome of one READ call.
+#[derive(Debug, Clone, Default)]
+pub struct ReadResult {
+    /// Hits sorted by linear address (ties: fragment write order).
+    pub hits: Vec<ReadHit>,
+    /// Fragments whose metadata was examined.
+    pub fragments_scanned: usize,
+    /// Fragments whose bounding box overlapped the query.
+    pub fragments_matched: usize,
+}
+
+impl ReadResult {
+    /// Align hits with the query buffer: one `Option<V>` per query, the
+    /// most recently written fragment winning on coordinate collisions.
+    pub fn to_values<V: Element>(&self, n_queries: usize) -> Vec<Option<V>> {
+        let mut out: Vec<Option<V>> = vec![None; n_queries];
+        // Hits are sorted by (addr, fragment order); iterating in order and
+        // overwriting leaves the latest fragment's value in place.
+        for hit in &self.hits {
+            if hit.value.len() == V::SIZE {
+                out[hit.query_index] = Some(V::read_le(&hit.value));
+            }
+        }
+        out
+    }
+}
+
+impl<B: StorageBackend> StorageEngine<B> {
+    /// Open an engine over a backend. Existing fragments are kept; new
+    /// fragments continue the id sequence.
+    pub fn open(backend: B, kind: FormatKind, shape: Shape, elem_size: u32) -> Result<Self> {
+        let mut max_id = 0u64;
+        for name in backend.list()? {
+            if let Some(id) = parse_fragment_name(&name) {
+                max_id = max_id.max(id);
+            }
+        }
+        Ok(StorageEngine {
+            backend,
+            kind,
+            shape,
+            elem_size,
+            next_id: AtomicU64::new(max_id + 1),
+            counter: OpCounter::new(),
+            index_codec: Codec::None,
+            value_codec: Codec::None,
+        })
+    }
+
+    /// Apply compression codecs to new fragments (§II: organizations are
+    /// orthogonal to compression — pick the organization first, compress
+    /// second). Reads handle any codec regardless of this setting, since
+    /// fragments self-describe.
+    pub fn with_compression(mut self, index_codec: Codec, value_codec: Codec) -> Self {
+        self.index_codec = index_codec;
+        self.value_codec = value_codec;
+        self
+    }
+
+    /// The organization used for new fragments.
+    pub fn kind(&self) -> FormatKind {
+        self.kind
+    }
+
+    /// The global tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The backend (e.g. to inspect simulated-disk statistics).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consume the engine, recovering the backend (e.g. to reopen it under
+    /// a different organization — fragments self-describe, so mixed-format
+    /// stores read fine).
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Operation counter shared by all builds/reads on this engine.
+    pub fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    /// Names of all fragments, in write order.
+    pub fn fragments(&self) -> Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .backend
+            .list()?
+            .into_iter()
+            .filter(|n| parse_fragment_name(n).is_some())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// Total bytes stored across all fragments (Fig. 4's metric).
+    pub fn total_stored_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for name in self.fragments()? {
+            total += self.backend.size(&name)?;
+        }
+        Ok(total)
+    }
+
+    /// Algorithm 3 WRITE: package `coords`/`values` into a new fragment.
+    ///
+    /// `values` is an opaque payload of `elem_size`-byte records, one per
+    /// point, in the same order as `coords`.
+    pub fn write(&self, coords: &CoordBuffer, values: &[u8]) -> Result<WriteReport> {
+        let mut timer = PhaseTimer::new();
+
+        // -- Others: validation and metadata ---------------------------
+        timer.enter(WritePhase::Others);
+        coords.check_against(&self.shape)?;
+        if values.len() != coords.len() * self.elem_size as usize {
+            return Err(StorageError::Mismatch {
+                reason: format!(
+                    "{} value bytes for {} points of {} bytes each",
+                    values.len(),
+                    coords.len(),
+                    self.elem_size
+                ),
+            });
+        }
+        let bbox = coords.bounding_box();
+        let org = self.kind.create();
+
+        // -- Build: construct the organization -------------------------
+        let built = timer.time(WritePhase::Build, || {
+            org.build(coords, &self.shape, &self.counter)
+        })?;
+
+        // -- Reorg: permute values by the map ---------------------------
+        let values_reorg = timer.time(WritePhase::Reorg, || {
+            built.reorganize_values(values, self.elem_size as usize)
+        });
+
+        // -- Others: concatenate (and optionally compress) b_frag -------
+        timer.enter(WritePhase::Others);
+        let frag = encode_fragment(
+            self.kind,
+            &self.shape,
+            coords.len() as u64,
+            self.elem_size,
+            bbox.as_ref(),
+            &built.index,
+            &values_reorg,
+            self.index_codec,
+            self.value_codec,
+        );
+        let name = format_fragment_name(self.next_id.fetch_add(1, Ordering::SeqCst));
+
+        // -- Write: persist the fragment (line 7) -----------------------
+        timer.time(WritePhase::Write, || self.backend.put(&name, &frag))?;
+
+        Ok(WriteReport {
+            fragment: name,
+            breakdown: timer.finish(),
+            index_bytes: built.index.len(),
+            value_bytes: values_reorg.len(),
+            total_bytes: frag.len(),
+            n_points: coords.len(),
+        })
+    }
+
+    /// Typed WRITE convenience.
+    pub fn write_points<V: Element>(
+        &self,
+        coords: &CoordBuffer,
+        values: &[V],
+    ) -> Result<WriteReport> {
+        debug_assert_eq!(V::SIZE, self.elem_size as usize);
+        self.write(coords, &artsparse_tensor::value::pack(values))
+    }
+
+    /// Algorithm 3 READ: query every point of `queries` across all
+    /// overlapping fragments, merging hits by linear address.
+    pub fn read(&self, queries: &CoordBuffer) -> Result<ReadResult> {
+        let mut result = ReadResult::default();
+        if queries.is_empty() {
+            return Ok(result);
+        }
+        let qbbox = queries
+            .bounding_box()
+            .expect("non-empty queries have a bbox");
+
+        for name in self.fragments()? {
+            result.fragments_scanned += 1;
+            // Line 4: discovery — peek only the header.
+            let header = self
+                .backend
+                .get_prefix(&name, FragmentMeta::header_len(self.shape.ndim()))?;
+            let meta = decode_meta(&name, &header)?;
+            if meta.shape.ndim() != queries.ndim() {
+                return Err(StorageError::corrupt(
+                    &name,
+                    "fragment dimensionality differs from query",
+                ));
+            }
+            let overlaps = meta
+                .bbox
+                .as_ref()
+                .is_some_and(|b| b.intersects(&qbbox));
+            if !overlaps {
+                continue;
+            }
+            result.fragments_matched += 1;
+
+            // Lines 7–10: fetch, unpack, organization-specific read.
+            let bytes = self.backend.get(&name)?;
+            let (meta, index, values) = decode_fragment(&name, &bytes)?;
+            let org = meta.kind.create();
+            let slots = org.read(&index, queries, &self.counter)?;
+            let elem = meta.elem_size as usize;
+            for (qi, slot) in slots.into_iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                let start = slot as usize * elem;
+                let Some(record) = values.get(start..start + elem) else {
+                    return Err(StorageError::corrupt(
+                        &name,
+                        format!("value slot {slot} beyond payload"),
+                    ));
+                };
+                let coord = queries.point(qi).to_vec();
+                let addr = self.shape.linearize(&coord)?;
+                result.hits.push(ReadHit {
+                    query_index: qi,
+                    addr,
+                    coord,
+                    value: record.to_vec(),
+                    fragment: name.clone(),
+                });
+            }
+        }
+
+        // Line 12: sort by linear address (stable: fragment order on ties).
+        result.hits.sort_by_key(|a| a.addr);
+        Ok(result)
+    }
+
+    /// Typed READ aligned with the query buffer.
+    pub fn read_values<V: Element>(&self, queries: &CoordBuffer) -> Result<Vec<Option<V>>> {
+        debug_assert_eq!(V::SIZE, self.elem_size as usize);
+        Ok(self.read(queries)?.to_values(queries.len()))
+    }
+
+    /// Read every stored point in `region` (the §III evaluation read: the
+    /// query enumerates all cells of the region).
+    pub fn read_region(&self, region: &Region) -> Result<ReadResult> {
+        self.read(&region.to_coords())
+    }
+}
+
+/// Aggregate statistics over a fragment store (from header peeks only —
+/// no payload is fetched).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Number of fragments.
+    pub fragments: usize,
+    /// Total stored points (before cross-fragment dedup).
+    pub total_points: u64,
+    /// Total bytes on the device.
+    pub total_bytes: u64,
+    /// Fragments per organization name.
+    pub by_format: std::collections::BTreeMap<String, usize>,
+    /// Fragments with a compression codec on either payload.
+    pub compressed_fragments: usize,
+    /// Sum of stored (possibly compressed) index bytes.
+    pub index_bytes: u64,
+    /// Sum of uncompressed index bytes.
+    pub index_raw_bytes: u64,
+}
+
+impl<B: StorageBackend> StorageEngine<B> {
+    /// Summarize the store by peeking every fragment's header.
+    pub fn stats(&self) -> Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for name in self.fragments()? {
+            let header = self
+                .backend
+                .get_prefix(&name, FragmentMeta::header_len(self.shape.ndim()))?;
+            let meta = decode_meta(&name, &header)?;
+            stats.fragments += 1;
+            stats.total_points += meta.n;
+            stats.total_bytes += self.backend.size(&name)?;
+            *stats
+                .by_format
+                .entry(meta.kind.name().to_string())
+                .or_default() += 1;
+            if meta.index_codec != Codec::None || meta.value_codec != Codec::None {
+                stats.compressed_fragments += 1;
+            }
+            stats.index_bytes += meta.index_len;
+            stats.index_raw_bytes += meta.index_raw_len;
+        }
+        Ok(stats)
+    }
+}
+
+/// Outcome of a consolidation pass.
+#[derive(Debug, Clone)]
+pub struct ConsolidateReport {
+    /// Fragments merged (and deleted).
+    pub merged_fragments: usize,
+    /// Points in the consolidated fragment (after dedup).
+    pub n_points: usize,
+    /// Store size before.
+    pub before_bytes: u64,
+    /// Store size after.
+    pub after_bytes: u64,
+    /// Name of the new fragment (`None` if nothing needed merging).
+    pub fragment: Option<String>,
+}
+
+impl<B: StorageBackend> StorageEngine<B> {
+    /// Merge every fragment into one (TileDB-style consolidation).
+    ///
+    /// Each fragment's index is enumerated back into coordinates, values
+    /// are deduplicated with the same last-writer-wins rule as
+    /// [`StorageEngine::read`], and one new fragment is written under the
+    /// engine's current organization and codecs; the old fragments are
+    /// deleted. Reads over many small fragments pay per-fragment
+    /// discovery and decode costs — consolidation removes them.
+    pub fn consolidate(&self) -> Result<ConsolidateReport> {
+        let names = self.fragments()?;
+        let before_bytes = self.total_stored_bytes()?;
+        if names.len() <= 1 {
+            return Ok(ConsolidateReport {
+                merged_fragments: names.len(),
+                n_points: 0,
+                before_bytes,
+                after_bytes: before_bytes,
+                fragment: None,
+            });
+        }
+
+        // Gather addr → (coord, record) with the engine's exact read
+        // precedence: within a fragment the *lowest* slot wins (every
+        // format's read scans/searches to the first matching record);
+        // across fragments the most recently written one wins. BTreeMap
+        // gives the canonical linear-address order for the new fragment.
+        let mut merged: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
+            std::collections::BTreeMap::new();
+        for name in &names {
+            let bytes = self.backend.get(name)?;
+            let (meta, index, values) = decode_fragment(name, &bytes)?;
+            if meta.shape != self.shape {
+                return Err(StorageError::Mismatch {
+                    reason: format!(
+                        "fragment {name} has shape {}, engine has {}",
+                        meta.shape, self.shape
+                    ),
+                });
+            }
+            if meta.elem_size != self.elem_size {
+                return Err(StorageError::Mismatch {
+                    reason: format!(
+                        "fragment {name} stores {}-byte records, engine {}",
+                        meta.elem_size, self.elem_size
+                    ),
+                });
+            }
+            let org = meta.kind.create();
+            let coords = org.enumerate(&index, &self.counter)?;
+            let elem = meta.elem_size as usize;
+            let mut this_fragment: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
+                std::collections::BTreeMap::new();
+            for (slot, p) in coords.iter().enumerate() {
+                let addr = self.shape.linearize(p)?;
+                let record = values
+                    .get(slot * elem..(slot + 1) * elem)
+                    .ok_or_else(|| {
+                        StorageError::corrupt(name, "enumerated more slots than records")
+                    })?
+                    .to_vec();
+                // First (lowest) slot wins within the fragment.
+                this_fragment.entry(addr).or_insert((p.to_vec(), record));
+            }
+            // Later fragments override earlier ones.
+            merged.extend(this_fragment);
+        }
+
+        let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
+        let mut payload = Vec::with_capacity(merged.len() * self.elem_size as usize);
+        for (coord, record) in merged.values() {
+            coords.push(coord)?;
+            payload.extend_from_slice(record);
+        }
+        let report = self.write(&coords, &payload)?;
+        for name in &names {
+            self.backend.delete(name)?;
+        }
+        Ok(ConsolidateReport {
+            merged_fragments: names.len(),
+            n_points: coords.len(),
+            before_bytes,
+            after_bytes: self.total_stored_bytes()?,
+            fragment: Some(report.fragment),
+        })
+    }
+
+    /// Enumerate every stored point across all fragments (post-dedup), in
+    /// linear-address order, with its value record.
+    pub fn export(&self) -> Result<(CoordBuffer, Vec<u8>)> {
+        let mut merged: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
+            std::collections::BTreeMap::new();
+        for name in self.fragments()? {
+            let bytes = self.backend.get(&name)?;
+            let (meta, index, values) = decode_fragment(&name, &bytes)?;
+            let org = meta.kind.create();
+            let coords = org.enumerate(&index, &self.counter)?;
+            let elem = meta.elem_size as usize;
+            let mut this_fragment: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
+                std::collections::BTreeMap::new();
+            for (slot, p) in coords.iter().enumerate() {
+                let addr = self.shape.linearize(p)?;
+                let record = values
+                    .get(slot * elem..(slot + 1) * elem)
+                    .ok_or_else(|| {
+                        StorageError::corrupt(&name, "enumerated more slots than records")
+                    })?
+                    .to_vec();
+                // Same precedence as read: lowest slot within a fragment…
+                this_fragment.entry(addr).or_insert((p.to_vec(), record));
+            }
+            // …latest fragment across fragments.
+            merged.extend(this_fragment);
+        }
+        let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
+        let mut payload = Vec::new();
+        for (coord, record) in merged.values() {
+            coords.push(coord)?;
+            payload.extend_from_slice(record);
+        }
+        Ok((coords, payload))
+    }
+}
+
+fn format_fragment_name(id: u64) -> String {
+    format!("{FRAG_PREFIX}{id:08}{FRAG_SUFFIX}")
+}
+
+fn parse_fragment_name(name: &str) -> Option<u64> {
+    name.strip_prefix(FRAG_PREFIX)?
+        .strip_suffix(FRAG_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn engine(kind: FormatKind) -> StorageEngine<MemBackend> {
+        StorageEngine::open(
+            MemBackend::new(),
+            kind,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    fn coords(pts: &[[u64; 2]]) -> CoordBuffer {
+        CoordBuffer::from_points(2, pts).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_every_format() {
+        for kind in FormatKind::ALL {
+            let e = engine(kind);
+            let c = coords(&[[1, 2], [5, 5], [15, 0]]);
+            let report = e.write_points::<f64>(&c, &[1.0, 2.0, 3.0]).unwrap();
+            assert_eq!(report.n_points, 3);
+            assert!(report.total_bytes > 0);
+            let q = coords(&[[5, 5], [0, 0], [1, 2]]);
+            let vals = e.read_values::<f64>(&q).unwrap();
+            assert_eq!(vals, vec![Some(2.0), None, Some(1.0)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn multi_fragment_merge_sorted_by_linear_address() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[3, 3], [0, 1]]), &[33.0, 1.0])
+            .unwrap();
+        e.write_points::<f64>(&coords(&[[1, 0], [9, 9]]), &[16.0, 99.0])
+            .unwrap();
+        let q = coords(&[[9, 9], [0, 1], [1, 0], [3, 3]]);
+        let r = e.read(&q).unwrap();
+        assert_eq!(r.fragments_matched, 2);
+        let addrs: Vec<u64> = r.hits.iter().map(|h| h.addr).collect();
+        assert_eq!(addrs, vec![1, 16, 51, 153]);
+    }
+
+    #[test]
+    fn later_fragment_wins_on_collision() {
+        let e = engine(FormatKind::Csf);
+        e.write_points::<f64>(&coords(&[[4, 4]]), &[1.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[4, 4]]), &[2.0]).unwrap();
+        let vals = e.read_values::<f64>(&coords(&[[4, 4]])).unwrap();
+        assert_eq!(vals, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn bbox_pruning_skips_disjoint_fragments() {
+        let e = engine(FormatKind::GcsrPP);
+        e.write_points::<f64>(&coords(&[[0, 0], [1, 1]]), &[1.0, 2.0])
+            .unwrap();
+        e.write_points::<f64>(&coords(&[[14, 14], [15, 15]]), &[3.0, 4.0])
+            .unwrap();
+        let r = e.read(&coords(&[[0, 1], [1, 1]])).unwrap();
+        assert_eq!(r.fragments_scanned, 2);
+        assert_eq!(r.fragments_matched, 1);
+    }
+
+    #[test]
+    fn region_read_matches_paper_semantics() {
+        let e = engine(FormatKind::GcscPP);
+        e.write_points::<f64>(&coords(&[[2, 2], [3, 9], [8, 8]]), &[1.0, 2.0, 3.0])
+            .unwrap();
+        let region = Region::from_corners(&[2, 2], &[4, 9]).unwrap();
+        let r = e.read_region(&region).unwrap();
+        let found: Vec<Vec<u64>> = r.hits.iter().map(|h| h.coord.clone()).collect();
+        assert_eq!(found, vec![vec![2, 2], vec![3, 9]]);
+    }
+
+    #[test]
+    fn write_breakdown_phases_are_populated() {
+        let e = engine(FormatKind::GcsrPP);
+        let pts: Vec<[u64; 2]> = (0..16).flat_map(|r| (0..16).map(move |c| [r, c])).collect();
+        let vals: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let report = e
+            .write_points::<f64>(&CoordBuffer::from_points(2, &pts).unwrap(), &vals)
+            .unwrap();
+        let b = report.breakdown;
+        assert!(b.build > 0.0);
+        assert!(b.sum() >= b.build + b.write);
+        assert!(report.index_bytes > 0 && report.value_bytes == 2048);
+    }
+
+    #[test]
+    fn rejects_mismatched_values() {
+        let e = engine(FormatKind::Coo);
+        let c = coords(&[[1, 1]]);
+        assert!(matches!(
+            e.write(&c, &[0u8; 4]),
+            Err(StorageError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_shape_coords() {
+        let e = engine(FormatKind::Coo);
+        let c = coords(&[[99, 1]]);
+        assert!(e.write(&c, &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn empty_write_and_empty_read() {
+        let e = engine(FormatKind::Linear);
+        let report = e.write_points::<f64>(&CoordBuffer::new(2), &[]).unwrap();
+        assert_eq!(report.n_points, 0);
+        // Empty fragment has no bbox, so reads never match it.
+        let r = e.read(&coords(&[[1, 1]])).unwrap();
+        assert_eq!(r.fragments_matched, 0);
+        // Empty query short-circuits.
+        let r = e.read(&CoordBuffer::new(2)).unwrap();
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn id_sequence_continues_after_reopen() {
+        let backend = MemBackend::new();
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let e1 = StorageEngine::open(backend, FormatKind::Coo, shape.clone(), 8).unwrap();
+        let r1 = e1
+            .write_points::<f64>(&coords(&[[1, 1]]), &[1.0])
+            .unwrap();
+        let backend = e1.backend; // move out (MemBackend owns the blobs)
+        let e2 = StorageEngine::open(backend, FormatKind::Coo, shape, 8).unwrap();
+        let r2 = e2
+            .write_points::<f64>(&coords(&[[2, 2]]), &[2.0])
+            .unwrap();
+        assert!(r2.fragment > r1.fragment);
+        assert_eq!(e2.fragments().unwrap().len(), 2);
+        assert!(e2.total_stored_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn corrupt_fragment_surfaces_as_error() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let name = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&name).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        e.backend().put(&name, &bytes).unwrap();
+        assert!(e.read(&coords(&[[1, 1]])).is_err());
+    }
+
+    #[test]
+    fn stats_summarize_the_store() {
+        let backend = MemBackend::new();
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let e1 = StorageEngine::open(backend, FormatKind::Coo, shape.clone(), 8).unwrap();
+        e1.write_points::<f64>(&coords(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+            .unwrap();
+        let e2 = StorageEngine::open(e1.into_backend(), FormatKind::Csf, shape, 8)
+            .unwrap()
+            .with_compression(Codec::DeltaVarint, Codec::None);
+        e2.write_points::<f64>(&coords(&[[3, 3]]), &[3.0]).unwrap();
+        let s = e2.stats().unwrap();
+        assert_eq!(s.fragments, 2);
+        assert_eq!(s.total_points, 3);
+        assert_eq!(s.by_format["COO"], 1);
+        assert_eq!(s.by_format["CSF"], 1);
+        assert_eq!(s.compressed_fragments, 1);
+        assert!(s.total_bytes > 0);
+        assert!(s.index_bytes <= s.index_raw_bytes + s.index_bytes);
+        assert_eq!(s.total_bytes, e2.total_stored_bytes().unwrap());
+    }
+
+    #[test]
+    fn fragment_names_roundtrip() {
+        let n = format_fragment_name(42);
+        assert_eq!(parse_fragment_name(&n), Some(42));
+        assert_eq!(parse_fragment_name("other.bin"), None);
+        assert_eq!(parse_fragment_name("frag-xx.asf"), None);
+    }
+
+    #[test]
+    fn mixed_format_fragments_read_together() {
+        // Fragments self-describe: an engine can read fragments written
+        // under a different organization.
+        let backend = MemBackend::new();
+        let shape = Shape::new(vec![16, 16]).unwrap();
+        let e_coo = StorageEngine::open(backend, FormatKind::Coo, shape.clone(), 8).unwrap();
+        e_coo
+            .write_points::<f64>(&coords(&[[1, 1]]), &[1.0])
+            .unwrap();
+        let e_csf = StorageEngine::open(e_coo.backend, FormatKind::Csf, shape, 8).unwrap();
+        e_csf
+            .write_points::<f64>(&coords(&[[2, 2]]), &[2.0])
+            .unwrap();
+        let vals = e_csf
+            .read_values::<f64>(&coords(&[[1, 1], [2, 2]]))
+            .unwrap();
+        assert_eq!(vals, vec![Some(1.0), Some(2.0)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Errors of the fragment storage engine.
+
+use artsparse_core::FormatError;
+use artsparse_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by backends, fragments, and the engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// An organization build/read/decode failure.
+    Format(FormatError),
+    /// A coordinate/shape failure.
+    Tensor(TensorError),
+    /// Structural inconsistency in a fragment file.
+    CorruptFragment {
+        /// Which fragment.
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The engine was asked to mix incompatible tensors.
+    Mismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for [`StorageError::CorruptFragment`].
+    pub fn corrupt(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        StorageError::CorruptFragment {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Format(e) => write!(f, "format error: {e}"),
+            StorageError::Tensor(e) => write!(f, "tensor error: {e}"),
+            StorageError::CorruptFragment { name, reason } => {
+                write!(f, "corrupt fragment {name}: {reason}")
+            }
+            StorageError::Mismatch { reason } => write!(f, "mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Format(e) => Some(e),
+            StorageError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<FormatError> for StorageError {
+    fn from(e: FormatError) -> Self {
+        StorageError::Format(e)
+    }
+}
+
+impl From<TensorError> for StorageError {
+    fn from(e: TensorError) -> Self {
+        StorageError::Tensor(e)
+    }
+}
+
+/// Convenience alias for storage results.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: StorageError = TensorError::EmptyShape.into();
+        assert!(matches!(e, StorageError::Tensor(_)));
+        let e = StorageError::corrupt("frag-000001", "truncated");
+        assert!(e.to_string().contains("frag-000001"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Fragment files — `b_frag = b_coor_new ∥ b_data` (Algorithm 3 line 6)
+//! plus the metadata READ needs to discover and unpack them.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic       u32 = "ASFR"
+//! version     u16 = 2
+//! format      u16 — FormatKind id of the embedded index
+//! ndim        u16
+//! flags       u16 — bit 0: bounding box present (0 for empty tensors)
+//!                   bits 1–3: index codec id, bits 4–6: value codec id
+//! n           u64 — number of points
+//! elem_size   u32 — bytes per value record
+//! index_len   u64 — stored (possibly compressed) index bytes
+//! value_len   u64 — stored (possibly compressed) value bytes
+//! index_raw   u64 — uncompressed index bytes
+//! value_raw   u64 — uncompressed value bytes
+//! shape       ndim × u64 — the global tensor shape
+//! bbox lo     ndim × u64 — fragment bounding box (zeros when absent)
+//! bbox hi     ndim × u64
+//! index       index_len bytes (self-describing, see artsparse-core codec)
+//! values      value_len bytes (reorganized by the build's map)
+//! ```
+//!
+//! Compression is the paper's §II orthogonality point made concrete: the
+//! organization is chosen first, then a [`Codec`] optionally shrinks each
+//! payload. Decoding validates every length and cross-check; corrupted or
+//! truncated fragments produce [`StorageError::CorruptFragment`], never
+//! panics.
+
+use crate::codec::Codec;
+use crate::error::{Result, StorageError};
+use artsparse_core::FormatKind;
+use artsparse_tensor::{Region, Shape};
+use bytes::{Buf, BufMut};
+
+/// `"ASFR"` as a little-endian u32.
+pub const FRAGMENT_MAGIC: u32 = u32::from_le_bytes(*b"ASFR");
+/// Current fragment layout version.
+pub const FRAGMENT_VERSION: u16 = 2;
+
+const FLAG_HAS_BBOX: u16 = 1;
+const INDEX_CODEC_SHIFT: u16 = 1;
+const VALUE_CODEC_SHIFT: u16 = 4;
+const CODEC_MASK: u16 = 0b111;
+
+/// Decoded fragment metadata (everything before the payloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentMeta {
+    /// Organization of the embedded index.
+    pub kind: FormatKind,
+    /// Global tensor shape.
+    pub shape: Shape,
+    /// Number of points.
+    pub n: u64,
+    /// Bytes per value record.
+    pub elem_size: u32,
+    /// Bounding box of the stored points (`None` for empty fragments).
+    pub bbox: Option<Region>,
+    /// Stored length of the index payload.
+    pub index_len: u64,
+    /// Stored length of the value payload.
+    pub value_len: u64,
+    /// Uncompressed length of the index payload.
+    pub index_raw_len: u64,
+    /// Uncompressed length of the value payload.
+    pub value_raw_len: u64,
+    /// Codec applied to the index payload.
+    pub index_codec: Codec,
+    /// Codec applied to the value payload.
+    pub value_codec: Codec,
+}
+
+impl FragmentMeta {
+    /// Byte length of the header for `ndim` dimensions.
+    pub fn header_len(ndim: usize) -> usize {
+        4 + 2 + 2 + 2 + 2 + 8 + 4 + 8 + 8 + 8 + 8 + 3 * ndim * 8
+    }
+
+    /// Total fragment size this metadata describes.
+    pub fn total_len(&self) -> u64 {
+        Self::header_len(self.shape.ndim()) as u64 + self.index_len + self.value_len
+    }
+}
+
+/// Assemble a fragment file, applying the codecs to the payloads.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_fragment(
+    kind: FormatKind,
+    shape: &Shape,
+    n: u64,
+    elem_size: u32,
+    bbox: Option<&Region>,
+    index: &[u8],
+    values: &[u8],
+    index_codec: Codec,
+    value_codec: Codec,
+) -> Vec<u8> {
+    let ndim = shape.ndim();
+    let stored_index = index_codec.compress(index);
+    let stored_values = value_codec.compress(values);
+    let mut buf = Vec::with_capacity(
+        FragmentMeta::header_len(ndim) + stored_index.len() + stored_values.len(),
+    );
+    buf.put_u32_le(FRAGMENT_MAGIC);
+    buf.put_u16_le(FRAGMENT_VERSION);
+    buf.put_u16_le(kind.id());
+    buf.put_u16_le(ndim as u16);
+    let mut flags = 0u16;
+    if bbox.is_some() {
+        flags |= FLAG_HAS_BBOX;
+    }
+    flags |= index_codec.id() << INDEX_CODEC_SHIFT;
+    flags |= value_codec.id() << VALUE_CODEC_SHIFT;
+    buf.put_u16_le(flags);
+    buf.put_u64_le(n);
+    buf.put_u32_le(elem_size);
+    buf.put_u64_le(stored_index.len() as u64);
+    buf.put_u64_le(stored_values.len() as u64);
+    buf.put_u64_le(index.len() as u64);
+    buf.put_u64_le(values.len() as u64);
+    for &m in shape.dims() {
+        buf.put_u64_le(m);
+    }
+    match bbox {
+        Some(b) => {
+            for &v in b.lo() {
+                buf.put_u64_le(v);
+            }
+            for &v in b.hi() {
+                buf.put_u64_le(v);
+            }
+        }
+        None => {
+            for _ in 0..2 * ndim {
+                buf.put_u64_le(0);
+            }
+        }
+    }
+    buf.extend_from_slice(&stored_index);
+    buf.extend_from_slice(&stored_values);
+    buf
+}
+
+/// Decode and validate a fragment header. `bytes` may be just the header
+/// prefix (for discovery peeks) or the whole file.
+pub fn decode_meta(name: &str, bytes: &[u8]) -> Result<FragmentMeta> {
+    let corrupt = |reason: &str| StorageError::corrupt(name, reason);
+    let mut cur = bytes;
+    if cur.remaining() < FragmentMeta::header_len(0) {
+        return Err(corrupt("header truncated"));
+    }
+    if cur.get_u32_le() != FRAGMENT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = cur.get_u16_le();
+    if version != FRAGMENT_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let format = cur.get_u16_le();
+    let kind = FormatKind::from_id(format)
+        .ok_or_else(|| corrupt(&format!("unknown format id {format}")))?;
+    let ndim = cur.get_u16_le() as usize;
+    let flags = cur.get_u16_le();
+    let index_codec = Codec::from_id((flags >> INDEX_CODEC_SHIFT) & CODEC_MASK)
+        .ok_or_else(|| corrupt("unknown index codec"))?;
+    let value_codec = Codec::from_id((flags >> VALUE_CODEC_SHIFT) & CODEC_MASK)
+        .ok_or_else(|| corrupt("unknown value codec"))?;
+    let n = cur.get_u64_le();
+    let elem_size = cur.get_u32_le();
+    let index_len = cur.get_u64_le();
+    let value_len = cur.get_u64_le();
+    let index_raw_len = cur.get_u64_le();
+    let value_raw_len = cur.get_u64_le();
+    if cur.remaining() < 3 * ndim * 8 {
+        return Err(corrupt("header dims truncated"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(cur.get_u64_le());
+    }
+    let shape = Shape::new(dims).map_err(|e| corrupt(&format!("bad shape: {e}")))?;
+    let mut lo = Vec::with_capacity(ndim);
+    let mut hi = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        lo.push(cur.get_u64_le());
+    }
+    for _ in 0..ndim {
+        hi.push(cur.get_u64_le());
+    }
+    let bbox = if flags & FLAG_HAS_BBOX != 0 {
+        let b =
+            Region::from_corners(&lo, &hi).map_err(|e| corrupt(&format!("bad bbox: {e}")))?;
+        if !b.fits_in(&shape) {
+            return Err(corrupt("bbox outside shape"));
+        }
+        Some(b)
+    } else {
+        None
+    };
+    if n > 0 && bbox.is_none() {
+        return Err(corrupt("non-empty fragment without bounding box"));
+    }
+    if elem_size > 0 && value_raw_len != n * elem_size as u64 {
+        return Err(corrupt("value length inconsistent with n × elem_size"));
+    }
+    if index_codec == Codec::None && index_len != index_raw_len {
+        return Err(corrupt("uncompressed index lengths disagree"));
+    }
+    if value_codec == Codec::None && value_len != value_raw_len {
+        return Err(corrupt("uncompressed value lengths disagree"));
+    }
+    Ok(FragmentMeta {
+        kind,
+        shape,
+        n,
+        elem_size,
+        bbox,
+        index_len,
+        value_len,
+        index_raw_len,
+        value_raw_len,
+        index_codec,
+        value_codec,
+    })
+}
+
+/// Decode a whole fragment into `(meta, index, values)`, decompressing the
+/// payloads if codecs were applied.
+pub fn decode_fragment(name: &str, bytes: &[u8]) -> Result<(FragmentMeta, Vec<u8>, Vec<u8>)> {
+    let meta = decode_meta(name, bytes)?;
+    let header = FragmentMeta::header_len(meta.shape.ndim());
+    let need = meta.total_len() as usize;
+    if bytes.len() != need {
+        return Err(StorageError::corrupt(
+            name,
+            format!("fragment is {} bytes, header says {need}", bytes.len()),
+        ));
+    }
+    let stored_index = &bytes[header..header + meta.index_len as usize];
+    let stored_values = &bytes[header + meta.index_len as usize..];
+    let index = meta
+        .index_codec
+        .decompress(stored_index, meta.index_raw_len as usize)
+        .map_err(|e| StorageError::corrupt(name, format!("index payload: {e}")))?;
+    let values = meta
+        .value_codec
+        .decompress(stored_values, meta.value_raw_len as usize)
+        .map_err(|e| StorageError::corrupt(name, format!("value payload: {e}")))?;
+    Ok((meta, index, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_with(index_codec: Codec, value_codec: Codec) -> Vec<u8> {
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let bbox = Region::from_corners(&[1, 1], &[5, 6]).unwrap();
+        encode_fragment(
+            FormatKind::Linear,
+            &shape,
+            3,
+            8,
+            Some(&bbox),
+            &[1, 2, 3, 4],
+            &[0u8; 24],
+            index_codec,
+            value_codec,
+        )
+    }
+
+    fn sample() -> Vec<u8> {
+        sample_with(Codec::None, Codec::None)
+    }
+
+    #[test]
+    fn roundtrip_uncompressed() {
+        let bytes = sample();
+        let (meta, index, values) = decode_fragment("t", &bytes).unwrap();
+        assert_eq!(meta.kind, FormatKind::Linear);
+        assert_eq!(meta.n, 3);
+        assert_eq!(meta.elem_size, 8);
+        assert_eq!(meta.shape.dims(), &[8, 8]);
+        assert_eq!(meta.bbox.as_ref().unwrap().lo(), &[1, 1]);
+        assert_eq!(index, &[1, 2, 3, 4]);
+        assert_eq!(values.len(), 24);
+        assert_eq!(meta.total_len() as usize, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_every_codec_combination() {
+        for ic in [Codec::None, Codec::Rle, Codec::DeltaVarint] {
+            for vc in [Codec::None, Codec::Rle, Codec::DeltaVarint] {
+                let bytes = sample_with(ic, vc);
+                let (meta, index, values) = decode_fragment("t", &bytes).unwrap();
+                assert_eq!(meta.index_codec, ic);
+                assert_eq!(meta.value_codec, vc);
+                assert_eq!(index, &[1, 2, 3, 4], "{ic:?}/{vc:?}");
+                assert_eq!(values, vec![0u8; 24], "{ic:?}/{vc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_values_shrink_the_fragment() {
+        let plain = sample_with(Codec::None, Codec::None);
+        let packed = sample_with(Codec::None, Codec::Rle);
+        assert!(packed.len() < plain.len());
+    }
+
+    #[test]
+    fn meta_decodes_from_header_prefix_alone() {
+        let bytes = sample();
+        let header = FragmentMeta::header_len(2);
+        let meta = decode_meta("t", &bytes[..header]).unwrap();
+        assert_eq!(meta.n, 3);
+    }
+
+    #[test]
+    fn empty_fragment_has_no_bbox() {
+        let shape = Shape::new(vec![4]).unwrap();
+        let bytes = encode_fragment(
+            FormatKind::Coo,
+            &shape,
+            0,
+            8,
+            None,
+            &[],
+            &[],
+            Codec::None,
+            Codec::None,
+        );
+        let (meta, ..) = decode_fragment("t", &bytes).unwrap();
+        assert!(meta.bbox.is_none());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        for bytes in [sample(), sample_with(Codec::DeltaVarint, Codec::Rle)] {
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_fragment("t", &bytes[..cut]).is_err(),
+                    "prefix {cut} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut bad = sample();
+        bad[0] ^= 0xFF; // magic
+        assert!(decode_meta("t", &bad).is_err());
+
+        let mut bad = sample();
+        bad[4] = 9; // version
+        assert!(decode_meta("t", &bad).is_err());
+
+        let mut bad = sample();
+        bad[6] = 200; // format id
+        assert!(decode_meta("t", &bad).is_err());
+
+        // codec id 7 (undefined)
+        let mut bad = sample();
+        bad[10] |= (7u16 << INDEX_CODEC_SHIFT) as u8;
+        assert!(decode_meta("t", &bad).is_err());
+
+        // value_raw_len inconsistent with n.
+        let mut bad = sample();
+        bad[12] = 99; // n low byte
+        assert!(decode_meta("t", &bad).is_err());
+
+        // bbox outside shape: hi = (5,6) -> (50,6).
+        let mut bad = sample();
+        let hi_off = FragmentMeta::header_len(2) - 2 * 8;
+        bad[hi_off..hi_off + 8].copy_from_slice(&50u64.to_le_bytes());
+        assert!(decode_meta("t", &bad).is_err());
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_is_rejected() {
+        let mut bytes = sample_with(Codec::DeltaVarint, Codec::None);
+        // Overwrite the whole compressed index with continuation markers:
+        // the varint stream never terminates, so decoding must fail.
+        let meta = decode_meta("t", &bytes).unwrap();
+        let at = FragmentMeta::header_len(2);
+        for b in &mut bytes[at..at + meta.index_len as usize] {
+            *b = 0x80;
+        }
+        assert!(decode_fragment("t", &bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample();
+        bytes.push(0);
+        assert!(decode_fragment("t", &bytes).is_err());
+    }
+
+    #[test]
+    fn nonempty_without_bbox_rejected() {
+        let shape = Shape::new(vec![4]).unwrap();
+        let bytes = encode_fragment(
+            FormatKind::Coo,
+            &shape,
+            2,
+            0,
+            None,
+            &[],
+            &[],
+            Codec::None,
+            Codec::None,
+        );
+        assert!(decode_meta("t", &bytes).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # artsparse-storage
+//!
+//! The fragment-based storage engine of the paper's benchmark system
+//! (Algorithm 3): a minimal TileDB-like substrate that writes sparse
+//! tensors as self-describing fragments (`index ∥ values`) and answers
+//! point/region queries across fragments with bounding-box discovery and
+//! linear-address merge.
+//!
+//! * [`backend`] — storage devices: local filesystem, in-memory, and a
+//!   deterministic bandwidth/latency [`backend::SimulatedDisk`] standing
+//!   in for the paper's Lustre file system;
+//! * [`fragment`] — the on-device fragment layout with fully validated
+//!   decoding;
+//! * [`engine`] — Algorithm 3's WRITE (with the Table III phase
+//!   breakdown) and READ (with fragment discovery and merge).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod fragment;
+pub mod striped;
+
+pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
+pub use codec::Codec;
+pub use engine::{ConsolidateReport, ReadHit, ReadResult, StorageEngine, StoreStats, WriteReport};
+pub use error::{Result, StorageError};
+pub use striped::StripedBackend;

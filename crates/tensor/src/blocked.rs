@@ -1,0 +1,255 @@
+//! Blocked (tiled) addressing — the paper's mitigation for linear-address
+//! overflow.
+//!
+//! §II.B: *"A practical solution to this problem is to break large tensors
+//! into small blocks … Our algorithms can use local boundary of each block
+//! to perform the transform."* A [`BlockGrid`] partitions a tensor into
+//! axis-aligned tiles; a global coordinate maps to a `(block id, local
+//! linear address)` pair, each of which individually fits in `u64` even
+//! when the global address space would overflow.
+
+use crate::error::{Result, TensorError};
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+
+/// A regular partition of a (possibly address-overflowing) tensor into
+/// tiles of `block_dims`.
+///
+/// Unlike [`crate::Shape`], the *global* dimensions here are allowed to
+/// exceed the `u64` address space in product; only the grid of blocks and
+/// each block's interior must be addressable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGrid {
+    global_dims: Vec<u64>,
+    block_dims: Vec<u64>,
+    /// Number of blocks along each dimension (`ceil(global / block)`).
+    grid_dims: Vec<u64>,
+}
+
+/// The two-level address of a point in a [`BlockGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr {
+    /// Row-major index of the block within the grid.
+    pub block: u64,
+    /// Row-major linear address within the block.
+    pub local: u64,
+}
+
+impl BlockGrid {
+    /// Create a grid. Requirements:
+    /// * equal arity, no zero sizes;
+    /// * the grid of blocks is `u64`-addressable;
+    /// * one block's interior is `u64`-addressable.
+    pub fn new(global_dims: &[u64], block_dims: &[u64]) -> Result<Self> {
+        if global_dims.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        if global_dims.len() != block_dims.len() {
+            return Err(TensorError::DimensionMismatch {
+                expected: global_dims.len(),
+                got: block_dims.len(),
+            });
+        }
+        if let Some(dim) = global_dims.iter().position(|&m| m == 0) {
+            return Err(TensorError::ZeroDimension { dim });
+        }
+        if let Some(dim) = block_dims.iter().position(|&m| m == 0) {
+            return Err(TensorError::ZeroDimension { dim });
+        }
+        let grid_dims: Vec<u64> = global_dims
+            .iter()
+            .zip(block_dims)
+            .map(|(&g, &b)| g.div_ceil(b))
+            .collect();
+        let mut grid_vol: u128 = 1;
+        for &g in &grid_dims {
+            grid_vol = grid_vol.saturating_mul(g as u128);
+        }
+        let mut block_vol: u128 = 1;
+        for &b in block_dims {
+            block_vol = block_vol.saturating_mul(b as u128);
+        }
+        if grid_vol > u64::MAX as u128 || block_vol > u64::MAX as u128 {
+            return Err(TensorError::AddressOverflow {
+                shape: global_dims.to_vec(),
+            });
+        }
+        Ok(BlockGrid {
+            global_dims: global_dims.to_vec(),
+            block_dims: block_dims.to_vec(),
+            grid_dims,
+        })
+    }
+
+    /// Global dimension sizes.
+    pub fn global_dims(&self) -> &[u64] {
+        &self.global_dims
+    }
+
+    /// Tile dimension sizes.
+    pub fn block_dims(&self) -> &[u64] {
+        &self.block_dims
+    }
+
+    /// Blocks along each dimension.
+    pub fn grid_dims(&self) -> &[u64] {
+        &self.grid_dims
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid_dims.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.global_dims.len()
+    }
+
+    /// Map a global coordinate to its two-level address.
+    pub fn address(&self, coord: &[u64]) -> Result<BlockAddr> {
+        if coord.len() != self.ndim() {
+            return Err(TensorError::DimensionMismatch {
+                expected: self.ndim(),
+                got: coord.len(),
+            });
+        }
+        let mut block = 0u64;
+        let mut local = 0u64;
+        for (d, &c) in coord.iter().enumerate() {
+            if c >= self.global_dims[d] {
+                return Err(TensorError::CoordOutOfBounds {
+                    dim: d,
+                    coord: c,
+                    size: self.global_dims[d],
+                });
+            }
+            block = block * self.grid_dims[d] + c / self.block_dims[d];
+            local = local * self.block_dims[d] + c % self.block_dims[d];
+        }
+        Ok(BlockAddr { block, local })
+    }
+
+    /// Inverse of [`BlockGrid::address`].
+    pub fn coordinate(&self, addr: BlockAddr) -> Result<Vec<u64>> {
+        let d = self.ndim();
+        let mut block_coord = vec![0u64; d];
+        let mut local_coord = vec![0u64; d];
+        let mut b = addr.block;
+        let mut l = addr.local;
+        for i in (0..d).rev() {
+            block_coord[i] = b % self.grid_dims[i];
+            b /= self.grid_dims[i];
+            local_coord[i] = l % self.block_dims[i];
+            l /= self.block_dims[i];
+        }
+        if b != 0 {
+            return Err(TensorError::LinearOutOfBounds {
+                addr: addr.block,
+                volume: self.num_blocks(),
+            });
+        }
+        if l != 0 {
+            return Err(TensorError::LinearOutOfBounds {
+                addr: addr.local,
+                volume: self.block_dims.iter().product(),
+            });
+        }
+        let coord: Vec<u64> = (0..d)
+            .map(|i| block_coord[i] * self.block_dims[i] + local_coord[i])
+            .collect();
+        for (dim, (&c, &m)) in coord.iter().zip(&self.global_dims).enumerate() {
+            if c >= m {
+                return Err(TensorError::CoordOutOfBounds { dim, coord: c, size: m });
+            }
+        }
+        Ok(coord)
+    }
+
+    /// The region of cells covered by block `block` (clipped to the global
+    /// extent for edge blocks).
+    pub fn block_region(&self, block: u64) -> Result<Region> {
+        if block >= self.num_blocks() {
+            return Err(TensorError::LinearOutOfBounds {
+                addr: block,
+                volume: self.num_blocks(),
+            });
+        }
+        let d = self.ndim();
+        let mut block_coord = vec![0u64; d];
+        let mut b = block;
+        for i in (0..d).rev() {
+            block_coord[i] = b % self.grid_dims[i];
+            b /= self.grid_dims[i];
+        }
+        let lo: Vec<u64> = (0..d).map(|i| block_coord[i] * self.block_dims[i]).collect();
+        let hi: Vec<u64> = (0..d)
+            .map(|i| ((block_coord[i] + 1) * self.block_dims[i]).min(self.global_dims[i]) - 1)
+            .collect();
+        Region::from_corners(&lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_roundtrip() {
+        let g = BlockGrid::new(&[10, 10], &[4, 4]).unwrap();
+        assert_eq!(g.grid_dims(), &[3, 3]);
+        assert_eq!(g.num_blocks(), 9);
+        for x in 0..10u64 {
+            for y in 0..10u64 {
+                let a = g.address(&[x, y]).unwrap();
+                assert_eq!(g.coordinate(a).unwrap(), vec![x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_ids_tile_row_major() {
+        let g = BlockGrid::new(&[8, 8], &[4, 4]).unwrap();
+        assert_eq!(g.address(&[0, 0]).unwrap().block, 0);
+        assert_eq!(g.address(&[0, 4]).unwrap().block, 1);
+        assert_eq!(g.address(&[4, 0]).unwrap().block, 2);
+        assert_eq!(g.address(&[7, 7]).unwrap().block, 3);
+        assert_eq!(g.address(&[5, 6]).unwrap().local, 4 + 2);
+    }
+
+    #[test]
+    fn handles_overflowing_global_space() {
+        // Global volume 2^40 × 2^40 = 2^80 cells: unaddressable flat, fine blocked.
+        let big = 1u64 << 40;
+        let g = BlockGrid::new(&[big, big], &[1 << 20, 1 << 20]).unwrap();
+        let a = g.address(&[big - 1, big - 1]).unwrap();
+        assert_eq!(g.coordinate(a).unwrap(), vec![big - 1, big - 1]);
+    }
+
+    #[test]
+    fn rejects_unaddressable_block_or_grid() {
+        // A single block as big as an overflowing tensor is rejected.
+        assert!(BlockGrid::new(&[u64::MAX, u64::MAX], &[u64::MAX, u64::MAX]).is_err());
+        // 1-cell blocks over an overflowing tensor make the grid overflow.
+        assert!(BlockGrid::new(&[u64::MAX, u64::MAX], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn edge_blocks_are_clipped() {
+        let g = BlockGrid::new(&[10, 6], &[4, 4]).unwrap();
+        let r = g.block_region(g.address(&[9, 5]).unwrap().block).unwrap();
+        assert_eq!(r.lo(), &[8, 4]);
+        assert_eq!(r.hi(), &[9, 5]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let g = BlockGrid::new(&[10, 10], &[4, 4]).unwrap();
+        assert!(g.address(&[10, 0]).is_err());
+        assert!(g.address(&[0]).is_err());
+        assert!(g.block_region(9).is_err());
+        assert!(g
+            .coordinate(BlockAddr { block: 99, local: 0 })
+            .is_err());
+    }
+}

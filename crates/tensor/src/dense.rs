@@ -1,0 +1,210 @@
+//! Dense tensors — the materialized counterpart of a sparse tensor.
+//!
+//! A [`DenseTensor`] stores every cell. It exists for three jobs:
+//! converting to/from sparse coordinate form (the "is this worth storing
+//! sparsely?" question the paper's density tables answer), acting as a
+//! brute-force oracle in tests and validation harnesses, and backing the
+//! dense side of sparse-dense kernels (SpMV's vectors).
+
+use crate::coord::CoordBuffer;
+use crate::error::{Result, TensorError};
+use crate::region::Region;
+use crate::shape::Shape;
+use crate::value::Element;
+
+/// A row-major dense tensor of `V` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor<V> {
+    shape: Shape,
+    data: Vec<V>,
+}
+
+impl<V: Element + Default> DenseTensor<V> {
+    /// A zero-filled (default-filled) tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.volume() as usize;
+        DenseTensor {
+            shape,
+            data: vec![V::default(); len],
+        }
+    }
+
+    /// Materialize a sparse tensor: `fill` everywhere, points overriding.
+    /// Later duplicates win.
+    pub fn from_sparse(
+        shape: Shape,
+        coords: &CoordBuffer,
+        values: &[V],
+        fill: V,
+    ) -> Result<Self> {
+        if coords.len() != values.len() {
+            return Err(TensorError::ValueLengthMismatch {
+                len: values.len(),
+                elem_size: coords.len(),
+            });
+        }
+        coords.check_against(&shape)?;
+        let mut data = vec![fill; shape.volume() as usize];
+        for (p, &v) in coords.iter().zip(values) {
+            data[shape.linearize_unchecked(p) as usize] = v;
+        }
+        Ok(DenseTensor { shape, data })
+    }
+}
+
+impl<V: Element> DenseTensor<V> {
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(shape: Shape, data: Vec<V>) -> Result<Self> {
+        if data.len() as u64 != shape.volume() {
+            return Err(TensorError::ValueLengthMismatch {
+                len: data.len(),
+                elem_size: shape.volume() as usize,
+            });
+        }
+        Ok(DenseTensor { shape, data })
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Read one cell.
+    pub fn get(&self, coord: &[u64]) -> Result<V> {
+        let addr = self.shape.linearize(coord)?;
+        Ok(self.data[addr as usize])
+    }
+
+    /// Write one cell.
+    pub fn set(&mut self, coord: &[u64], value: V) -> Result<()> {
+        let addr = self.shape.linearize(coord)?;
+        self.data[addr as usize] = value;
+        Ok(())
+    }
+
+    /// Extract the sparse form: every cell whose value differs from
+    /// `fill`, in row-major order.
+    pub fn to_sparse(&self, fill: V) -> (CoordBuffer, Vec<V>) {
+        let mut coords = CoordBuffer::new(self.shape.ndim());
+        let mut values = Vec::new();
+        let mut coord = vec![0u64; self.shape.ndim()];
+        for (addr, &v) in self.data.iter().enumerate() {
+            if v != fill {
+                self.shape.delinearize_into(addr as u64, &mut coord);
+                coords.push(&coord).expect("arity matches");
+                values.push(v);
+            }
+        }
+        (coords, values)
+    }
+
+    /// Count of cells differing from `fill` and the resulting density.
+    pub fn sparsity(&self, fill: V) -> (usize, f64) {
+        let nnz = self.data.iter().filter(|&&v| v != fill).count();
+        (nnz, nnz as f64 / self.data.len() as f64)
+    }
+
+    /// Copy the cells of `region` into a new dense tensor of the region's
+    /// extents.
+    pub fn slice(&self, region: &Region) -> Result<DenseTensor<V>> {
+        if !region.fits_in(&self.shape) {
+            return Err(TensorError::CoordOutOfBounds {
+                dim: 0,
+                coord: region.hi()[0],
+                size: self.shape.dim(0),
+            });
+        }
+        let out_shape = Shape::new(region.sizes())?;
+        let mut data = Vec::with_capacity(out_shape.volume() as usize);
+        for cell in region.iter_cells() {
+            data.push(self.data[self.shape.linearize_unchecked(&cell) as usize]);
+        }
+        Ok(DenseTensor { shape: out_shape, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Shape {
+        Shape::new(vec![3, 4]).unwrap()
+    }
+
+    #[test]
+    fn zeros_get_set() {
+        let mut t = DenseTensor::<f64>::zeros(shape());
+        assert_eq!(t.get(&[2, 3]).unwrap(), 0.0);
+        t.set(&[2, 3], 7.5).unwrap();
+        assert_eq!(t.get(&[2, 3]).unwrap(), 7.5);
+        assert!(t.get(&[3, 0]).is_err());
+        assert!(t.set(&[0, 4], 1.0).is_err());
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let coords =
+            CoordBuffer::from_points(2, &[[0u64, 1], [2, 2], [1, 3]]).unwrap();
+        let values = vec![1.0f64, 2.0, 3.0];
+        let dense = DenseTensor::from_sparse(shape(), &coords, &values, 0.0).unwrap();
+        let (c2, v2) = dense.to_sparse(0.0);
+        // Row-major order: (0,1), (1,3), (2,2).
+        assert_eq!(
+            c2.iter().collect::<Vec<_>>(),
+            vec![&[0u64, 1][..], &[1, 3], &[2, 2]]
+        );
+        assert_eq!(v2, vec![1.0, 3.0, 2.0]);
+        assert_eq!(dense.sparsity(0.0), (3, 0.25));
+    }
+
+    #[test]
+    fn duplicates_last_wins() {
+        let coords = CoordBuffer::from_points(2, &[[1u64, 1], [1, 1]]).unwrap();
+        let dense =
+            DenseTensor::from_sparse(shape(), &coords, &[5.0f64, 9.0], 0.0).unwrap();
+        assert_eq!(dense.get(&[1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseTensor::from_vec(shape(), vec![0.0f64; 11]).is_err());
+        assert!(DenseTensor::from_vec(shape(), vec![0.0f64; 12]).is_ok());
+    }
+
+    #[test]
+    fn from_sparse_validates() {
+        let coords = CoordBuffer::from_points(2, &[[0u64, 0]]).unwrap();
+        assert!(DenseTensor::from_sparse(shape(), &coords, &[1.0f64, 2.0], 0.0).is_err());
+        let bad = CoordBuffer::from_points(2, &[[9u64, 0]]).unwrap();
+        assert!(DenseTensor::from_sparse(shape(), &bad, &[1.0f64], 0.0).is_err());
+    }
+
+    #[test]
+    fn slicing_copies_a_region() {
+        let t = DenseTensor::from_vec(
+            shape(),
+            (0..12).map(|x| x as f64).collect(),
+        )
+        .unwrap();
+        let r = Region::from_corners(&[1, 1], &[2, 2]).unwrap();
+        let s = t.slice(&r).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+        let too_big = Region::from_corners(&[0, 0], &[3, 3]).unwrap();
+        assert!(t.slice(&too_big).is_err());
+    }
+
+    #[test]
+    fn integer_tensors_work() {
+        let mut t = DenseTensor::<u32>::zeros(Shape::new(vec![2, 2]).unwrap());
+        t.set(&[0, 1], 9).unwrap();
+        let (c, v) = t.to_sparse(0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(v, vec![9]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Value payload handling.
+//!
+//! The paper's organizations manage *coordinates*; values ride along as an
+//! opaque payload that is (a) reorganized by the build's `map` and (b)
+//! concatenated after the index in the fragment (Algorithm 3 line 6). The
+//! [`Element`] trait supplies the fixed-size little-endian encoding used to
+//! pack typed values into that payload; the evaluation's "space complexity
+//! does not account for the storage of values, as their size remains
+//! constant across all organizations" (§II).
+
+use crate::error::{Result, TensorError};
+
+/// A fixed-size, byte-serializable scalar value.
+pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Write the little-endian encoding into `out` (`out.len() == SIZE`).
+    fn write_le(&self, out: &mut [u8]);
+
+    /// Decode from a little-endian encoding (`bytes.len() == SIZE`).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("caller supplies SIZE bytes"))
+            }
+        }
+    )*};
+}
+
+impl_element!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// Pack a slice of typed values into a little-endian byte payload.
+pub fn pack<T: Element>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * T::SIZE];
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Unpack a little-endian byte payload into typed values.
+pub fn unpack<T: Element>(bytes: &[u8]) -> Result<Vec<T>> {
+    if !bytes.len().is_multiple_of(T::SIZE) {
+        return Err(TensorError::ValueLengthMismatch {
+            len: bytes.len(),
+            elem_size: T::SIZE,
+        });
+    }
+    Ok(bytes.chunks_exact(T::SIZE).map(T::read_le).collect())
+}
+
+/// Read the `i`-th record of a packed payload without unpacking the rest.
+pub fn get_packed<T: Element>(bytes: &[u8], i: usize) -> Option<T> {
+    let start = i.checked_mul(T::SIZE)?;
+    let end = start.checked_add(T::SIZE)?;
+    bytes.get(start..end).map(T::read_le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_f64() {
+        let vals = [1.0f64, -2.5, f64::MAX, f64::MIN_POSITIVE, 0.0];
+        let bytes = pack(&vals);
+        assert_eq!(bytes.len(), 40);
+        assert_eq!(unpack::<f64>(&bytes).unwrap(), vals.to_vec());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_integers() {
+        let vals = [u64::MAX, 0, 42];
+        assert_eq!(unpack::<u64>(&pack(&vals)).unwrap(), vals.to_vec());
+        let vals = [-1i32, i32::MIN, i32::MAX];
+        assert_eq!(unpack::<i32>(&pack(&vals)).unwrap(), vals.to_vec());
+        let vals = [3u8, 0, 255];
+        assert_eq!(unpack::<u8>(&pack(&vals)).unwrap(), vals.to_vec());
+    }
+
+    #[test]
+    fn unpack_rejects_ragged_payload() {
+        assert!(matches!(
+            unpack::<f64>(&[0u8; 9]),
+            Err(TensorError::ValueLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn get_packed_indexes_records() {
+        let bytes = pack(&[10u32, 20, 30]);
+        assert_eq!(get_packed::<u32>(&bytes, 0), Some(10));
+        assert_eq!(get_packed::<u32>(&bytes, 2), Some(30));
+        assert_eq!(get_packed::<u32>(&bytes, 3), None);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let empty: Vec<f32> = vec![];
+        assert!(pack(&empty).is_empty());
+        assert!(unpack::<f32>(&[]).unwrap().is_empty());
+    }
+}

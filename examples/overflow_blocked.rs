@@ -1,0 +1,77 @@
+//! Linear-address overflow and the blocked-LINEAR fix (§II.B).
+//!
+//! "The risk of using the LINEAR organization is the overflow of linear
+//! address when converting a multiple dimensional coordinate for an
+//! extremely large tensor into a single value. A practical solution … is
+//! to break large tensors into small blocks." This example stores points
+//! of a 2⁴⁰ × 2⁴⁰ virtual tensor — whose 2⁸⁰-cell address space no `u64`
+//! can index — using the blocked-LINEAR extension.
+//!
+//! ```sh
+//! cargo run --release --example overflow_blocked
+//! ```
+
+use artsparse::core::formats::ext::blocked_linear::BlockedLinear;
+use artsparse::metrics::OpCounter;
+use artsparse::tensor::value::{pack, unpack};
+use artsparse::{CoordBuffer, Shape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let big = 1u64 << 40;
+    let dims = vec![big, big];
+
+    // Flat addressing is impossible: Shape itself refuses the tensor.
+    match Shape::new(dims.clone()) {
+        Err(e) => println!("LINEAR cannot address 2^40 x 2^40: {e}"),
+        Ok(_) => unreachable!("2^80 cells must overflow"),
+    }
+
+    // Blocked addressing handles it: 2^20-sided tiles.
+    let bl = BlockedLinear::with_block_side(1 << 20);
+    let coords = CoordBuffer::from_points(
+        2,
+        &[
+            [0u64, 0],
+            [big - 1, big - 1],
+            [123_456_789_012, 42],
+            [1 << 30, 1 << 35],
+        ],
+    )?;
+    let values = [10.0f64, 20.0, 30.0, 40.0];
+
+    let counter = OpCounter::new();
+    let built = bl.build_raw(&coords, &dims, &counter)?;
+    let payload = built.reorganize_values(&pack(&values), 8);
+    println!(
+        "stored {} points of the virtual tensor in a {}-byte index",
+        coords.len(),
+        built.index.len()
+    );
+
+    // Query every stored point plus a miss.
+    let queries = CoordBuffer::from_points(
+        2,
+        &[
+            [big - 1, big - 1],
+            [123_456_789_012, 42],
+            [0, 0],
+            [1 << 30, 1 << 35],
+            [7, 7],
+        ],
+    )?;
+    let slots = bl.read_raw(&built.index, &queries, &counter)?;
+    let stored: Vec<f64> = unpack(&payload)?;
+    for (q, slot) in queries.iter().zip(&slots) {
+        match slot {
+            Some(s) => println!("  {q:?} -> {}", stored[*s as usize]),
+            None => println!("  {q:?} -> (absent)"),
+        }
+    }
+    assert_eq!(slots[0].map(|s| stored[s as usize]), Some(20.0));
+    assert_eq!(slots[1].map(|s| stored[s as usize]), Some(30.0));
+    assert_eq!(slots[2].map(|s| stored[s as usize]), Some(10.0));
+    assert_eq!(slots[3].map(|s| stored[s as usize]), Some(40.0));
+    assert_eq!(slots[4], None);
+    println!("blocked-LINEAR addressed the 2^80-cell tensor correctly");
+    Ok(())
+}

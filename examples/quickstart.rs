@@ -1,0 +1,54 @@
+//! Quickstart: build a sparse tensor, encode it under every organization,
+//! query points and regions, and compare footprints.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use artsparse::{FormatKind, Region, Shape, SparseTensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3D tensor, 512³ cells, with a handful of points — the Fig. 1
+    // setting scaled up.
+    let shape = Shape::new(vec![512, 512, 512])?;
+    let mut tensor = SparseTensor::<f64>::new(shape);
+    tensor.insert(&[0, 0, 1], 1.0)?;
+    tensor.insert(&[0, 1, 1], 2.0)?;
+    tensor.insert(&[0, 1, 2], 3.0)?;
+    tensor.insert(&[2, 2, 1], 4.0)?;
+    tensor.insert(&[2, 2, 2], 5.0)?;
+    for k in 0..200u64 {
+        tensor.insert(&[k % 512, (k * 7) % 512, (k * 13) % 512], k as f64)?;
+    }
+    println!(
+        "tensor: {} nnz, density {:.6}%",
+        tensor.nnz(),
+        tensor.density() * 100.0
+    );
+
+    // Encode under each of the paper's five organizations and query back.
+    println!("\n{:<14} {:>12} {:>12}", "format", "index bytes", "total bytes");
+    for kind in FormatKind::PAPER_FIVE {
+        let encoded = tensor.encode(kind)?;
+        assert_eq!(encoded.get::<f64>(&[0, 1, 2])?, Some(3.0));
+        assert_eq!(encoded.get::<f64>(&[500, 500, 500])?, None);
+        println!(
+            "{:<14} {:>12} {:>12}",
+            kind.name(),
+            encoded.index_bytes().len(),
+            encoded.total_bytes()
+        );
+    }
+
+    // Region query: every stored point inside a box, in row-major order.
+    let encoded = tensor.encode(FormatKind::Csf)?;
+    let region = Region::from_corners(&[0, 0, 0], &[2, 2, 2])?;
+    let hits = encoded.read_region::<f64>(&region)?;
+    println!("\npoints in {region}:");
+    for (coord, value) in &hits {
+        println!("  {coord:?} = {value}");
+    }
+    assert!(hits.len() >= 5);
+
+    Ok(())
+}

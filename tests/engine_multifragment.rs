@@ -1,0 +1,163 @@
+//! Multi-fragment behavior of the Algorithm 3 engine: merges, precedence,
+//! pruning, persistence, and cross-format fragments.
+
+use artsparse::storage::{FsBackend, MemBackend, SimulatedDisk, StorageEngine};
+use artsparse::{CoordBuffer, FormatKind, Region, Shape};
+
+fn pts(p: &[[u64; 2]]) -> CoordBuffer {
+    CoordBuffer::from_points(2, p).unwrap()
+}
+
+#[test]
+fn many_fragments_merge_in_address_order() {
+    let engine = StorageEngine::open(
+        MemBackend::new(),
+        FormatKind::GcsrPP,
+        Shape::new(vec![64, 64]).unwrap(),
+        8,
+    )
+    .unwrap();
+    // 8 fragments of 8 points each, interleaved addresses.
+    for f in 0..8u64 {
+        let coords: Vec<[u64; 2]> = (0..8).map(|k| [k * 8 + f, f]).collect();
+        let values: Vec<f64> = (0..8).map(|k| (f * 100 + k) as f64).collect();
+        engine.write_points::<f64>(&pts(&coords), &values).unwrap();
+    }
+    let region = Region::from_corners(&[0, 0], &[63, 63]).unwrap();
+    let result = engine.read_region(&region).unwrap();
+    assert_eq!(result.hits.len(), 64);
+    assert_eq!(result.fragments_matched, 8);
+    assert!(result.hits.windows(2).all(|w| w[0].addr <= w[1].addr));
+}
+
+#[test]
+fn overwrite_precedence_is_last_writer_wins_per_query() {
+    let engine = StorageEngine::open(
+        MemBackend::new(),
+        FormatKind::Linear,
+        Shape::new(vec![32, 32]).unwrap(),
+        8,
+    )
+    .unwrap();
+    for gen in 0..5 {
+        engine
+            .write_points::<f64>(&pts(&[[7, 7], [gen, 0]]), &[gen as f64 * 10.0, 1.0])
+            .unwrap();
+    }
+    let vals = engine.read_values::<f64>(&pts(&[[7, 7]])).unwrap();
+    assert_eq!(vals, vec![Some(40.0)]);
+}
+
+#[test]
+fn disjoint_fragments_are_pruned_by_bbox() {
+    let engine = StorageEngine::open(
+        MemBackend::new(),
+        FormatKind::Csf,
+        Shape::new(vec![100, 100]).unwrap(),
+        8,
+    )
+    .unwrap();
+    // Four quadrant fragments.
+    for (dx, dy) in [(0u64, 0u64), (0, 50), (50, 0), (50, 50)] {
+        let coords: Vec<[u64; 2]> = (0..10).map(|k| [dx + k, dy + k]).collect();
+        let values = vec![1.0f64; 10];
+        engine.write_points::<f64>(&pts(&coords), &values).unwrap();
+    }
+    // A query confined to one quadrant touches exactly one fragment.
+    let r = engine
+        .read_region(&Region::from_corners(&[0, 0], &[20, 20]).unwrap())
+        .unwrap();
+    assert_eq!(r.fragments_scanned, 4);
+    assert_eq!(r.fragments_matched, 1);
+}
+
+#[test]
+fn fs_persistence_reopen_and_read() {
+    let dir = tempfile::tempdir().unwrap();
+    let shape = Shape::new(vec![16, 16]).unwrap();
+    {
+        let engine = StorageEngine::open(
+            FsBackend::new(dir.path()).unwrap(),
+            FormatKind::GcscPP,
+            shape.clone(),
+            8,
+        )
+        .unwrap();
+        engine
+            .write_points::<f64>(&pts(&[[3, 4], [5, 6]]), &[3.4, 5.6])
+            .unwrap();
+    }
+    // Fresh process-equivalent: reopen from the same directory.
+    let engine = StorageEngine::open(
+        FsBackend::new(dir.path()).unwrap(),
+        FormatKind::GcscPP,
+        shape,
+        8,
+    )
+    .unwrap();
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    let vals = engine
+        .read_values::<f64>(&pts(&[[5, 6], [3, 4], [0, 0]]))
+        .unwrap();
+    assert_eq!(vals, vec![Some(5.6), Some(3.4), None]);
+}
+
+#[test]
+fn fragments_written_under_different_formats_interoperate() {
+    let shape = Shape::new(vec![32, 32]).unwrap();
+    let backend = MemBackend::new();
+    let mut expected = Vec::new();
+    let mut backend_holder = Some(backend);
+    for (i, kind) in FormatKind::ALL.into_iter().enumerate() {
+        let engine = StorageEngine::open(
+            backend_holder.take().unwrap(),
+            kind,
+            shape.clone(),
+            8,
+        )
+        .unwrap();
+        let c = [i as u64, i as u64 + 1];
+        engine
+            .write_points::<f64>(&pts(&[c]), &[i as f64])
+            .unwrap();
+        expected.push((c, i as f64));
+        backend_holder = Some(engine.into_backend());
+    }
+    let engine = StorageEngine::open(
+        backend_holder.unwrap(),
+        FormatKind::Coo,
+        shape,
+        8,
+    )
+    .unwrap();
+    assert_eq!(engine.fragments().unwrap().len(), FormatKind::ALL.len());
+    for (c, v) in expected {
+        let got = engine.read_values::<f64>(&pts(&[c])).unwrap();
+        assert_eq!(got, vec![Some(v)], "point {c:?}");
+    }
+}
+
+#[test]
+fn simulated_disk_accounts_for_every_fragment_byte() {
+    let engine = StorageEngine::open(
+        SimulatedDisk::new(1e12, std::time::Duration::ZERO),
+        FormatKind::Coo,
+        Shape::new(vec![16, 16]).unwrap(),
+        8,
+    )
+    .unwrap();
+    let r1 = engine
+        .write_points::<f64>(&pts(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+        .unwrap();
+    let r2 = engine
+        .write_points::<f64>(&pts(&[[3, 3]]), &[3.0])
+        .unwrap();
+    assert_eq!(
+        engine.backend().bytes_written(),
+        (r1.total_bytes + r2.total_bytes) as u64
+    );
+    assert_eq!(
+        engine.total_stored_bytes().unwrap(),
+        engine.backend().bytes_written()
+    );
+}

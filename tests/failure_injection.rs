@@ -1,0 +1,146 @@
+//! Failure injection: corrupted and truncated data must surface as errors,
+//! never as panics or phantom results.
+
+use artsparse::metrics::OpCounter;
+use artsparse::patterns::rng::SplitMix64;
+use artsparse::storage::{MemBackend, StorageBackend, StorageEngine};
+use artsparse::{CoordBuffer, FormatKind, Shape};
+
+fn build_index(kind: FormatKind, shape: &Shape, coords: &CoordBuffer) -> Vec<u8> {
+    let counter = OpCounter::new();
+    kind.create()
+        .build(coords, shape, &counter)
+        .unwrap()
+        .index
+}
+
+fn sample_data() -> (Shape, CoordBuffer) {
+    let shape = Shape::new(vec![16, 16, 16]).unwrap();
+    let mut rng = SplitMix64::new(99);
+    let mut coords = CoordBuffer::new(3);
+    for _ in 0..64 {
+        coords
+            .push(&[rng.next_below(16), rng.next_below(16), rng.next_below(16)])
+            .unwrap();
+    }
+    (shape, coords)
+}
+
+#[test]
+fn every_index_truncation_errors_cleanly() {
+    let (shape, coords) = sample_data();
+    let counter = OpCounter::new();
+    let queries = CoordBuffer::from_points(3, &[[1u64, 2, 3], [0, 0, 0]]).unwrap();
+    for kind in FormatKind::ALL {
+        let index = build_index(kind, &shape, &coords);
+        let org = kind.create();
+        // Truncate at a spread of cut points including every boundary-ish
+        // position near the start and a sweep through the payload.
+        let cuts: Vec<usize> = (0..64.min(index.len()))
+            .chain((0..index.len()).step_by(7))
+            .collect();
+        for cut in cuts {
+            let r = org.read(&index[..cut], &queries, &counter);
+            assert!(r.is_err(), "{kind}: truncation at {cut} decoded");
+        }
+        // The intact index still reads.
+        assert!(org.read(&index, &queries, &counter).is_ok(), "{kind}");
+    }
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let (shape, coords) = sample_data();
+    let counter = OpCounter::new();
+    let queries = CoordBuffer::from_points(3, &[[1u64, 2, 3]]).unwrap();
+    let mut rng = SplitMix64::new(1234);
+    for kind in FormatKind::ALL {
+        let index = build_index(kind, &shape, &coords);
+        for _ in 0..200 {
+            let mut bad = index.clone();
+            let at = rng.next_below(bad.len() as u64) as usize;
+            bad[at] ^= (rng.next_below(255) + 1) as u8;
+            // Any outcome is fine except a panic or a wrong-length result.
+            if let Ok(slots) = kind.create().read(&bad, &queries, &counter) {
+                assert_eq!(slots.len(), queries.len(), "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_format_index_confusion_is_detected() {
+    let (shape, coords) = sample_data();
+    let counter = OpCounter::new();
+    let queries = CoordBuffer::from_points(3, &[[1u64, 2, 3]]).unwrap();
+    for build_kind in FormatKind::ALL {
+        let index = build_index(build_kind, &shape, &coords);
+        for read_kind in FormatKind::ALL {
+            if read_kind == build_kind {
+                continue;
+            }
+            let r = read_kind.create().read(&index, &queries, &counter);
+            assert!(
+                r.is_err(),
+                "{read_kind} read an index built by {build_kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_survives_foreign_blobs_in_the_store() {
+    let backend = MemBackend::new();
+    backend.put("README.txt", b"not a fragment").unwrap();
+    backend.put("frag-garbage.asf.bak", &[1, 2, 3]).unwrap();
+    let engine = StorageEngine::open(
+        backend,
+        FormatKind::Linear,
+        Shape::new(vec![8, 8]).unwrap(),
+        8,
+    )
+    .unwrap();
+    let coords = CoordBuffer::from_points(2, &[[1u64, 1]]).unwrap();
+    engine.write_points::<f64>(&coords, &[1.0]).unwrap();
+    // Foreign blobs are ignored by fragment discovery.
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert_eq!(
+        engine.read_values::<f64>(&coords).unwrap(),
+        vec![Some(1.0)]
+    );
+}
+
+#[test]
+fn corrupted_fragment_header_fails_reads_not_writes() {
+    let engine = StorageEngine::open(
+        MemBackend::new(),
+        FormatKind::Csf,
+        Shape::new(vec![8, 8]).unwrap(),
+        8,
+    )
+    .unwrap();
+    let coords = CoordBuffer::from_points(2, &[[2u64, 2]]).unwrap();
+    engine.write_points::<f64>(&coords, &[1.0]).unwrap();
+    let name = engine.fragments().unwrap()[0].clone();
+    let mut bytes = engine.backend().get(&name).unwrap();
+    bytes[0] ^= 0xFF;
+    engine.backend().put(&name, &bytes).unwrap();
+    assert!(engine.read(&coords).is_err());
+    // New writes still work alongside the corrupted fragment.
+    let c2 = CoordBuffer::from_points(2, &[[3u64, 3]]).unwrap();
+    assert!(engine.write_points::<f64>(&c2, &[2.0]).is_ok());
+}
+
+#[test]
+fn wrong_arity_queries_are_rejected_by_all_formats() {
+    let (shape, coords) = sample_data();
+    let counter = OpCounter::new();
+    let bad = CoordBuffer::from_points(2, &[[1u64, 2]]).unwrap();
+    for kind in FormatKind::ALL {
+        let index = build_index(kind, &shape, &coords);
+        assert!(
+            kind.create().read(&index, &bad, &counter).is_err(),
+            "{kind} accepted 2D queries against a 3D index"
+        );
+    }
+}

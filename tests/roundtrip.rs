@@ -1,0 +1,118 @@
+//! End-to-end round-trips: every organization × every sparsity pattern ×
+//! every dimensionality, through the fragment engine, against a hash-map
+//! oracle.
+
+use artsparse::metrics::OpCounter;
+use artsparse::storage::{MemBackend, StorageEngine};
+use artsparse::{CoordBuffer, Dataset, FormatKind, Pattern, PatternParams, Scale};
+use std::collections::HashMap;
+
+/// Oracle: coordinate → value for a dataset.
+fn oracle(ds: &Dataset, values: &[f64]) -> HashMap<Vec<u64>, f64> {
+    ds.coords
+        .iter()
+        .zip(values)
+        .map(|(c, &v)| (c.to_vec(), v))
+        .collect()
+}
+
+#[test]
+fn every_format_pattern_dim_roundtrips_through_the_engine() {
+    for pattern in Pattern::ALL {
+        for ndim in [2usize, 3, 4] {
+            let ds = Dataset::for_scale(pattern, ndim, Scale::Smoke, PatternParams::default());
+            let values = ds.values();
+            let truth = oracle(&ds, &values);
+            // Queries: the paper's read region — a mix of hits and misses.
+            let queries = ds.read_region().to_coords();
+
+            for kind in FormatKind::ALL {
+                let engine = StorageEngine::open(
+                    MemBackend::new(),
+                    kind,
+                    ds.shape.clone(),
+                    8,
+                )
+                .unwrap();
+                engine.write_points::<f64>(&ds.coords, &values).unwrap();
+                let got = engine.read_values::<f64>(&queries).unwrap();
+                for (q, v) in queries.iter().zip(&got) {
+                    assert_eq!(
+                        v.as_ref(),
+                        truth.get(q),
+                        "{kind} {pattern} {ndim}D at {q:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_format_reads_match_engine_reads() {
+    let ds = Dataset::for_scale(Pattern::Gsp, 3, Scale::Smoke, PatternParams::default());
+    let values = ds.values();
+    let queries = ds.read_region().to_coords();
+    let counter = OpCounter::new();
+
+    for kind in FormatKind::PAPER_FIVE {
+        let org = kind.create();
+        let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
+        let slots = org.read(&built.index, &queries, &counter).unwrap();
+        let engine =
+            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        engine.write_points::<f64>(&ds.coords, &values).unwrap();
+        let engine_vals = engine.read_values::<f64>(&queries).unwrap();
+        for (i, (slot, ev)) in slots.iter().zip(&engine_vals).enumerate() {
+            assert_eq!(slot.is_some(), ev.is_some(), "{kind} query {i}");
+        }
+    }
+}
+
+#[test]
+fn all_stored_points_are_retrievable_individually() {
+    let ds = Dataset::for_scale(Pattern::Tsp, 3, Scale::Smoke, PatternParams::default());
+    let values = ds.values();
+    for kind in FormatKind::PAPER_FIVE {
+        let engine =
+            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        engine.write_points::<f64>(&ds.coords, &values).unwrap();
+        // Probe a sample of stored points (every 13th to keep runtime down
+        // for the O(n·n_read) formats).
+        let mut sample = CoordBuffer::new(ds.shape.ndim());
+        let mut expect = Vec::new();
+        for (i, p) in ds.coords.iter().enumerate() {
+            if i % 13 == 0 {
+                sample.push(p).unwrap();
+                expect.push(values[i]);
+            }
+        }
+        let got = engine.read_values::<f64>(&sample).unwrap();
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.unwrap(), *e, "{kind} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn values_survive_reorganization_under_every_format() {
+    // Distinctive values per point expose any map/slot confusion.
+    let ds = Dataset::for_scale(Pattern::Msp, 2, Scale::Smoke, PatternParams::default());
+    let values: Vec<f64> = (0..ds.nnz()).map(|i| i as f64 * 0.5).collect();
+    let mut probes = CoordBuffer::new(2);
+    let stride = (ds.nnz() / 50).max(1);
+    let mut expected = Vec::new();
+    for i in (0..ds.nnz()).step_by(stride) {
+        probes.push(ds.coords.point(i)).unwrap();
+        expected.push(values[i]);
+    }
+    for kind in FormatKind::ALL {
+        let engine =
+            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        engine.write_points::<f64>(&ds.coords, &values).unwrap();
+        let got = engine.read_values::<f64>(&probes).unwrap();
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.unwrap(), *e, "{kind}");
+        }
+    }
+}
