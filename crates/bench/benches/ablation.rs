@@ -85,7 +85,10 @@ fn bench_csf_dimension_sort(c: &mut Criterion) {
     let pts_desc = pts_asc.permute_dims(&[2, 1, 0]).unwrap();
     let desc = Shape::new(vec![256, 16, 4]).unwrap();
 
-    for (label, shape, pts) in [("pre-ascending", &asc, &pts_asc), ("descending", &desc, &pts_desc)] {
+    for (label, shape, pts) in [
+        ("pre-ascending", &asc, &pts_asc),
+        ("descending", &desc, &pts_desc),
+    ] {
         group.bench_function(BenchmarkId::new("build", label), |b| {
             b.iter(|| Csf.build(pts, shape, &counter).unwrap());
         });

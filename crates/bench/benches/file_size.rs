@@ -28,8 +28,7 @@ fn bench_encode_and_report_sizes(c: &mut Criterion) {
                 let org = format.create();
                 let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
                 sizes.push(format!("{}={}", format.name(), built.index.len()));
-                let id =
-                    BenchmarkId::new(format.name(), format!("{}-{}D", pattern.name(), ndim));
+                let id = BenchmarkId::new(format.name(), format!("{}-{}D", pattern.name(), ndim));
                 group.bench_with_input(id, &ds, |b, ds| {
                     b.iter(|| {
                         org.build(&ds.coords, &ds.shape, &counter)

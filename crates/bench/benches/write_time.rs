@@ -32,13 +32,9 @@ fn bench_write(c: &mut Criterion) {
                 );
                 group.bench_with_input(id, &ds, |b, ds| {
                     b.iter(|| {
-                        let engine = StorageEngine::open(
-                            MemBackend::new(),
-                            format,
-                            ds.shape.clone(),
-                            8,
-                        )
-                        .unwrap();
+                        let engine =
+                            StorageEngine::open(MemBackend::new(), format, ds.shape.clone(), 8)
+                                .unwrap();
                         engine.write(&ds.coords, &payload).unwrap()
                     });
                 });

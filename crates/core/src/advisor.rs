@@ -118,7 +118,11 @@ pub fn recommend(
 
     // Table IV-style normalization: each metric divided by its max.
     let norm = |v: &[f64]| -> Vec<f64> {
-        let max = v.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+        let max = v
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE);
         v.iter().map(|x| x / max).collect()
     };
     let (wn, rn, sn) = (norm(&writes), norm(&reads), norm(&spaces));
@@ -194,9 +198,7 @@ mod tests {
         let last = r.ranking.last().unwrap().kind;
         assert_ne!(r.best(), FormatKind::Coo);
         // COO should be at or near the bottom.
-        assert!(
-            last == FormatKind::Coo || r.ranking[r.ranking.len() - 2].kind == FormatKind::Coo
-        );
+        assert!(last == FormatKind::Coo || r.ranking[r.ranking.len() - 2].kind == FormatKind::Coo);
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl<'a> IndexDecoder<'a> {
         let format = cur.get_u16_le();
         if let Some(expected) = expected_format {
             if format != expected {
-                return Err(FormatError::WrongFormat { expected, found: format });
+                return Err(FormatError::WrongFormat {
+                    expected,
+                    found: format,
+                });
             }
         }
         let ndim = cur.get_u16_le() as usize;
@@ -117,7 +120,9 @@ impl<'a> IndexDecoder<'a> {
         let _pad = cur.get_u32_le();
         let n = cur.get_u64_le();
         if cur.remaining() < ndim * 8 {
-            return Err(FormatError::UnexpectedEof { reading: "shape dims" });
+            return Err(FormatError::UnexpectedEof {
+                reading: "shape dims",
+            });
         }
         let mut dims = Vec::with_capacity(ndim);
         for _ in 0..ndim {
@@ -226,7 +231,10 @@ mod tests {
 
         assert!(matches!(
             IndexDecoder::new(&bytes, Some(2)),
-            Err(FormatError::WrongFormat { expected: 2, found: 1 })
+            Err(FormatError::WrongFormat {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

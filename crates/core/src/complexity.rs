@@ -50,9 +50,7 @@ pub fn predicted_read_ops(kind: FormatKind, n: u64, n_read: u64, shape: &Shape) 
         // O(n · n_read): full scan per query.
         FormatKind::Coo | FormatKind::Linear => nf * rf,
         // O(n_read · n / min{m_i} + n): one bucket scanned per query.
-        FormatKind::GcsrPP | FormatKind::GcscPP => {
-            rf * (nf / shape.min_dim() as f64) + nf
-        }
+        FormatKind::GcsrPP | FormatKind::GcscPP => rf * (nf / shape.min_dim() as f64) + nf,
         // O(n_read · d) descent (§II.E prose), log branch factor folded in.
         FormatKind::Csf => rf * d * lg(n.max(1)).max(1.0),
         // O(n_read · log n) binary searches.

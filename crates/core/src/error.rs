@@ -40,7 +40,9 @@ pub enum FormatError {
 impl FormatError {
     /// Convenience constructor for [`FormatError::Corrupt`].
     pub fn corrupt(reason: impl Into<String>) -> Self {
-        FormatError::Corrupt { reason: reason.into() }
+        FormatError::Corrupt {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -97,7 +99,9 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(FormatError::BadVersion { found: 9 }.to_string().contains('9'));
+        assert!(FormatError::BadVersion { found: 9 }
+            .to_string()
+            .contains('9'));
         assert!(FormatError::corrupt("row_ptr not monotone")
             .to_string()
             .contains("row_ptr"));

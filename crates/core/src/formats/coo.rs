@@ -12,7 +12,6 @@ use crate::error::Result;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
 use artsparse_tensor::{CoordBuffer, Shape};
-use rayon::prelude::*;
 
 /// The COO organization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,9 +59,11 @@ impl Organization for Coo {
             .into());
         }
         let n = header.n as usize;
-        let flat = dec.section_exact("coords", n.checked_mul(d).ok_or_else(|| {
-            crate::error::FormatError::corrupt("n*d overflows")
-        })?)?;
+        let flat = dec.section_exact(
+            "coords",
+            n.checked_mul(d)
+                .ok_or_else(|| crate::error::FormatError::corrupt("n*d overflows"))?,
+        )?;
         dec.expect_end()?;
 
         // Every query performs a full linear scan (no sorting, §II.A),
@@ -131,8 +132,7 @@ mod tests {
     #[test]
     fn read_returns_first_duplicate() {
         let shape = Shape::new(vec![4, 4]).unwrap();
-        let coords =
-            CoordBuffer::from_points(2, &[[1u64, 1], [2, 2], [1, 1]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[1u64, 1], [2, 2], [1, 1]]).unwrap();
         let c = OpCounter::new();
         let out = Coo.build(&coords, &shape, &c).unwrap();
         let q = CoordBuffer::from_points(2, &[[1u64, 1]]).unwrap();
@@ -194,9 +194,6 @@ mod tests {
         let out = Coo.build(&coords, &shape, &c).unwrap();
         let header = crate::codec::FIXED_HEADER_BYTES + 3 * 8; // + shape dims
         let payload_words = (out.index.len() - header - 8) / 8; // - section len
-        assert_eq!(
-            payload_words as u64,
-            Coo.predicted_index_words(5, &shape)
-        );
+        assert_eq!(payload_words as u64, Coo.predicted_index_words(5, &shape));
     }
 }

@@ -21,7 +21,6 @@ use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
 use artsparse_tensor::sort::sort_lexicographic;
 use artsparse_tensor::{CoordBuffer, Shape};
-use rayon::prelude::*;
 
 /// The CSF organization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -119,9 +118,9 @@ impl CsfTree {
         }
         let nfibs = dec.section_exact("nfibs", d)?;
         let mut fids = Vec::with_capacity(d);
-        for i in 0..d {
-            let want = usize::try_from(nfibs[i])
-                .map_err(|_| FormatError::corrupt("nfibs entry too large"))?;
+        for &nf in &nfibs {
+            let want =
+                usize::try_from(nf).map_err(|_| FormatError::corrupt("nfibs entry too large"))?;
             fids.push(dec.section_exact("fids", want)?);
         }
         let mut fptr = Vec::with_capacity(d - 1);
@@ -167,11 +166,11 @@ impl CsfTree {
         let mut compares = 0u64;
         let mut visits = 0u64;
         let mut found = None;
-        for i in 0..d {
+        for (i, &q) in qp.iter().enumerate().take(d) {
             visits += 1;
             // Children of one node are sorted ascending: binary search.
             let seg = &self.fids[i][lo..hi];
-            let (pos, cmp) = binary_search_counted(seg, qp[i]);
+            let (pos, cmp) = binary_search_counted(seg, q);
             compares += cmp;
             match pos {
                 None => break,
@@ -371,11 +370,7 @@ mod tests {
         // Shape (8, 2, 4): ascending order is [1, 2, 0], so level 0 holds
         // the size-2 dimension.
         let shape = Shape::new(vec![8, 2, 4]).unwrap();
-        let coords = CoordBuffer::from_points(
-            3,
-            &[[5u64, 0, 3], [5, 1, 3], [2, 0, 1]],
-        )
-        .unwrap();
+        let coords = CoordBuffer::from_points(3, &[[5u64, 0, 3], [5, 1, 3], [2, 0, 1]]).unwrap();
         let c = OpCounter::new();
         let out = Csf.build(&coords, &shape, &c).unwrap();
         let (tree, _) = CsfTree::decode(&out.index).unwrap();
@@ -440,8 +435,7 @@ mod tests {
     #[test]
     fn duplicates_get_individual_leaves() {
         let shape = Shape::new(vec![4, 4]).unwrap();
-        let coords =
-            CoordBuffer::from_points(2, &[[1u64, 1], [1, 1], [1, 2]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[1u64, 1], [1, 1], [1, 2]]).unwrap();
         let c = OpCounter::new();
         let out = Csf.build(&coords, &shape, &c).unwrap();
         let (tree, _) = CsfTree::decode(&out.index).unwrap();

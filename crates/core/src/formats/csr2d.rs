@@ -27,13 +27,19 @@ impl Remap2D {
     /// GCSR++ remap: smallest dimension becomes the row count.
     pub fn for_gcsr(shape: &Shape) -> Remap2D {
         let rows = shape.min_dim();
-        Remap2D { rows, cols: shape.volume() / rows }
+        Remap2D {
+            rows,
+            cols: shape.volume() / rows,
+        }
     }
 
     /// GCSC++ remap: smallest dimension becomes the column count.
     pub fn for_gcsc(shape: &Shape) -> Remap2D {
         let cols = shape.min_dim();
-        Remap2D { rows: shape.volume() / cols, cols }
+        Remap2D {
+            rows: shape.volume() / cols,
+            cols,
+        }
     }
 
     /// Decode a linear address into `(row, col)`
@@ -142,7 +148,13 @@ impl<V: Copy + Default + std::ops::AddAssign + std::ops::Mul<Output = V>> CsrMat
         let row_ptr = build_ptr(coalesced.iter().map(|&(r, _, _)| r), rows as usize);
         let col_ind = coalesced.iter().map(|&(_, c, _)| c).collect();
         let values = coalesced.iter().map(|&(_, _, v)| v).collect();
-        Ok(CsrMatrix { rows, cols, row_ptr, col_ind, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_ind,
+            values,
+        })
     }
 
     /// Matrix dimensions `(rows, cols)`.
@@ -200,14 +212,14 @@ impl<V: Copy + Default + std::ops::AddAssign + std::ops::Mul<Output = V>> CsrMat
             )));
         }
         let mut y = vec![V::default(); self.rows as usize];
-        for r in 0..self.rows as usize {
+        for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r] as usize;
             let hi = self.row_ptr[r + 1] as usize;
             let mut acc = V::default();
             for (c, v) in self.col_ind[lo..hi].iter().zip(&self.values[lo..hi]) {
                 acc += *v * x[*c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         Ok(y)
     }
@@ -244,12 +256,8 @@ mod csr_matrix_tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)])
+            .unwrap()
     }
 
     #[test]
@@ -281,8 +289,7 @@ mod csr_matrix_tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let m =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.5), (0, 0, 2.5)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.5), (0, 0, 2.5)]).unwrap();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 4.0);
     }
@@ -324,8 +331,7 @@ mod csr_matrix_tests {
     #[test]
     fn triplet_roundtrip() {
         let m = sample();
-        let again =
-            CsrMatrix::from_triplets(3, 3, &m.to_triplets()).unwrap();
+        let again = CsrMatrix::from_triplets(3, 3, &m.to_triplets()).unwrap();
         assert_eq!(again, m);
     }
 
@@ -343,21 +349,14 @@ mod csr_matrix_tests {
         let built = crate::formats::gcsr::GcsrPP
             .build(&coords, &shape, &counter)
             .unwrap();
-        let (_, mut dec) =
-            crate::codec::IndexDecoder::new(&built.index, None).unwrap();
+        let (_, mut dec) = crate::codec::IndexDecoder::new(&built.index, None).unwrap();
         let ptr = dec.section("ptr").unwrap();
         let ind = dec.section("ind").unwrap();
-        let m = CsrMatrix::from_triplets(
-            4,
-            4,
-            &pts.map(|[r, c]| (r, c, 1.0f64)),
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triplets(4, 4, &pts.map(|[r, c]| (r, c, 1.0f64))).unwrap();
         assert_eq!(ptr, m.row_ptr());
         assert_eq!(ind, m.col_ind());
     }
 }
-
 
 #[cfg(test)]
 mod tests {

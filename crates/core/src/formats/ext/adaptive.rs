@@ -151,8 +151,8 @@ impl Organization for Adaptive {
                 bitmaps.extend_from_slice(&bits);
             } else {
                 let lo = region.lo().to_vec();
-                for k in i..j {
-                    let p = coords.point(perm[k]);
+                for &pk in &perm[i..j] {
+                    let p = coords.point(pk);
                     for (dim, &l) in lo.iter().enumerate() {
                         list_locals.push((p[dim] - l) as u8);
                     }
@@ -202,12 +202,9 @@ impl Organization for Adaptive {
                 }
                 let addr = decoded.grid.address(q).expect("contained");
                 counter.inc(OpKind::Transform);
-                let mut compares =
-                    (usize::BITS - decoded.block_ids.len().leading_zeros()) as u64;
+                let mut compares = (usize::BITS - decoded.block_ids.len().leading_zeros()) as u64;
                 let bi = decoded.block_ids.partition_point(|&b| b < addr.block);
-                let found = if bi < decoded.block_ids.len()
-                    && decoded.block_ids[bi] == addr.block
-                {
+                let found = if bi < decoded.block_ids.len() && decoded.block_ids[bi] == addr.block {
                     let (slot, extra) = decoded.lookup_in_block(bi, addr.local);
                     compares += extra;
                     slot

@@ -111,8 +111,7 @@ impl BlockedLinear {
         queries: &CoordBuffer,
         counter: &OpCounter,
     ) -> Result<Vec<Option<u64>>> {
-        let (header, mut dec) =
-            IndexDecoder::new(index, Some(FormatKind::BlockedLinear.id()))?;
+        let (header, mut dec) = IndexDecoder::new(index, Some(FormatKind::BlockedLinear.id()))?;
         let d = header.shape.ndim();
         let global_dims = dec.section_exact("global dims", d)?;
         let block_dims = dec.section_exact("block dims", d)?;
@@ -203,13 +202,8 @@ impl Organization for BlockedLinear {
         2 * n + 2 * shape.ndim() as u64
     }
 
-    fn enumerate(
-        &self,
-        index: &[u8],
-        counter: &OpCounter,
-    ) -> Result<CoordBuffer> {
-        let (header, mut dec) =
-            IndexDecoder::new(index, Some(FormatKind::BlockedLinear.id()))?;
+    fn enumerate(&self, index: &[u8], counter: &OpCounter) -> Result<CoordBuffer> {
+        let (header, mut dec) = IndexDecoder::new(index, Some(FormatKind::BlockedLinear.id()))?;
         let d = header.shape.ndim();
         let global_dims = dec.section_exact("global dims", d)?;
         let block_dims = dec.section_exact("block dims", d)?;
@@ -242,11 +236,8 @@ mod tests {
     #[test]
     fn tiny_blocks_roundtrip() {
         let shape = Shape::new(vec![10, 10]).unwrap();
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[0u64, 0], [9, 9], [4, 5], [5, 4], [3, 3]],
-        )
-        .unwrap();
+        let coords =
+            CoordBuffer::from_points(2, &[[0u64, 0], [9, 9], [4, 5], [5, 4], [3, 3]]).unwrap();
         check_against_oracle(&BlockedLinear::with_block_side(3), &shape, &coords);
     }
 
@@ -259,21 +250,14 @@ mod tests {
         assert!(Shape::new(dims.clone()).is_err());
 
         let bl = BlockedLinear::with_block_side(1 << 20);
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[0u64, 0], [big - 1, big - 1], [123_456_789_012, 42]],
-        )
-        .unwrap();
+        let coords =
+            CoordBuffer::from_points(2, &[[0u64, 0], [big - 1, big - 1], [123_456_789_012, 42]])
+                .unwrap();
         let c = OpCounter::new();
         let out = bl.build_raw(&coords, &dims, &c).unwrap();
         let queries = CoordBuffer::from_points(
             2,
-            &[
-                [big - 1, big - 1],
-                [0, 0],
-                [123_456_789_012, 42],
-                [7, 7],
-            ],
+            &[[big - 1, big - 1], [0, 0], [123_456_789_012, 42], [7, 7]],
         )
         .unwrap();
         let slots = bl.read_raw(&out.index, &queries, &c).unwrap();

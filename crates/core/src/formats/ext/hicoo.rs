@@ -202,13 +202,10 @@ impl Organization for HiCoo {
                 counter.inc(OpKind::Transform);
                 // Binary-search the block, then scan its run.
                 let bi = block_ids.partition_point(|&b| b < addr.block);
-                let mut compares =
-                    (usize::BITS - block_ids.len().leading_zeros()) as u64;
+                let mut compares = (usize::BITS - block_ids.len().leading_zeros()) as u64;
                 let mut found = None;
                 if bi < nblocks && block_ids[bi] == addr.block {
-                    let target: Vec<u8> = (0..d)
-                        .map(|k| (q[k] % block_dims[k]) as u8)
-                        .collect();
+                    let target: Vec<u8> = (0..d).map(|k| (q[k] % block_dims[k]) as u8).collect();
                     for j in bptr[bi] as usize..bptr[bi + 1] as usize {
                         compares += 1;
                         if locals[j * d..(j + 1) * d] == target[..] {
@@ -257,9 +254,7 @@ impl Organization for HiCoo {
             let region = grid.block_region(block_ids[bi])?;
             let lo = region.lo().to_vec();
             for j in bptr[bi] as usize..bptr[bi + 1] as usize {
-                let coord: Vec<u64> = (0..d)
-                    .map(|k| lo[k] + locals[j * d + k] as u64)
-                    .collect();
+                let coord: Vec<u64> = (0..d).map(|k| lo[k] + locals[j * d + k] as u64).collect();
                 shape.check_coord(&coord)?;
                 coords.push(&coord)?;
             }
@@ -286,11 +281,9 @@ mod tests {
     #[test]
     fn tiny_blocks_roundtrip() {
         let shape = Shape::new(vec![10, 10]).unwrap();
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[0u64, 0], [9, 9], [4, 5], [5, 4], [3, 3], [4, 5]],
-        )
-        .unwrap();
+        let coords =
+            CoordBuffer::from_points(2, &[[0u64, 0], [9, 9], [4, 5], [5, 4], [3, 3], [4, 5]])
+                .unwrap();
         check_against_oracle(&HiCoo::with_block_side(3), &shape, &coords);
     }
 
@@ -320,10 +313,11 @@ mod tests {
     fn map_sorts_by_block_then_local() {
         let shape = Shape::new(vec![8, 8]).unwrap();
         // Block side 4: blocks are 2×2 grid. Points in blocks 3, 0, 0.
-        let coords =
-            CoordBuffer::from_points(2, &[[7u64, 7], [0, 1], [0, 0]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[7u64, 7], [0, 1], [0, 0]]).unwrap();
         let c = OpCounter::new();
-        let out = HiCoo::with_block_side(4).build(&coords, &shape, &c).unwrap();
+        let out = HiCoo::with_block_side(4)
+            .build(&coords, &shape, &c)
+            .unwrap();
         // Sorted order: (0,0), (0,1), (7,7) → original 2, 1, 0.
         assert_eq!(out.map, Some(vec![2, 1, 0]));
     }
@@ -338,7 +332,9 @@ mod tests {
         pts.push([15, 15]); // far block
         let coords = CoordBuffer::from_points(2, &pts).unwrap();
         let c = OpCounter::new();
-        let out = HiCoo::with_block_side(8).build(&coords, &shape, &c).unwrap();
+        let out = HiCoo::with_block_side(8)
+            .build(&coords, &shape, &c)
+            .unwrap();
         c.reset();
         let q = CoordBuffer::from_points(2, &[[14u64, 14]]).unwrap();
         assert_eq!(
@@ -352,11 +348,7 @@ mod tests {
     #[test]
     fn enumerate_reconstructs_points() {
         let shape = Shape::new(vec![20, 20]).unwrap();
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[19u64, 0], [0, 19], [10, 10], [3, 7]],
-        )
-        .unwrap();
+        let coords = CoordBuffer::from_points(2, &[[19u64, 0], [0, 19], [10, 10], [3, 7]]).unwrap();
         let c = OpCounter::new();
         let h = HiCoo::with_block_side(6);
         let out = h.build(&coords, &shape, &c).unwrap();

@@ -113,11 +113,9 @@ impl Organization for SortedCoo {
         let mut coord = vec![0u64; shape.ndim()];
         for &a in &addrs {
             if a >= volume {
-                return Err(artsparse_tensor::TensorError::LinearOutOfBounds {
-                    addr: a,
-                    volume,
-                }
-                .into());
+                return Err(
+                    artsparse_tensor::TensorError::LinearOutOfBounds { addr: a, volume }.into(),
+                );
             }
             shape.delinearize_into(a, &mut coord);
             coords.push(&coord)?;
@@ -141,11 +139,8 @@ mod tests {
     #[test]
     fn shuffled_input_roundtrips() {
         let shape = Shape::new(vec![16, 16]).unwrap();
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[9u64, 9], [0, 0], [5, 5], [0, 15], [15, 0]],
-        )
-        .unwrap();
+        let coords =
+            CoordBuffer::from_points(2, &[[9u64, 9], [0, 0], [5, 5], [0, 15], [15, 0]]).unwrap();
         check_against_oracle(&SortedCoo, &shape, &coords);
     }
 
@@ -153,8 +148,7 @@ mod tests {
     fn map_sorts_values_by_address() {
         let shape = Shape::new(vec![4, 4]).unwrap();
         // Addresses: 10, 2, 7 → sorted order is points 1, 2, 0.
-        let coords =
-            CoordBuffer::from_points(2, &[[2u64, 2], [0, 2], [1, 3]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[2u64, 2], [0, 2], [1, 3]]).unwrap();
         let c = OpCounter::new();
         let out = SortedCoo.build(&coords, &shape, &c).unwrap();
         assert_eq!(out.map, Some(vec![2, 0, 1]));

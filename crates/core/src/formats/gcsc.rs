@@ -102,8 +102,7 @@ mod tests {
         let (shape, coords) = fig1();
         let c = OpCounter::new();
         let out = GcscPP.build(&coords, &shape, &c).unwrap();
-        let (h, mut dec) =
-            IndexDecoder::new(&out.index, Some(FormatKind::GcscPP.id())).unwrap();
+        let (h, mut dec) = IndexDecoder::new(&out.index, Some(FormatKind::GcscPP.id())).unwrap();
         assert_eq!(h.n, 5);
         let col_ptr = dec.section("ptr").unwrap();
         let row_ind = dec.section("ind").unwrap();
@@ -128,7 +127,9 @@ mod tests {
         let coords = CoordBuffer::from_points(2, &pts).unwrap();
         let c = OpCounter::new();
         let gcsc = GcscPP.build(&coords, &shape, &c).unwrap();
-        let gcsr = crate::formats::gcsr::GcsrPP.build(&coords, &shape, &c).unwrap();
+        let gcsr = crate::formats::gcsr::GcsrPP
+            .build(&coords, &shape, &c)
+            .unwrap();
         let identity: Vec<usize> = (0..16).collect();
         assert_eq!(gcsr.map, Some(identity.clone()));
         assert_ne!(gcsc.map, Some(identity));
@@ -138,11 +139,7 @@ mod tests {
     fn read_scans_one_column() {
         let shape = Shape::new(vec![4, 4]).unwrap();
         // Column 1 holds 3 points, column 2 holds 1.
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[0u64, 1], [1, 1], [2, 1], [3, 2]],
-        )
-        .unwrap();
+        let coords = CoordBuffer::from_points(2, &[[0u64, 1], [1, 1], [2, 1], [3, 2]]).unwrap();
         let c = OpCounter::new();
         let out = GcscPP.build(&coords, &shape, &c).unwrap();
         c.reset();
@@ -156,18 +153,14 @@ mod tests {
         let shape = Shape::new(vec![8, 8, 8]).unwrap();
         let coords = CoordBuffer::from_points(
             3,
-            &[
-                [0u64, 0, 0],
-                [7, 7, 7],
-                [3, 1, 4],
-                [1, 5, 2],
-                [2, 6, 5],
-            ],
+            &[[0u64, 0, 0], [7, 7, 7], [3, 1, 4], [1, 5, 2], [2, 6, 5]],
         )
         .unwrap();
         let c = OpCounter::new();
         let a = GcscPP.build(&coords, &shape, &c).unwrap();
-        let b = crate::formats::gcsr::GcsrPP.build(&coords, &shape, &c).unwrap();
+        let b = crate::formats::gcsr::GcsrPP
+            .build(&coords, &shape, &c)
+            .unwrap();
         let q = artsparse_tensor::Region::full(&shape).to_coords();
         let ra = GcscPP.read(&a.index, &q, &c).unwrap();
         let rb = crate::formats::gcsr::GcsrPP.read(&b.index, &q, &c).unwrap();

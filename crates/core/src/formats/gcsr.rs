@@ -115,10 +115,16 @@ pub(crate) fn read_generalized(
     dec.expect_end()?;
     validate_ptr(&ptr, header.n, "ptr")?;
     if ind.iter().any(|&v| {
-        let limit = if nb as u64 == remap.rows { remap.cols } else { remap.rows };
+        let limit = if nb as u64 == remap.rows {
+            remap.cols
+        } else {
+            remap.rows
+        };
         v >= limit
     }) {
-        return Err(crate::error::FormatError::corrupt("ind entry out of 2D range"));
+        return Err(crate::error::FormatError::corrupt(
+            "ind entry out of 2D range",
+        ));
     }
 
     // Lines 6–13: transform each query the same way and scan one bucket.
@@ -259,8 +265,7 @@ mod tests {
         let (shape, coords) = fig1();
         let c = OpCounter::new();
         let out = GcsrPP.build(&coords, &shape, &c).unwrap();
-        let (h, mut dec) =
-            IndexDecoder::new(&out.index, Some(FormatKind::GcsrPP.id())).unwrap();
+        let (h, mut dec) = IndexDecoder::new(&out.index, Some(FormatKind::GcsrPP.id())).unwrap();
         // Local boundary of the five points: dims (3,3,2)… no: coords span
         // [0..2]×[0..2]×[1..2] ⇒ boundary shape (3,3,3) anchored at origin.
         assert_eq!(h.shape.dims(), &[3, 3, 3]);
@@ -283,8 +288,7 @@ mod tests {
     fn map_tracks_row_sort() {
         let shape = Shape::new(vec![3, 4]).unwrap();
         // Rows: 2, 0, 1 → sorted order is points 1, 2, 0.
-        let coords =
-            CoordBuffer::from_points(2, &[[2u64, 0], [0, 1], [1, 3]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[2u64, 0], [0, 1], [1, 3]]).unwrap();
         let c = OpCounter::new();
         let out = GcsrPP.build(&coords, &shape, &c).unwrap();
         assert_eq!(out.map, Some(vec![2, 0, 1]));
@@ -295,11 +299,7 @@ mod tests {
         // 4×4: row 0 holds 3 points, row 1 holds 1. A miss in row 1 must
         // cost 1 compare, not 4.
         let shape = Shape::new(vec![4, 4]).unwrap();
-        let coords = CoordBuffer::from_points(
-            2,
-            &[[0u64, 0], [0, 1], [0, 2], [1, 3]],
-        )
-        .unwrap();
+        let coords = CoordBuffer::from_points(2, &[[0u64, 0], [0, 1], [0, 2], [1, 3]]).unwrap();
         let c = OpCounter::new();
         let out = GcsrPP.build(&coords, &shape, &c).unwrap();
         c.reset();
@@ -354,8 +354,7 @@ mod tests {
     #[test]
     fn duplicates_resolve_to_some_matching_record() {
         let shape = Shape::new(vec![4, 4]).unwrap();
-        let coords =
-            CoordBuffer::from_points(2, &[[1u64, 2], [1, 2], [0, 0]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[1u64, 2], [1, 2], [0, 0]]).unwrap();
         check_against_oracle(&GcsrPP, &shape, &coords);
     }
 }

@@ -13,7 +13,6 @@ use crate::error::Result;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
 use artsparse_tensor::{CoordBuffer, Shape};
-use rayon::prelude::*;
 
 /// The LINEAR organization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -105,11 +104,9 @@ impl Organization for Linear {
         let mut coord = vec![0u64; shape.ndim()];
         for &a in &addrs {
             if a >= volume {
-                return Err(artsparse_tensor::TensorError::LinearOutOfBounds {
-                    addr: a,
-                    volume,
-                }
-                .into());
+                return Err(
+                    artsparse_tensor::TensorError::LinearOutOfBounds { addr: a, volume }.into(),
+                );
             }
             shape.delinearize_into(a, &mut coord);
             coords.push(&coord)?;
@@ -135,8 +132,7 @@ mod tests {
         let (shape, coords) = fig1();
         let c = OpCounter::new();
         let out = Linear.build(&coords, &shape, &c).unwrap();
-        let (h, mut dec) =
-            IndexDecoder::new(&out.index, Some(FormatKind::Linear.id())).unwrap();
+        let (h, mut dec) = IndexDecoder::new(&out.index, Some(FormatKind::Linear.id())).unwrap();
         let addrs = dec.section_exact("addresses", h.n as usize).unwrap();
         // Fig. 1(a): LINEAR column is 1, 4, 5, 25, 26 in input order.
         assert_eq!(addrs, vec![1, 4, 5, 25, 26]);
@@ -184,11 +180,8 @@ mod tests {
     #[test]
     fn index_is_d_times_smaller_than_coo() {
         let shape = Shape::cube(4, 8).unwrap();
-        let coords = CoordBuffer::from_points(
-            4,
-            &[[0u64, 1, 2, 3], [4, 5, 6, 7], [1, 1, 1, 1]],
-        )
-        .unwrap();
+        let coords =
+            CoordBuffer::from_points(4, &[[0u64, 1, 2, 3], [4, 5, 6, 7], [1, 1, 1, 1]]).unwrap();
         let c = OpCounter::new();
         let lin = Linear.build(&coords, &shape, &c).unwrap();
         let coo = crate::formats::coo::Coo.build(&coords, &shape, &c).unwrap();

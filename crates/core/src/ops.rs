@@ -16,14 +16,8 @@ use std::collections::BTreeMap;
 use std::ops::{Add, AddAssign, Mul};
 
 /// Arithmetic scalar usable in kernels.
-pub trait Scalar:
-    Element + Default + Add<Output = Self> + AddAssign + Mul<Output = Self>
-{
-}
-impl<T> Scalar for T where
-    T: Element + Default + Add<Output = T> + AddAssign + Mul<Output = T>
-{
-}
+pub trait Scalar: Element + Default + Add<Output = Self> + AddAssign + Mul<Output = Self> {}
+impl<T> Scalar for T where T: Element + Default + Add<Output = T> + AddAssign + Mul<Output = T> {}
 
 /// Decode any index buffer into `(shape, slot-ordered coordinates)`.
 ///
@@ -110,7 +104,10 @@ pub fn tensor_times_vector<V: Scalar>(
     if coords.len() != values.len() {
         return Err(FormatError::corrupt("value payload does not match index"));
     }
-    let out_dims: Vec<u64> = (0..d).filter(|&k| k != mode).map(|k| shape.dim(k)).collect();
+    let out_dims: Vec<u64> = (0..d)
+        .filter(|&k| k != mode)
+        .map(|k| shape.dim(k))
+        .collect();
     let out_shape = Shape::new(out_dims)?;
 
     // Accumulate by output linear address (BTreeMap ⇒ row-major output).
@@ -180,11 +177,7 @@ mod tests {
     use artsparse_tensor::DenseTensor;
 
     /// Build an encoded tensor + slot-ordered values under `kind`.
-    fn encode(
-        kind: FormatKind,
-        shape: &Shape,
-        pts: &[(&[u64], f64)],
-    ) -> (Vec<u8>, Vec<f64>) {
+    fn encode(kind: FormatKind, shape: &Shape, pts: &[(&[u64], f64)]) -> (Vec<u8>, Vec<f64>) {
         let mut t = SparseTensor::<f64>::new(shape.clone());
         for (c, v) in pts {
             t.insert(c, *v).unwrap();
@@ -253,11 +246,7 @@ mod tests {
                 .map(|c| c.to_vec())
                 .zip(vals.iter().copied())
                 .collect();
-            assert_eq!(
-                got,
-                vec![(vec![0, 0], 201.0), (vec![1, 1], 30.0)],
-                "{kind}"
-            );
+            assert_eq!(got, vec![(vec![0, 0], 201.0), (vec![1, 1], 30.0)], "{kind}");
         }
     }
 
@@ -288,11 +277,7 @@ mod tests {
             .collect();
         assert_eq!(
             got,
-            vec![
-                (vec![0, 0], 1.0),
-                (vec![1, 1], 12.0),
-                (vec![2, 2], 3.0)
-            ]
+            vec![(vec![0, 0], 1.0), (vec![1, 1], 12.0), (vec![2, 2], 3.0)]
         );
     }
 
@@ -307,10 +292,7 @@ mod tests {
         };
         let mut pts_owned: Vec<(Vec<u64>, f64)> = Vec::new();
         for _ in 0..50 {
-            pts_owned.push((
-                vec![next() % 16, next() % 16],
-                (next() % 100) as f64 / 10.0,
-            ));
+            pts_owned.push((vec![next() % 16, next() % 16], (next() % 100) as f64 / 10.0));
         }
         let x: Vec<f64> = (0..16).map(|k| k as f64).collect();
         // Dense oracle (duplicates overwrite, so dedup first for parity).

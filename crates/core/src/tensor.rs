@@ -41,7 +41,11 @@ impl<V: Element> SparseTensor<V> {
             }
             .into());
         }
-        Ok(SparseTensor { shape, coords, values })
+        Ok(SparseTensor {
+            shape,
+            coords,
+            values,
+        })
     }
 
     /// Insert one point (duplicates are permitted and preserved).
@@ -212,10 +216,7 @@ mod tests {
         let enc = t.encode(FormatKind::Csf).unwrap();
         let r = Region::from_corners(&[0, 0], &[3, 3]).unwrap();
         let hits = enc.read_region::<f64>(&r).unwrap();
-        assert_eq!(
-            hits,
-            vec![(vec![0, 1], 1.5), (vec![3, 3], -2.0)]
-        );
+        assert_eq!(hits, vec![(vec![0, 1], 1.5), (vec![3, 3], -2.0)]);
     }
 
     #[test]

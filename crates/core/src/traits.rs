@@ -157,8 +157,12 @@ pub trait Organization: Send + Sync {
     /// Construct the organization for `coords` within `shape`
     /// (the paper's `*_BUILD`). Coordinates may be unsorted and may
     /// contain duplicates; every coordinate must lie inside `shape`.
-    fn build(&self, coords: &CoordBuffer, shape: &Shape, counter: &OpCounter)
-        -> Result<BuildOutput>;
+    fn build(
+        &self,
+        coords: &CoordBuffer,
+        shape: &Shape,
+        counter: &OpCounter,
+    ) -> Result<BuildOutput>;
 
     /// Query each point of `queries` against an encoded index (the paper's
     /// `*_READ`). Returns, per query, `Some(slot)` — the record position in
@@ -208,7 +212,11 @@ mod tests {
 
     #[test]
     fn identity_reorganize_is_copy() {
-        let out = BuildOutput { index: vec![], map: None, n_points: 2 };
+        let out = BuildOutput {
+            index: vec![],
+            map: None,
+            n_points: 2,
+        };
         assert_eq!(out.reorganize_values(&[1, 2, 3, 4], 2), vec![1, 2, 3, 4]);
     }
 

@@ -44,7 +44,14 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
                 dataset.label(),
                 dataset.nnz()
             ),
-            &["format", "write s", "read s", "bytes", "index bytes", "build s"],
+            &[
+                "format",
+                "write s",
+                "read s",
+                "bytes",
+                "index bytes",
+                "build s",
+            ],
         );
         for format in FORMATS {
             let cell = measure_cell(cfg, format, &dataset, &payload, &queries)?;
@@ -94,8 +101,10 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
         name: "ablate",
         notes: vec![
             "COO-SORTED trades an O(n log n) build for O(log n) reads; LINEAR-BLOCKED pays".into(),
-            "extra index for overflow-safe addressing; HICOO/ADAPTIVE win space on clustered".into(),
-            "data (ADAPTIVE bitmap-encodes MSP's dense region); the advisor applies Table I.".into(),
+            "extra index for overflow-safe addressing; HICOO/ADAPTIVE win space on clustered"
+                .into(),
+            "data (ADAPTIVE bitmap-encodes MSP's dense region); the advisor applies Table I."
+                .into(),
         ],
         tables: all_tables,
         json: serde_json::json!({ "cells": cells, "advisor": advisor_json }),
@@ -111,10 +120,7 @@ mod tests {
         let out = run(&Config::smoke()).unwrap();
         let cells = out.json["cells"].as_array().unwrap();
         let read = |name: &str| -> f64 {
-            cells
-                .iter()
-                .find(|c| c["format"] == name)
-                .unwrap()["read_secs"]
+            cells.iter().find(|c| c["format"] == name).unwrap()["read_secs"]
                 .as_f64()
                 .unwrap()
         };
@@ -131,10 +137,7 @@ mod tests {
         let out = run(&Config::smoke()).unwrap();
         let cells = out.json["cells"].as_array().unwrap();
         let bytes = |name: &str| -> u64 {
-            cells
-                .iter()
-                .find(|c| c["format"] == name)
-                .unwrap()["index_bytes"]
+            cells.iter().find(|c| c["format"] == name).unwrap()["index_bytes"]
                 .as_u64()
                 .unwrap()
         };
@@ -172,9 +175,7 @@ mod tests {
         let adv = out.json["advisor"].as_array().unwrap();
         assert_eq!(adv.len(), 3);
         let pick = |profile: &str| -> String {
-            adv.iter()
-                .find(|a| a["profile"] == profile)
-                .unwrap()["ranking"][0]["format"]
+            adv.iter().find(|a| a["profile"] == profile).unwrap()["ranking"][0]["format"]
                 .as_str()
                 .unwrap()
                 .to_string()

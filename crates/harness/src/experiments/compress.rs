@@ -48,9 +48,8 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
             let mut sizes = Vec::new();
             for codec in CODECS {
                 let handle = make_backend(cfg)?;
-                let engine =
-                    StorageEngine::open(handle.backend, format, ds.shape.clone(), 8)?
-                        .with_compression(codec, Codec::None);
+                let engine = StorageEngine::open(handle.backend, format, ds.shape.clone(), 8)?
+                    .with_compression(codec, Codec::None);
                 let report = engine.write(&ds.coords, &payload)?;
                 sizes.push(report.total_bytes as u64);
                 rows.push(Row {
@@ -82,7 +81,8 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
         name: "compress",
         notes: vec![
             "Every organization composes with every codec (reads are unchanged); the delta-".into(),
-            "varint codec collapses sorted-address layouts (LINEAR/COO-SORTED on banded data).".into(),
+            "varint codec collapses sorted-address layouts (LINEAR/COO-SORTED on banded data)."
+                .into(),
         ],
         tables,
         json: serde_json::json!({ "scale": cfg.scale, "rows": rows }),

@@ -52,7 +52,9 @@ pub fn run(_cfg: &Config) -> Result<ExperimentOutput> {
         .chunks_exact(3)
         .map(|p| format!("({}, {}, {})", p[0], p[1], p[2]))
         .collect();
-    let lin = FormatKind::Linear.create().build(&coords, &shape, &counter)?;
+    let lin = FormatKind::Linear
+        .create()
+        .build(&coords, &shape, &counter)?;
     let (_, mut dec) = IndexDecoder::new(&lin.index, None)?;
     let addrs = dec.section("addresses")?;
     let mut ab = Table::new("Fig. 1(a) — COO and LINEAR", &["COO", "LINEAR", "value"]);

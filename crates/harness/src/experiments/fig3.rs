@@ -18,7 +18,8 @@ pub fn from_matrix(cfg: &Config, matrix: &Matrix) -> ExperimentOutput {
     ExperimentOutput {
         name: "fig3",
         notes: vec![
-            "Expected ranking (paper §III.A): LINEAR fastest end-to-end; COO's O(1) build is".into(),
+            "Expected ranking (paper §III.A): LINEAR fastest end-to-end; COO's O(1) build is"
+                .into(),
             "offset by writing a ~d× larger fragment; GCSC++ slower than GCSR++ (layout".into(),
             "mismatch); CSF and the generalized formats pay their sorts.".into(),
         ],

@@ -18,12 +18,9 @@ pub fn from_matrix(cfg: &Config, matrix: &Matrix) -> ExperimentOutput {
         &formats,
         |c| format!("{:.4}", c.read_secs),
     );
-    let hits = grid_table(
-        "Query-region hits / queries",
-        matrix,
-        &formats,
-        |c| format!("{}/{}", c.read_hits, c.n_queries),
-    );
+    let hits = grid_table("Query-region hits / queries", matrix, &formats, |c| {
+        format!("{}/{}", c.read_hits, c.n_queries)
+    });
     ExperimentOutput {
         name: "fig5",
         notes: vec![

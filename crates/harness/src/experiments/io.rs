@@ -73,8 +73,7 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
     for &format in &cfg.formats {
         let mut row = vec![format.name().to_string()];
         for dev in DEVICES {
-            let engine =
-                StorageEngine::open(device(dev, cfg), format, ds.shape.clone(), 8)?;
+            let engine = StorageEngine::open(device(dev, cfg), format, ds.shape.clone(), 8)?;
             let report = engine.write(&ds.coords, &payload)?;
             row.push(format!("{:.4}", report.breakdown.sum()));
             rows.push(Row {
@@ -92,7 +91,8 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
         name: "io",
         notes: vec![
             "mem isolates algorithm time; sim-Nx stripes over N OSTs of equal per-device".into(),
-            "bandwidth — aggregate bandwidth (and write speed) scales with the stripe count,".into(),
+            "bandwidth — aggregate bandwidth (and write speed) scales with the stripe count,"
+                .into(),
             "as on Lustre.".into(),
         ],
         tables: vec![table],

@@ -88,7 +88,8 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
     Ok(ExperimentOutput {
         name: "sweep",
         notes: vec![
-            "GCSR++/GCSC++ read work grows linearly with density (bucket scans); CSF's stays".into(),
+            "GCSR++/GCSC++ read work grows linearly with density (bucket scans); CSF's stays"
+                .into(),
             "flat; CSF's bytes/point fall as density raises prefix sharing.".into(),
         ],
         tables: vec![ops_table, space_table],

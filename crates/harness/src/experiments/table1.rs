@@ -104,7 +104,13 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
     let mut table = Table::new(
         "Table I — measured ops vs predicted complexity (3D 64^3)",
         &[
-            "format", "n", "build meas", "build pred", "ratio", "read meas", "read pred",
+            "format",
+            "n",
+            "build meas",
+            "build pred",
+            "ratio",
+            "read meas",
+            "read pred",
             "ratio",
         ],
     );

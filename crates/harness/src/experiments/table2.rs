@@ -59,7 +59,13 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
 
     let mut table = Table::new(
         format!("Table II — dataset size and density ({} scale)", cfg.scale),
-        &["dimension and size", "pattern", "points", "density", "paper"],
+        &[
+            "dimension and size",
+            "pattern",
+            "points",
+            "density",
+            "paper",
+        ],
     );
     for r in &rows {
         table.push_row(vec![
@@ -76,9 +82,12 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
     Ok(ExperimentOutput {
         name: "table2",
         notes: vec![
-            "Generators follow the paper's textual parameters (band 9, thresholds 0.99/0.999,".into(),
-            "dense m/3-region). GSP matches the paper's densities; TSP/MSP keep the structure".into(),
-            "but the paper's printed densities are not derivable from its description (DESIGN.md).".into(),
+            "Generators follow the paper's textual parameters (band 9, thresholds 0.99/0.999,"
+                .into(),
+            "dense m/3-region). GSP matches the paper's densities; TSP/MSP keep the structure"
+                .into(),
+            "but the paper's printed densities are not derivable from its description (DESIGN.md)."
+                .into(),
         ],
         tables: vec![table],
         json: serde_json::json!({ "scale": cfg.scale, "rows": rows }),

@@ -119,9 +119,7 @@ mod tests {
         let cols = out.json["columns"].as_array().unwrap();
         assert_eq!(cols.len(), 5);
         let get = |name: &str, field: &str| -> f64 {
-            cols.iter()
-                .find(|c| c["format"] == name)
-                .unwrap()[field]
+            cols.iter().find(|c| c["format"] == name).unwrap()[field]
                 .as_f64()
                 .unwrap()
         };
@@ -140,9 +138,7 @@ mod tests {
         let out = run(&cfg_sim).unwrap();
         let cols = out.json["columns"].as_array().unwrap();
         let get = |name: &str, field: &str| -> f64 {
-            cols.iter()
-                .find(|c| c["format"] == name)
-                .unwrap()[field]
+            cols.iter().find(|c| c["format"] == name).unwrap()[field]
                 .as_f64()
                 .unwrap()
         };

@@ -32,7 +32,10 @@ pub fn from_matrix(cfg: &Config, matrix: &Matrix) -> Result<ExperimentOutput> {
     let ranked = ranking(&scores);
 
     let mut table = Table::new(
-        format!("Table IV — overall scores, lower is better ({} scale)", cfg.scale),
+        format!(
+            "Table IV — overall scores, lower is better ({} scale)",
+            cfg.scale
+        ),
         &["organization", "score", "paper score"],
     );
     let paper = paper_scores();

@@ -15,16 +15,16 @@
 
 use artsparse_core::FormatKind;
 use artsparse_harness::experiments::{
-    ablate, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3,
-    table4, ExperimentOutput,
+    ablate, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3, table4,
+    ExperimentOutput,
 };
 use artsparse_harness::{run_matrix, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
 const EXPERIMENTS: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
-    "ablate", "compress", "sweep", "io",
+    "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "ablate",
+    "compress", "sweep", "io",
 ];
 
 fn usage() -> ! {
@@ -114,9 +114,7 @@ fn main() -> Result<()> {
     }
 
     // fig3/fig4/fig5/table4 share one measured matrix.
-    let needs_matrix = ["fig3", "fig4", "fig5", "table4"]
-        .iter()
-        .any(|e| wants(e));
+    let needs_matrix = ["fig3", "fig4", "fig5", "table4"].iter().any(|e| wants(e));
     if needs_matrix {
         let matrix = run_matrix(&cfg)?;
         if wants("fig3") {

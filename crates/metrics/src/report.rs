@@ -26,11 +26,7 @@ impl Table {
 
     /// Append a row; its arity must match the header.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(
-            row.len(),
-            self.header.len(),
-            "row arity must match header"
-        );
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
         self.rows.push(row);
     }
 

@@ -64,9 +64,7 @@ impl std::error::Error for ScoreError {}
 ///
 /// Requires a complete grid: every organization must have exactly one
 /// value for every `(pattern, dim, metric)` combination that appears.
-pub fn overall_scores(
-    measurements: &[Measurement],
-) -> Result<BTreeMap<String, f64>, ScoreError> {
+pub fn overall_scores(measurements: &[Measurement]) -> Result<BTreeMap<String, f64>, ScoreError> {
     if measurements.is_empty() {
         return Err(ScoreError::Empty);
     }

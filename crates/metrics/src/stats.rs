@@ -65,12 +65,7 @@ impl Summary {
 
     /// `"median ± stddev"` with the given precision.
     pub fn display(&self, decimals: usize) -> String {
-        format!(
-            "{:.d$} ±{:.d$}",
-            self.median,
-            self.stddev,
-            d = decimals
-        )
+        format!("{:.d$} ±{:.d$}", self.median, self.stddev, d = decimals)
     }
 }
 

@@ -155,8 +155,12 @@ mod tests {
     #[test]
     fn phases_accumulate() {
         let mut t = PhaseTimer::new();
-        t.time(WritePhase::Build, || std::thread::sleep(Duration::from_millis(5)));
-        t.time(WritePhase::Build, || std::thread::sleep(Duration::from_millis(5)));
+        t.time(WritePhase::Build, || {
+            std::thread::sleep(Duration::from_millis(5))
+        });
+        t.time(WritePhase::Build, || {
+            std::thread::sleep(Duration::from_millis(5))
+        });
         t.time(WritePhase::Write, || ());
         let b = t.finish();
         assert!(b.build >= 0.009, "build={}", b.build);

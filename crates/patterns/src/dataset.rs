@@ -31,11 +31,21 @@ impl Dataset {
                 params.seed,
             ),
         };
-        Dataset { pattern, shape, coords, params }
+        Dataset {
+            pattern,
+            shape,
+            coords,
+            params,
+        }
     }
 
     /// Generate the Table II cell for `(pattern, ndim)` at `scale`.
-    pub fn for_scale(pattern: Pattern, ndim: usize, scale: Scale, params: PatternParams) -> Dataset {
+    pub fn for_scale(
+        pattern: Pattern,
+        ndim: usize,
+        scale: Scale,
+        params: PatternParams,
+    ) -> Dataset {
         let shape = scale.shape(ndim).expect("scale shapes are valid");
         Dataset::generate(pattern, shape, params)
     }
@@ -77,12 +87,7 @@ mod tests {
     fn generates_all_table_ii_cells_at_smoke_scale() {
         for pattern in Pattern::ALL {
             for ndim in Scale::NDIMS {
-                let ds = Dataset::for_scale(
-                    pattern,
-                    ndim,
-                    Scale::Smoke,
-                    PatternParams::default(),
-                );
+                let ds = Dataset::for_scale(pattern, ndim, Scale::Smoke, PatternParams::default());
                 assert!(ds.nnz() > 0, "{}", ds.label());
                 assert!(ds.density() > 0.0 && ds.density() < 0.5, "{}", ds.label());
                 assert!(ds.coords.check_against(&ds.shape).is_ok());
@@ -92,12 +97,7 @@ mod tests {
 
     #[test]
     fn gsp_density_near_one_percent_like_table_ii() {
-        let ds = Dataset::for_scale(
-            Pattern::Gsp,
-            2,
-            Scale::Smoke,
-            PatternParams::default(),
-        );
+        let ds = Dataset::for_scale(Pattern::Gsp, 2, Scale::Smoke, PatternParams::default());
         assert!((ds.density() - 0.01).abs() < 0.004, "{}", ds.density());
     }
 

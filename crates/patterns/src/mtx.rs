@@ -65,7 +65,10 @@ impl From<std::io::Error> for MtxError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> MtxError {
-    MtxError::Parse { line, message: message.into() }
+    MtxError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,7 +202,11 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<MtxMatrix, MtxError> {
             format!("file declared {nnz} entries but contained {seen}"),
         ));
     }
-    Ok(MtxMatrix { shape, coords, values })
+    Ok(MtxMatrix {
+        shape,
+        coords,
+        values,
+    })
 }
 
 /// Parse from an in-memory string.
@@ -296,9 +303,7 @@ mod tests {
         assert!(read_mtx_str("").is_err());
         assert!(read_mtx_str("%%MatrixMarket tensor coordinate real general\n1 1 0\n").is_err());
         assert!(read_mtx_str("%%MatrixMarket matrix array real general\n1 1 0\n").is_err());
-        assert!(
-            read_mtx_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err()
-        );
+        assert!(read_mtx_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err());
         // Out-of-range entry.
         let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_mtx_str(s).is_err());

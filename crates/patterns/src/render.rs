@@ -72,9 +72,9 @@ mod tests {
         let art = ascii_2d(&shape, &ds.coords, 48);
         let lines: Vec<Vec<char>> = art.lines().map(|l| l.chars().collect()).collect();
         // The m/3..2m/3 block maps to grid cells 16..31 — all set.
-        for r in 17..31 {
-            for c in 17..31 {
-                assert_eq!(lines[r][c], '#', "({r},{c}) should be dense");
+        for (r, line) in lines.iter().enumerate().take(31).skip(17) {
+            for (c, &cell) in line.iter().enumerate().take(31).skip(17) {
+                assert_eq!(cell, '#', "({r},{c}) should be dense");
             }
         }
     }
@@ -93,10 +93,14 @@ mod tests {
     #[test]
     fn projection_handles_higher_dims() {
         let shape = Shape::new(vec![16, 16, 16]).unwrap();
-        let ds = Dataset::generate(Pattern::Gsp, shape.clone(), PatternParams {
-            gsp_threshold: 0.9,
-            ..PatternParams::default()
-        });
+        let ds = Dataset::generate(
+            Pattern::Gsp,
+            shape.clone(),
+            PatternParams {
+                gsp_threshold: 0.9,
+                ..PatternParams::default()
+            },
+        );
         let art = ascii_projection(&shape, &ds.coords, 16);
         assert!(art.contains('#'));
     }

@@ -173,10 +173,7 @@ mod tests {
     fn paper_scale_matches_table_ii() {
         assert_eq!(Scale::Paper.shape(2).unwrap().dims(), &[8192, 8192]);
         assert_eq!(Scale::Paper.shape(3).unwrap().dims(), &[512, 512, 512]);
-        assert_eq!(
-            Scale::Paper.shape(4).unwrap().dims(),
-            &[128, 128, 128, 128]
-        );
+        assert_eq!(Scale::Paper.shape(4).unwrap().dims(), &[128, 128, 128, 128]);
     }
 
     #[test]

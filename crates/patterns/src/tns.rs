@@ -61,7 +61,10 @@ impl From<std::io::Error> for TnsError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> TnsError {
-    TnsError::Parse { line, message: message.into() }
+    TnsError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Read a `.tns` stream. `shape` overrides the inferred extents (entries
@@ -109,8 +112,8 @@ pub fn read_tns<R: BufRead>(reader: R, shape: Option<Shape>) -> Result<TnsTensor
     }
 
     let ndim = ndim.ok_or_else(|| parse_err(0, "no entries in file"))?;
-    let coords = CoordBuffer::from_flat(ndim, flat)
-        .map_err(|e| parse_err(0, format!("internal: {e}")))?;
+    let coords =
+        CoordBuffer::from_flat(ndim, flat).map_err(|e| parse_err(0, format!("internal: {e}")))?;
     let shape = match shape {
         Some(s) => {
             coords
@@ -122,7 +125,11 @@ pub fn read_tns<R: BufRead>(reader: R, shape: Option<Shape>) -> Result<TnsTensor
             .local_boundary_shape()
             .ok_or_else(|| parse_err(0, "no entries in file"))?,
     };
-    Ok(TnsTensor { shape, coords, values })
+    Ok(TnsTensor {
+        shape,
+        coords,
+        values,
+    })
 }
 
 /// Parse from an in-memory string.
@@ -139,11 +146,7 @@ pub fn read_tns_file(
 }
 
 /// Write a `.tns` stream (1-based indices).
-pub fn write_tns<W: Write>(
-    mut w: W,
-    coords: &CoordBuffer,
-    values: &[f64],
-) -> std::io::Result<()> {
+pub fn write_tns<W: Write>(mut w: W, coords: &CoordBuffer, values: &[f64]) -> std::io::Result<()> {
     assert_eq!(coords.len(), values.len(), "one value per coordinate");
     writeln!(w, "# written by artsparse")?;
     for (p, v) in coords.iter().zip(values) {

@@ -1,0 +1,233 @@
+//! The fragment catalog — an in-engine manifest of every fragment's
+//! metadata.
+//!
+//! Algorithm 3's READ discovers fragments by listing the device and
+//! peeking each header (line 4). Doing that on every query charges the
+//! device for `O(fragments)` metadata operations per read. The catalog
+//! pays that cost once — when the engine opens — and keeps the manifest
+//! current as fragments are written, consolidated, and deleted, so
+//! discovery and bounding-box pruning become a pure in-memory planning
+//! step ([`FragmentCatalog::plan`]).
+//!
+//! External mutations of the device (another writer, manual blob edits)
+//! are picked up by [`FragmentCatalog::reload`].
+
+use crate::backend::StorageBackend;
+use crate::error::Result;
+use crate::fragment::{decode_meta, FragmentMeta};
+use artsparse_tensor::Region;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything the engine knows about one fragment without touching its
+/// payload sections.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Blob name on the device.
+    pub name: String,
+    /// Decoded header.
+    pub meta: FragmentMeta,
+    /// Size of the blob on the device in bytes.
+    pub size: u64,
+}
+
+/// The outcome of planning a read: which fragments were considered and
+/// which survive bounding-box pruning, in write order.
+#[derive(Debug, Clone, Default)]
+pub struct ReadPlan {
+    /// Fragments whose metadata was examined.
+    pub scanned: usize,
+    /// Fragments whose bounding box overlaps the query, in write order.
+    pub fragments: Vec<Arc<CatalogEntry>>,
+}
+
+/// Manifest of fragment metadata, keyed by name (names sort in write
+/// order, so iteration order is write order).
+#[derive(Debug, Default)]
+pub struct FragmentCatalog {
+    entries: RwLock<BTreeMap<String, Arc<CatalogEntry>>>,
+}
+
+impl FragmentCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a catalog by listing the device and peeking every header
+    /// once. `ndim` sizes the header peek; `filter` keeps only blob names
+    /// that belong to the engine (fragment names).
+    pub fn load<B: StorageBackend>(
+        backend: &B,
+        ndim: usize,
+        filter: impl Fn(&str) -> bool,
+    ) -> Result<Self> {
+        let catalog = FragmentCatalog::new();
+        let header_len = FragmentMeta::header_len(ndim);
+        for name in backend.list()? {
+            if !filter(&name) {
+                continue;
+            }
+            let header = backend.get_prefix(&name, header_len)?;
+            let meta = decode_meta(&name, &header)?;
+            let size = backend.size(&name)?;
+            catalog.insert(CatalogEntry { name, meta, size });
+        }
+        Ok(catalog)
+    }
+
+    /// Replace this catalog's contents with a freshly loaded manifest.
+    pub fn reload<B: StorageBackend>(
+        &self,
+        backend: &B,
+        ndim: usize,
+        filter: impl Fn(&str) -> bool,
+    ) -> Result<()> {
+        let fresh = Self::load(backend, ndim, filter)?;
+        *self.entries.write() = fresh.entries.into_inner();
+        Ok(())
+    }
+
+    /// Record a fragment (newly written or externally discovered).
+    pub fn insert(&self, entry: CatalogEntry) {
+        self.entries
+            .write()
+            .insert(entry.name.clone(), Arc::new(entry));
+    }
+
+    /// Forget a fragment, returning its entry if it was known.
+    pub fn remove(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.entries.write().remove(name)
+    }
+
+    /// Look up one fragment.
+    pub fn get(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.entries.read().get(name).cloned()
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Fragment names in write order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// All entries in write order.
+    pub fn snapshot(&self) -> Vec<Arc<CatalogEntry>> {
+        self.entries.read().values().cloned().collect()
+    }
+
+    /// Total stored bytes across all fragments.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.read().values().map(|e| e.size).sum()
+    }
+
+    /// Bounding-box pruning against a query box — the in-memory version
+    /// of Algorithm 3's discovery loop. Empty fragments have no box and
+    /// never match.
+    pub fn plan(&self, query_bbox: &Region) -> ReadPlan {
+        let entries = self.entries.read();
+        let mut plan = ReadPlan {
+            scanned: entries.len(),
+            fragments: Vec::new(),
+        };
+        for entry in entries.values() {
+            let overlaps = entry
+                .meta
+                .bbox
+                .as_ref()
+                .is_some_and(|b| b.intersects(query_bbox));
+            if overlaps {
+                plan.fragments.push(entry.clone());
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::codec::Codec;
+    use crate::fragment::encode_fragment;
+    use artsparse_core::FormatKind;
+    use artsparse_tensor::Shape;
+
+    fn put_fragment(backend: &MemBackend, name: &str, lo: [u64; 2], hi: [u64; 2]) -> usize {
+        let shape = Shape::new(vec![32, 32]).unwrap();
+        let bbox = Region::from_corners(&lo, &hi).unwrap();
+        let bytes = encode_fragment(
+            FormatKind::Linear,
+            &shape,
+            1,
+            8,
+            Some(&bbox),
+            &[1, 2, 3, 4],
+            &[0u8; 8],
+            Codec::None,
+            Codec::None,
+        );
+        backend.put(name, &bytes).unwrap();
+        bytes.len()
+    }
+
+    #[test]
+    fn load_filters_and_records_sizes() {
+        let backend = MemBackend::new();
+        let len_a = put_fragment(&backend, "frag-00000001.asf", [0, 0], [3, 3]);
+        let len_b = put_fragment(&backend, "frag-00000002.asf", [10, 10], [12, 12]);
+        backend.put("not-a-fragment.txt", &[1, 2, 3]).unwrap();
+
+        let catalog = FragmentCatalog::load(&backend, 2, |n| n.starts_with("frag-")).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(
+            catalog.names(),
+            vec!["frag-00000001.asf", "frag-00000002.asf"]
+        );
+        assert_eq!(catalog.total_bytes(), (len_a + len_b) as u64);
+        assert_eq!(catalog.get("frag-00000001.asf").unwrap().meta.n, 1);
+    }
+
+    #[test]
+    fn plan_prunes_by_bounding_box() {
+        let backend = MemBackend::new();
+        put_fragment(&backend, "frag-00000001.asf", [0, 0], [3, 3]);
+        put_fragment(&backend, "frag-00000002.asf", [10, 10], [12, 12]);
+        let catalog = FragmentCatalog::load(&backend, 2, |_| true).unwrap();
+
+        let q = Region::from_corners(&[2, 2], &[5, 5]).unwrap();
+        let plan = catalog.plan(&q);
+        assert_eq!(plan.scanned, 2);
+        assert_eq!(plan.fragments.len(), 1);
+        assert_eq!(plan.fragments[0].name, "frag-00000001.asf");
+
+        let q = Region::from_corners(&[20, 20], &[30, 30]).unwrap();
+        assert!(catalog.plan(&q).fragments.is_empty());
+    }
+
+    #[test]
+    fn incremental_maintenance_and_reload() {
+        let backend = MemBackend::new();
+        put_fragment(&backend, "frag-00000001.asf", [0, 0], [3, 3]);
+        let catalog = FragmentCatalog::load(&backend, 2, |_| true).unwrap();
+
+        catalog.remove("frag-00000001.asf").unwrap();
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.total_bytes(), 0);
+
+        // The device changed behind the catalog's back; reload resyncs.
+        put_fragment(&backend, "frag-00000002.asf", [4, 4], [6, 6]);
+        catalog.reload(&backend, 2, |_| true).unwrap();
+        assert_eq!(catalog.names().len(), 2);
+    }
+}

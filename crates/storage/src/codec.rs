@@ -20,7 +20,9 @@
 use crate::error::{Result, StorageError};
 
 /// A compression codec choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Codec {
     /// No compression.
     #[default]
@@ -230,7 +232,9 @@ mod tests {
             (0..=255u8).collect(),
             b"abcabcabc".to_vec(),
             vec![7u8; 3], // non-word-aligned
-            (0..999u16).flat_map(|x| (x as u64 * 3).to_le_bytes()).collect(),
+            (0..999u16)
+                .flat_map(|x| (x as u64 * 3).to_le_bytes())
+                .collect(),
         ];
         for codec in [Codec::None, Codec::Rle, Codec::DeltaVarint] {
             for p in &payloads {
@@ -279,10 +283,8 @@ mod tests {
         assert!(Codec::Rle.decompress(&[0, 5], 1).is_err()); // zero run
         assert!(Codec::Rle.decompress(&[200, 5], 10).is_err()); // too long
         assert!(Codec::DeltaVarint.decompress(&[0x80], 8).is_err()); // truncated
-        assert!(Codec::DeltaVarint
-            .decompress(&[0x80; 12], 8)
-            .is_err()); // overlong
-        // Trailing bytes after the last word.
+        assert!(Codec::DeltaVarint.decompress(&[0x80; 12], 8).is_err()); // overlong
+                                                                         // Trailing bytes after the last word.
         let mut ok = Codec::DeltaVarint.compress(&1u64.to_le_bytes());
         ok.push(0);
         assert!(Codec::DeltaVarint.decompress(&ok, 8).is_err());

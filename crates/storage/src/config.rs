@@ -1,0 +1,86 @@
+//! Tuning knobs for the engine's read pipeline.
+
+/// Configuration of the catalog → plan → fetch → decode → merge read
+/// pipeline. The default reproduces Algorithm 3's semantics exactly
+/// while fetching only the bytes a query needs; the knobs trade memory
+/// and concurrency for repeat-read latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Budget (in decoded payload bytes) for the decoded-fragment LRU
+    /// cache. Zero disables caching (the default): every read fetches
+    /// from the device, which keeps transferred-byte accounting exact
+    /// for the I/O experiments. Enable it for repeat-read workloads.
+    pub cache_capacity_bytes: usize,
+    /// Worker threads for per-fragment fetch → decode → read execution.
+    /// Zero (the default) uses the host's available parallelism; one
+    /// forces the sequential reference path.
+    pub read_parallelism: usize,
+    /// Fetch fragment sections (index first, then only the value records
+    /// the query matched) instead of whole blobs. On by default; turn it
+    /// off to reproduce the legacy whole-fragment fetch, e.g. as a
+    /// baseline in benchmarks.
+    pub range_fetch: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity_bytes: 0,
+            read_parallelism: 0,
+            range_fetch: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The number of worker threads the read executor will actually use.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.read_parallelism > 0 {
+            self.read_parallelism
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Builder-style cache budget.
+    pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Builder-style parallelism override.
+    pub fn with_read_parallelism(mut self, threads: usize) -> Self {
+        self.read_parallelism = threads;
+        self
+    }
+
+    /// Builder-style range-fetch toggle.
+    pub fn with_range_fetch(mut self, enabled: bool) -> Self {
+        self.range_fetch = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let c = EngineConfig::default();
+        assert_eq!(c.cache_capacity_bytes, 0);
+        assert_eq!(c.read_parallelism, 0);
+        assert!(c.range_fetch);
+        assert!(c.effective_parallelism() >= 1);
+
+        let c = EngineConfig::default()
+            .with_cache_capacity(1 << 20)
+            .with_read_parallelism(2)
+            .with_range_fetch(false);
+        assert_eq!(c.cache_capacity_bytes, 1 << 20);
+        assert_eq!(c.effective_parallelism(), 2);
+        assert!(!c.range_fetch);
+    }
+}

@@ -6,24 +6,59 @@
 //! accumulating the Build / Reorg. / Write / Others phase breakdown of
 //! Table III as it goes.
 //!
-//! READ discovers all fragments whose bounding box overlaps the query's,
-//! runs the organization-specific read against each, gathers
-//! `⟨coord, value⟩` hits, and merges them sorted by linear address
-//! (Algorithm 3 line 12).
+//! READ runs a layered pipeline:
+//!
+//! 1. **catalog** — fragment metadata lives in the in-engine
+//!    [`FragmentCatalog`], built once at open and maintained by
+//!    write/consolidate/delete, so discovery costs no device traffic;
+//! 2. **plan** — bounding-box pruning against the query box is a pure
+//!    in-memory step ([`FragmentCatalog::plan`]);
+//! 3. **fetch** — each planned fragment's index section is range-fetched
+//!    first; only the value records its matched slots need follow
+//!    (whole sections when compressed, coalesced record runs otherwise);
+//! 4. **decode** — sections are decompressed and handed to the
+//!    organization-specific read; decoded fragments can be kept resident
+//!    in a bytes-bounded LRU ([`FragmentCache`]) for repeat reads;
+//! 5. **merge** — per-fragment hits are gathered (in parallel across
+//!    fragments) and merged sorted by linear address (Algorithm 3
+//!    line 12), ties broken by fragment write order.
+//!
+//! Consolidate and export run over the same catalog/fetch/decode layers
+//! through one shared fragment-scan path, so precedence rules cannot
+//! drift between the three.
 
 use crate::backend::StorageBackend;
+use crate::cache::{DecodedFragment, FragmentCache};
+use crate::catalog::{CatalogEntry, FragmentCatalog};
 use crate::codec::Codec;
+use crate::config::EngineConfig;
 use crate::error::{Result, StorageError};
-use crate::fragment::{decode_fragment, decode_meta, encode_fragment, FragmentMeta};
+use crate::fragment::{
+    decode_fragment, decode_index_section, decode_meta, decode_value_section, encode_fragment,
+    FragmentMeta,
+};
 use artsparse_core::FormatKind;
 use artsparse_metrics::{OpCounter, PhaseTimer, WriteBreakdown, WritePhase};
 use artsparse_tensor::value::Element;
 use artsparse_tensor::{CoordBuffer, Region, Shape};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Prefix + suffix of fragment blob names.
 const FRAG_PREFIX: &str = "frag-";
 const FRAG_SUFFIX: &str = ".asf";
+
+/// When range-fetching uncompressed value records, adjacent runs whose
+/// gap is at most this many bytes are fetched as one request — each
+/// request pays the device's per-operation latency, so small gaps are
+/// cheaper to transfer than to split around.
+const RUN_COALESCE_GAP_BYTES: u64 = 256;
+
+/// Ceiling on ranged value requests per fragment. Past this, matched
+/// slots are so scattered that one whole-section fetch is cheaper than
+/// paying per-request latency for every little run.
+const MAX_VALUE_RUNS: usize = 16;
 
 /// A sparse tensor stored as fragments on a backend.
 pub struct StorageEngine<B: StorageBackend> {
@@ -35,6 +70,9 @@ pub struct StorageEngine<B: StorageBackend> {
     counter: OpCounter,
     index_codec: Codec,
     value_codec: Codec,
+    config: EngineConfig,
+    catalog: FragmentCatalog,
+    cache: FragmentCache,
 }
 
 /// Outcome of one WRITE call.
@@ -83,29 +121,67 @@ pub struct ReadResult {
 impl ReadResult {
     /// Align hits with the query buffer: one `Option<V>` per query, the
     /// most recently written fragment winning on coordinate collisions.
-    pub fn to_values<V: Element>(&self, n_queries: usize) -> Vec<Option<V>> {
+    ///
+    /// A hit whose record length differs from `V::SIZE` is store
+    /// corruption (or a type confusion — reading `f64` from a store of
+    /// `u32` records) and surfaces as [`StorageError::CorruptFragment`]
+    /// rather than being silently dropped.
+    pub fn to_values<V: Element>(&self, n_queries: usize) -> Result<Vec<Option<V>>> {
         let mut out: Vec<Option<V>> = vec![None; n_queries];
         // Hits are sorted by (addr, fragment order); iterating in order and
         // overwriting leaves the latest fragment's value in place.
         for hit in &self.hits {
-            if hit.value.len() == V::SIZE {
-                out[hit.query_index] = Some(V::read_le(&hit.value));
+            if hit.value.len() != V::SIZE {
+                return Err(StorageError::corrupt(
+                    &hit.fragment,
+                    format!(
+                        "value record is {} bytes but the element type takes {}",
+                        hit.value.len(),
+                        V::SIZE
+                    ),
+                ));
             }
+            let slot = out.get_mut(hit.query_index).ok_or_else(|| {
+                StorageError::corrupt(
+                    &hit.fragment,
+                    format!(
+                        "hit for query {} but only {n_queries} queries were made",
+                        hit.query_index
+                    ),
+                )
+            })?;
+            *slot = Some(V::read_le(&hit.value));
         }
-        out
+        Ok(out)
     }
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
-    /// Open an engine over a backend. Existing fragments are kept; new
-    /// fragments continue the id sequence.
+    /// Open an engine over a backend with the default pipeline
+    /// configuration. Existing fragments are cataloged (one header peek
+    /// each); new fragments continue the id sequence.
     pub fn open(backend: B, kind: FormatKind, shape: Shape, elem_size: u32) -> Result<Self> {
+        Self::open_with(backend, kind, shape, elem_size, EngineConfig::default())
+    }
+
+    /// Open an engine with an explicit pipeline configuration.
+    pub fn open_with(
+        backend: B,
+        kind: FormatKind,
+        shape: Shape,
+        elem_size: u32,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let catalog = FragmentCatalog::load(&backend, shape.ndim(), |name| {
+            parse_fragment_name(name).is_some()
+        })?;
         let mut max_id = 0u64;
-        for name in backend.list()? {
+        for name in catalog.names() {
             if let Some(id) = parse_fragment_name(&name) {
                 max_id = max_id.max(id);
             }
         }
+        let cache = FragmentCache::new(config.cache_capacity_bytes);
         Ok(StorageEngine {
             backend,
             kind,
@@ -115,7 +191,17 @@ impl<B: StorageBackend> StorageEngine<B> {
             counter: OpCounter::new(),
             index_codec: Codec::None,
             value_codec: Codec::None,
+            config,
+            catalog,
+            cache,
         })
+    }
+
+    /// Replace the pipeline configuration (drops any cached fragments).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.cache = FragmentCache::new(config.cache_capacity_bytes);
+        self.config = config;
+        self
     }
 
     /// Apply compression codecs to new fragments (§II: organizations are
@@ -143,6 +229,16 @@ impl<B: StorageBackend> StorageEngine<B> {
         &self.backend
     }
 
+    /// The active pipeline configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The decoded-fragment cache (e.g. to inspect hit rates).
+    pub fn cache(&self) -> &FragmentCache {
+        &self.cache
+    }
+
     /// Consume the engine, recovering the backend (e.g. to reopen it under
     /// a different organization — fragments self-describe, so mixed-format
     /// stores read fine).
@@ -155,25 +251,41 @@ impl<B: StorageBackend> StorageEngine<B> {
         &self.counter
     }
 
-    /// Names of all fragments, in write order.
+    /// Names of all fragments, in write order (served from the catalog).
     pub fn fragments(&self) -> Result<Vec<String>> {
-        let mut names: Vec<String> = self
-            .backend
-            .list()?
-            .into_iter()
-            .filter(|n| parse_fragment_name(n).is_some())
-            .collect();
-        names.sort();
-        Ok(names)
+        Ok(self.catalog.names())
     }
 
-    /// Total bytes stored across all fragments (Fig. 4's metric).
+    /// Total bytes stored across all fragments (Fig. 4's metric), served
+    /// from the catalog without touching the device.
     pub fn total_stored_bytes(&self) -> Result<u64> {
-        let mut total = 0;
-        for name in self.fragments()? {
-            total += self.backend.size(&name)?;
+        Ok(self.catalog.total_bytes())
+    }
+
+    /// Delete one fragment: device blob, catalog entry, and any cached
+    /// decode.
+    pub fn delete_fragment(&self, name: &str) -> Result<()> {
+        self.backend.delete(name)?;
+        self.catalog.remove(name);
+        self.cache.invalidate(name);
+        Ok(())
+    }
+
+    /// Resynchronize the catalog with the device (after an external
+    /// writer changed it) and drop the cache. The id sequence advances
+    /// past any newly discovered fragments.
+    pub fn refresh(&self) -> Result<()> {
+        self.catalog
+            .reload(&self.backend, self.shape.ndim(), |name| {
+                parse_fragment_name(name).is_some()
+            })?;
+        self.cache.clear();
+        for name in self.catalog.names() {
+            if let Some(id) = parse_fragment_name(&name) {
+                self.next_id.fetch_max(id + 1, Ordering::SeqCst);
+            }
         }
-        Ok(total)
+        Ok(())
     }
 
     /// Algorithm 3 WRITE: package `coords`/`values` into a new fragment.
@@ -227,6 +339,15 @@ impl<B: StorageBackend> StorageEngine<B> {
         // -- Write: persist the fragment (line 7) -----------------------
         timer.time(WritePhase::Write, || self.backend.put(&name, &frag))?;
 
+        // Catalog maintenance: decode the header we just encoded (pure
+        // memory) so discovery never needs to ask the device about it.
+        let meta = decode_meta(&name, &frag)?;
+        self.catalog.insert(CatalogEntry {
+            name: name.clone(),
+            meta,
+            size: frag.len() as u64,
+        });
+
         Ok(WriteReport {
             fragment: name,
             breakdown: timer.finish(),
@@ -247,8 +368,9 @@ impl<B: StorageBackend> StorageEngine<B> {
         self.write(coords, &artsparse_tensor::value::pack(values))
     }
 
-    /// Algorithm 3 READ: query every point of `queries` across all
-    /// overlapping fragments, merging hits by linear address.
+    /// Algorithm 3 READ as the layered pipeline: plan against the
+    /// catalog, fetch/decode matched fragments (in parallel), merge hits
+    /// by linear address.
     pub fn read(&self, queries: &CoordBuffer) -> Result<ReadResult> {
         let mut result = ReadResult::default();
         if queries.is_empty() {
@@ -258,56 +380,21 @@ impl<B: StorageBackend> StorageEngine<B> {
             .bounding_box()
             .expect("non-empty queries have a bbox");
 
-        for name in self.fragments()? {
-            result.fragments_scanned += 1;
-            // Line 4: discovery — peek only the header.
-            let header = self
-                .backend
-                .get_prefix(&name, FragmentMeta::header_len(self.shape.ndim()))?;
-            let meta = decode_meta(&name, &header)?;
-            if meta.shape.ndim() != queries.ndim() {
-                return Err(StorageError::corrupt(
-                    &name,
-                    "fragment dimensionality differs from query",
-                ));
-            }
-            let overlaps = meta
-                .bbox
-                .as_ref()
-                .is_some_and(|b| b.intersects(&qbbox));
-            if !overlaps {
-                continue;
-            }
-            result.fragments_matched += 1;
-
-            // Lines 7–10: fetch, unpack, organization-specific read.
-            let bytes = self.backend.get(&name)?;
-            let (meta, index, values) = decode_fragment(&name, &bytes)?;
-            let org = meta.kind.create();
-            let slots = org.read(&index, queries, &self.counter)?;
-            let elem = meta.elem_size as usize;
-            for (qi, slot) in slots.into_iter().enumerate() {
-                let Some(slot) = slot else { continue };
-                let start = slot as usize * elem;
-                let Some(record) = values.get(start..start + elem) else {
-                    return Err(StorageError::corrupt(
-                        &name,
-                        format!("value slot {slot} beyond payload"),
-                    ));
-                };
-                let coord = queries.point(qi).to_vec();
-                let addr = self.shape.linearize(&coord)?;
-                result.hits.push(ReadHit {
-                    query_index: qi,
-                    addr,
-                    coord,
-                    value: record.to_vec(),
-                    fragment: name.clone(),
-                });
-            }
+        // Plan: in-memory discovery + bbox pruning. Every scanned
+        // fragment must describe the same tensor this engine stores.
+        for entry in self.catalog.snapshot() {
+            self.check_entry_shape(&entry)?;
         }
+        let plan = self.catalog.plan(&qbbox);
+        result.fragments_scanned = plan.scanned;
+        result.fragments_matched = plan.fragments.len();
 
-        // Line 12: sort by linear address (stable: fragment order on ties).
+        // Fetch → decode → per-fragment read, in parallel; hit batches
+        // come back in fragment (write) order.
+        let per_fragment = self.execute_plan(&plan.fragments, queries)?;
+        result.hits = per_fragment.into_iter().flatten().collect();
+
+        // Merge: sort by linear address (stable: fragment order on ties).
         result.hits.sort_by_key(|a| a.addr);
         Ok(result)
     }
@@ -315,7 +402,7 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// Typed READ aligned with the query buffer.
     pub fn read_values<V: Element>(&self, queries: &CoordBuffer) -> Result<Vec<Option<V>>> {
         debug_assert_eq!(V::SIZE, self.elem_size as usize);
-        Ok(self.read(queries)?.to_values(queries.len()))
+        self.read(queries)?.to_values(queries.len())
     }
 
     /// Read every stored point in `region` (the §III evaluation read: the
@@ -323,10 +410,315 @@ impl<B: StorageBackend> StorageEngine<B> {
     pub fn read_region(&self, region: &Region) -> Result<ReadResult> {
         self.read(&region.to_coords())
     }
+
+    /// Run `read_fragment` over the planned fragments, spreading them
+    /// across worker threads, and return each fragment's hits in plan
+    /// (write) order. Errors surface deterministically: the first failed
+    /// fragment in plan order wins regardless of thread timing.
+    fn execute_plan(
+        &self,
+        fragments: &[Arc<CatalogEntry>],
+        queries: &CoordBuffer,
+    ) -> Result<Vec<Vec<ReadHit>>> {
+        let threads = self
+            .config
+            .effective_parallelism()
+            .min(fragments.len())
+            .max(1);
+        if threads == 1 {
+            return fragments
+                .iter()
+                .map(|entry| self.read_fragment(entry, queries))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let outputs: Vec<parking_lot::Mutex<Option<Result<Vec<ReadHit>>>>> = (0..fragments.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = fragments.get(i) else { break };
+                    *outputs[i].lock() = Some(self.read_fragment(entry, queries));
+                });
+            }
+        });
+        outputs
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every fragment slot is filled"))
+            .collect()
+    }
+
+    /// Fetch, decode, and query one fragment. Chooses among the cached,
+    /// whole-fragment, and section/range fetch paths.
+    fn read_fragment(&self, entry: &CatalogEntry, queries: &CoordBuffer) -> Result<Vec<ReadHit>> {
+        let name = &entry.name;
+        if let Some(decoded) = self.cache.get(name) {
+            return self.hits_from_payload(
+                name,
+                &decoded.meta,
+                &decoded.index,
+                &decoded.values,
+                queries,
+            );
+        }
+        if self.cache.is_enabled() {
+            // Decode the whole fragment once so the next read is free.
+            let decoded = self.fetch_decoded(entry)?;
+            return self.hits_from_payload(
+                name,
+                &decoded.meta,
+                &decoded.index,
+                &decoded.values,
+                queries,
+            );
+        }
+        if !self.config.range_fetch {
+            let bytes = self.backend.get(name)?;
+            let (meta, index, values) = decode_fragment(name, &bytes)?;
+            return self.hits_from_payload(name, &meta, &index, &values, queries);
+        }
+
+        // Range path: header + index section first; values only if slots
+        // matched.
+        let meta = &entry.meta;
+        let index = self.fetch_validated_index(entry)?;
+        let org = meta.kind.create();
+        let slots = org.read(&index, queries, &self.counter)?;
+        let matched: Vec<(usize, u64)> = slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(qi, slot)| slot.map(|s| (qi, s)))
+            .collect();
+        if matched.is_empty() {
+            return Ok(Vec::new());
+        }
+        let elem = meta.elem_size as usize;
+        for &(_, slot) in &matched {
+            if (slot + 1)
+                .checked_mul(elem as u64)
+                .is_none_or(|end| end > meta.value_raw_len)
+            {
+                return Err(StorageError::corrupt(
+                    name,
+                    format!("value slot {slot} beyond payload"),
+                ));
+            }
+        }
+        let records = self.fetch_value_records(entry, &matched)?;
+        let mut hits = Vec::with_capacity(matched.len());
+        for (qi, slot) in matched {
+            let record = records
+                .get(&slot)
+                .expect("fetch_value_records covers every matched slot")
+                .clone();
+            let coord = queries.point(qi).to_vec();
+            let addr = self.shape.linearize(&coord)?;
+            hits.push(ReadHit {
+                query_index: qi,
+                addr,
+                coord,
+                value: record,
+                fragment: name.clone(),
+            });
+        }
+        Ok(hits)
+    }
+
+    /// Fetch the value records for the matched slots of one fragment,
+    /// transferring as little of the value section as possible:
+    /// compressed sections are fetched whole (they cannot be sliced);
+    /// uncompressed slots are coalesced into runs, falling back to the
+    /// whole section when the matched runs cover most of it anyway.
+    fn fetch_value_records(
+        &self,
+        entry: &CatalogEntry,
+        matched: &[(usize, u64)],
+    ) -> Result<HashMap<u64, Vec<u8>>> {
+        let name = &entry.name;
+        let meta = &entry.meta;
+        let elem = meta.elem_size as usize;
+        let mut slots: Vec<u64> = matched.iter().map(|&(_, slot)| slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+
+        let whole_section = |records: &mut HashMap<u64, Vec<u8>>| -> Result<()> {
+            let section =
+                self.backend
+                    .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+            let values = decode_value_section(name, meta, &section)?;
+            for &slot in &slots {
+                let start = slot as usize * elem;
+                records.insert(slot, values[start..start + elem].to_vec());
+            }
+            Ok(())
+        };
+
+        let mut records = HashMap::with_capacity(slots.len());
+        if meta.value_codec != Codec::None {
+            whole_section(&mut records)?;
+            return Ok(records);
+        }
+
+        // Coalesce matched slots into byte runs over the (uncompressed)
+        // value section.
+        let mut runs: Vec<(u64, u64)> = Vec::new(); // [start_byte, end_byte)
+        for &slot in &slots {
+            let lo = slot * elem as u64;
+            let hi = lo + elem as u64;
+            match runs.last_mut() {
+                Some((_, end)) if lo <= *end + RUN_COALESCE_GAP_BYTES => *end = hi.max(*end),
+                _ => runs.push((lo, hi)),
+            }
+        }
+        let run_bytes: u64 = runs.iter().map(|(lo, hi)| hi - lo).sum();
+        if runs.len() > MAX_VALUE_RUNS || run_bytes * 2 >= meta.value_len {
+            // Badly scattered slots: one whole-section request beats
+            // paying per-request latency dozens of times.
+            whole_section(&mut records)?;
+            return Ok(records);
+        }
+
+        let mut fetched: Vec<(u64, Vec<u8>)> = Vec::with_capacity(runs.len());
+        for &(lo, hi) in &runs {
+            let bytes =
+                self.backend
+                    .get_range(name, meta.value_offset() + lo, (hi - lo) as usize)?;
+            if bytes.len() != (hi - lo) as usize {
+                return Err(StorageError::corrupt(
+                    name,
+                    format!(
+                        "value records at {lo}..{hi} truncated ({} bytes returned)",
+                        bytes.len()
+                    ),
+                ));
+            }
+            fetched.push((lo, bytes));
+        }
+        for &slot in &slots {
+            let lo = slot * elem as u64;
+            let (run_lo, bytes) = fetched
+                .iter()
+                .rev()
+                .find(|(run_lo, _)| *run_lo <= lo)
+                .expect("every slot falls inside a coalesced run");
+            let at = (lo - run_lo) as usize;
+            records.insert(slot, bytes[at..at + elem].to_vec());
+        }
+        Ok(records)
+    }
+
+    /// The decode layer shared by the cached and whole-fragment paths:
+    /// run the organization's read over a decoded payload and gather
+    /// hits.
+    fn hits_from_payload(
+        &self,
+        name: &str,
+        meta: &FragmentMeta,
+        index: &[u8],
+        values: &[u8],
+        queries: &CoordBuffer,
+    ) -> Result<Vec<ReadHit>> {
+        let org = meta.kind.create();
+        let slots = org.read(index, queries, &self.counter)?;
+        let elem = meta.elem_size as usize;
+        let mut hits = Vec::new();
+        for (qi, slot) in slots.into_iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let start = slot as usize * elem;
+            let Some(record) = values.get(start..start + elem) else {
+                return Err(StorageError::corrupt(
+                    name,
+                    format!("value slot {slot} beyond payload"),
+                ));
+            };
+            let coord = queries.point(qi).to_vec();
+            let addr = self.shape.linearize(&coord)?;
+            hits.push(ReadHit {
+                query_index: qi,
+                addr,
+                coord,
+                value: record.to_vec(),
+                fragment: name.to_string(),
+            });
+        }
+        Ok(hits)
+    }
+
+    /// Fetch the fragment's header and index section in one range
+    /// request, re-validating the on-device header against the catalog —
+    /// a blob mutated behind the engine's back (corruption, an external
+    /// rewrite) must fail the read, not silently serve stale or garbage
+    /// metadata.
+    fn fetch_validated_index(&self, entry: &CatalogEntry) -> Result<Vec<u8>> {
+        let name = &entry.name;
+        let meta = &entry.meta;
+        let head_len = meta.index_offset() + meta.index_len;
+        let head = self.backend.get_range(name, 0, head_len as usize)?;
+        let on_device = decode_meta(name, &head)?;
+        if on_device != *meta {
+            return Err(StorageError::corrupt(
+                name,
+                "header on device no longer matches the catalog",
+            ));
+        }
+        let section = head
+            .get(meta.index_offset() as usize..)
+            .ok_or_else(|| StorageError::corrupt(name, "fragment truncated inside the header"))?;
+        decode_index_section(name, meta, section)
+    }
+
+    /// Fetch and decode a whole fragment through the cache: a hit costs
+    /// nothing, a miss transfers both sections and makes the decode
+    /// resident (if the cache is enabled and it fits).
+    fn fetch_decoded(&self, entry: &CatalogEntry) -> Result<Arc<DecodedFragment>> {
+        let name = &entry.name;
+        if let Some(decoded) = self.cache.get(name) {
+            return Ok(decoded);
+        }
+        let decoded = if self.config.range_fetch {
+            let meta = &entry.meta;
+            let index = self.fetch_validated_index(entry)?;
+            let vsec =
+                self.backend
+                    .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+            DecodedFragment {
+                index,
+                values: decode_value_section(name, meta, &vsec)?,
+                meta: meta.clone(),
+            }
+        } else {
+            let bytes = self.backend.get(name)?;
+            let (meta, index, values) = decode_fragment(name, &bytes)?;
+            DecodedFragment {
+                meta,
+                index,
+                values,
+            }
+        };
+        let decoded = Arc::new(decoded);
+        self.cache.insert(name, decoded.clone());
+        Ok(decoded)
+    }
+
+    /// Every scanned fragment must store the same tensor: same shape
+    /// (which implies same dimensionality) as this engine.
+    fn check_entry_shape(&self, entry: &CatalogEntry) -> Result<()> {
+        if entry.meta.shape != self.shape {
+            return Err(StorageError::Mismatch {
+                reason: format!(
+                    "fragment {} has shape {}, engine has {}",
+                    entry.name, entry.meta.shape, self.shape
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
-/// Aggregate statistics over a fragment store (from header peeks only —
-/// no payload is fetched).
+/// Aggregate statistics over a fragment store (served entirely from the
+/// catalog — no device traffic).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreStats {
     /// Number of fragments.
@@ -346,17 +738,14 @@ pub struct StoreStats {
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
-    /// Summarize the store by peeking every fragment's header.
+    /// Summarize the store from the catalog.
     pub fn stats(&self) -> Result<StoreStats> {
         let mut stats = StoreStats::default();
-        for name in self.fragments()? {
-            let header = self
-                .backend
-                .get_prefix(&name, FragmentMeta::header_len(self.shape.ndim()))?;
-            let meta = decode_meta(&name, &header)?;
+        for entry in self.catalog.snapshot() {
+            let meta = &entry.meta;
             stats.fragments += 1;
             stats.total_points += meta.n;
-            stats.total_bytes += self.backend.size(&name)?;
+            stats.total_bytes += entry.size;
             *stats
                 .by_format
                 .entry(meta.kind.name().to_string())
@@ -386,62 +775,39 @@ pub struct ConsolidateReport {
     pub fragment: Option<String>,
 }
 
-impl<B: StorageBackend> StorageEngine<B> {
-    /// Merge every fragment into one (TileDB-style consolidation).
-    ///
-    /// Each fragment's index is enumerated back into coordinates, values
-    /// are deduplicated with the same last-writer-wins rule as
-    /// [`StorageEngine::read`], and one new fragment is written under the
-    /// engine's current organization and codecs; the old fragments are
-    /// deleted. Reads over many small fragments pay per-fragment
-    /// discovery and decode costs — consolidation removes them.
-    pub fn consolidate(&self) -> Result<ConsolidateReport> {
-        let names = self.fragments()?;
-        let before_bytes = self.total_stored_bytes()?;
-        if names.len() <= 1 {
-            return Ok(ConsolidateReport {
-                merged_fragments: names.len(),
-                n_points: 0,
-                before_bytes,
-                after_bytes: before_bytes,
-                fragment: None,
-            });
-        }
+/// The merged view of a store: linear address → (coordinate, record),
+/// in canonical address order.
+type MergedPoints = std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)>;
 
-        // Gather addr → (coord, record) with the engine's exact read
-        // precedence: within a fragment the *lowest* slot wins (every
-        // format's read scans/searches to the first matching record);
-        // across fragments the most recently written one wins. BTreeMap
-        // gives the canonical linear-address order for the new fragment.
-        let mut merged: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
-            std::collections::BTreeMap::new();
-        for name in &names {
-            let bytes = self.backend.get(name)?;
-            let (meta, index, values) = decode_fragment(name, &bytes)?;
-            if meta.shape != self.shape {
-                return Err(StorageError::Mismatch {
-                    reason: format!(
-                        "fragment {name} has shape {}, engine has {}",
-                        meta.shape, self.shape
-                    ),
-                });
-            }
-            if meta.elem_size != self.elem_size {
+impl<B: StorageBackend> StorageEngine<B> {
+    /// The shared fragment-scan layer: decode every cataloged fragment
+    /// (through the cache) and merge its points with the engine's exact
+    /// read precedence — within a fragment the *lowest* slot wins (every
+    /// format's read scans/searches to the first matching record); across
+    /// fragments the most recently written one wins. The BTreeMap gives
+    /// canonical linear-address order.
+    fn merged_points(&self) -> Result<MergedPoints> {
+        let mut merged = MergedPoints::new();
+        for entry in self.catalog.snapshot() {
+            let name = &entry.name;
+            self.check_entry_shape(&entry)?;
+            if entry.meta.elem_size != self.elem_size {
                 return Err(StorageError::Mismatch {
                     reason: format!(
                         "fragment {name} stores {}-byte records, engine {}",
-                        meta.elem_size, self.elem_size
+                        entry.meta.elem_size, self.elem_size
                     ),
                 });
             }
-            let org = meta.kind.create();
-            let coords = org.enumerate(&index, &self.counter)?;
-            let elem = meta.elem_size as usize;
-            let mut this_fragment: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
-                std::collections::BTreeMap::new();
+            let decoded = self.fetch_decoded(&entry)?;
+            let org = decoded.meta.kind.create();
+            let coords = org.enumerate(&decoded.index, &self.counter)?;
+            let elem = decoded.meta.elem_size as usize;
+            let mut this_fragment = MergedPoints::new();
             for (slot, p) in coords.iter().enumerate() {
                 let addr = self.shape.linearize(p)?;
-                let record = values
+                let record = decoded
+                    .values
                     .get(slot * elem..(slot + 1) * elem)
                     .ok_or_else(|| {
                         StorageError::corrupt(name, "enumerated more slots than records")
@@ -453,7 +819,33 @@ impl<B: StorageBackend> StorageEngine<B> {
             // Later fragments override earlier ones.
             merged.extend(this_fragment);
         }
+        Ok(merged)
+    }
 
+    /// Merge every fragment into one (TileDB-style consolidation).
+    ///
+    /// Runs over the same scan layer as [`StorageEngine::export`]: each
+    /// fragment's index is enumerated back into coordinates, values are
+    /// deduplicated with the same last-writer-wins rule as
+    /// [`StorageEngine::read`], and one new fragment is written under the
+    /// engine's current organization and codecs; the old fragments are
+    /// deleted (and their cache entries invalidated). Reads over many
+    /// small fragments pay per-fragment discovery and decode costs —
+    /// consolidation removes them.
+    pub fn consolidate(&self) -> Result<ConsolidateReport> {
+        let names = self.catalog.names();
+        let before_bytes = self.catalog.total_bytes();
+        if names.len() <= 1 {
+            return Ok(ConsolidateReport {
+                merged_fragments: names.len(),
+                n_points: 0,
+                before_bytes,
+                after_bytes: before_bytes,
+                fragment: None,
+            });
+        }
+
+        let merged = self.merged_points()?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::with_capacity(merged.len() * self.elem_size as usize);
         for (coord, record) in merged.values() {
@@ -462,44 +854,22 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
         let report = self.write(&coords, &payload)?;
         for name in &names {
-            self.backend.delete(name)?;
+            self.delete_fragment(name)?;
         }
         Ok(ConsolidateReport {
             merged_fragments: names.len(),
             n_points: coords.len(),
             before_bytes,
-            after_bytes: self.total_stored_bytes()?,
+            after_bytes: self.catalog.total_bytes(),
             fragment: Some(report.fragment),
         })
     }
 
     /// Enumerate every stored point across all fragments (post-dedup), in
-    /// linear-address order, with its value record.
+    /// linear-address order, with its value record. Runs over the same
+    /// scan layer as [`StorageEngine::consolidate`].
     pub fn export(&self) -> Result<(CoordBuffer, Vec<u8>)> {
-        let mut merged: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
-            std::collections::BTreeMap::new();
-        for name in self.fragments()? {
-            let bytes = self.backend.get(&name)?;
-            let (meta, index, values) = decode_fragment(&name, &bytes)?;
-            let org = meta.kind.create();
-            let coords = org.enumerate(&index, &self.counter)?;
-            let elem = meta.elem_size as usize;
-            let mut this_fragment: std::collections::BTreeMap<u64, (Vec<u64>, Vec<u8>)> =
-                std::collections::BTreeMap::new();
-            for (slot, p) in coords.iter().enumerate() {
-                let addr = self.shape.linearize(p)?;
-                let record = values
-                    .get(slot * elem..(slot + 1) * elem)
-                    .ok_or_else(|| {
-                        StorageError::corrupt(&name, "enumerated more slots than records")
-                    })?
-                    .to_vec();
-                // Same precedence as read: lowest slot within a fragment…
-                this_fragment.entry(addr).or_insert((p.to_vec(), record));
-            }
-            // …latest fragment across fragments.
-            merged.extend(this_fragment);
-        }
+        let merged = self.merged_points()?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::new();
         for (coord, record) in merged.values() {
@@ -524,7 +894,8 @@ fn parse_fragment_name(name: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::MemBackend;
+    use crate::backend::{MemBackend, SimulatedDisk};
+    use std::time::Duration;
 
     fn engine(kind: FormatKind) -> StorageEngine<MemBackend> {
         StorageEngine::open(
@@ -649,14 +1020,10 @@ mod tests {
         let backend = MemBackend::new();
         let shape = Shape::new(vec![8, 8]).unwrap();
         let e1 = StorageEngine::open(backend, FormatKind::Coo, shape.clone(), 8).unwrap();
-        let r1 = e1
-            .write_points::<f64>(&coords(&[[1, 1]]), &[1.0])
-            .unwrap();
+        let r1 = e1.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
         let backend = e1.backend; // move out (MemBackend owns the blobs)
         let e2 = StorageEngine::open(backend, FormatKind::Coo, shape, 8).unwrap();
-        let r2 = e2
-            .write_points::<f64>(&coords(&[[2, 2]]), &[2.0])
-            .unwrap();
+        let r2 = e2.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
         assert!(r2.fragment > r1.fragment);
         assert_eq!(e2.fragments().unwrap().len(), 2);
         assert!(e2.total_stored_bytes().unwrap() > 0);
@@ -665,6 +1032,18 @@ mod tests {
     #[test]
     fn corrupt_fragment_surfaces_as_error() {
         let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let name = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&name).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        e.backend().put(&name, &bytes).unwrap();
+        assert!(e.read(&coords(&[[1, 1]])).is_err());
+    }
+
+    #[test]
+    fn corrupt_fragment_surfaces_without_range_fetch_too() {
+        let e =
+            engine(FormatKind::Linear).with_config(EngineConfig::default().with_range_fetch(false));
         e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
         let name = e.fragments().unwrap()[0].clone();
         let mut bytes = e.backend().get(&name).unwrap();
@@ -721,5 +1100,192 @@ mod tests {
             .read_values::<f64>(&coords(&[[1, 1], [2, 2]]))
             .unwrap();
         assert_eq!(vals, vec![Some(1.0), Some(2.0)]);
+    }
+
+    // ---- layered-pipeline behavior --------------------------------------
+
+    #[test]
+    fn read_rejects_fragments_with_a_different_shape() {
+        // Same dimensionality, different extents: the old ndim-only check
+        // would silently accept this store.
+        let backend = MemBackend::new();
+        let e1 = StorageEngine::open(
+            backend,
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+        )
+        .unwrap();
+        e1.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let e2 = StorageEngine::open(
+            e1.into_backend(),
+            FormatKind::Linear,
+            Shape::new(vec![16, 32]).unwrap(),
+            8,
+        )
+        .unwrap();
+        let err = e2.read(&coords(&[[1, 1]])).unwrap_err();
+        assert!(matches!(err, StorageError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn to_values_rejects_record_size_mismatch() {
+        let e = engine(FormatKind::Linear); // stores 8-byte records
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let r = e.read(&coords(&[[1, 1]])).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        // Asking for 4-byte elements from an 8-byte store is corruption
+        // (or type confusion), not an empty result.
+        let err = r.to_values::<f32>(1).unwrap_err();
+        assert!(matches!(err, StorageError::CorruptFragment { .. }), "{err}");
+        // The aligned type still works.
+        assert_eq!(r.to_values::<f64>(1).unwrap(), vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn read_transfers_only_matched_sections() {
+        // One fragment of 64 points; a one-point query must not transfer
+        // the whole value section, and discovery must not touch the
+        // device at all (the catalog already knows the store).
+        let disk = SimulatedDisk::new(1e12, Duration::ZERO);
+        let e = StorageEngine::open(
+            disk,
+            FormatKind::Linear,
+            Shape::new(vec![64, 64]).unwrap(),
+            8,
+        )
+        .unwrap();
+        let pts: Vec<[u64; 2]> = (0..64).map(|i| [i, i]).collect();
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        e.write_points::<f64>(&CoordBuffer::from_points(2, &pts).unwrap(), &vals)
+            .unwrap();
+        let frag_size = e.total_stored_bytes().unwrap();
+
+        let before = e.backend().bytes_read();
+        let got = e.read_values::<f64>(&coords(&[[7, 7]])).unwrap();
+        assert_eq!(got, vec![Some(7.0)]);
+        let transferred = e.backend().bytes_read() - before;
+        assert!(
+            transferred < frag_size,
+            "read transferred {transferred} of a {frag_size}-byte fragment"
+        );
+        // The value section is 512 bytes; a single 8-byte record must not
+        // drag in more than the header + index section + one coalesced run.
+        let meta = &e.catalog.get(&e.fragments().unwrap()[0]).unwrap().meta;
+        assert!(
+            transferred <= meta.index_offset() + meta.index_len + 8 + RUN_COALESCE_GAP_BYTES,
+            "transferred {transferred}, header+index {}",
+            meta.index_offset() + meta.index_len
+        );
+    }
+
+    #[test]
+    fn cache_makes_repeat_reads_free_of_device_traffic() {
+        let disk = SimulatedDisk::new(1e12, Duration::ZERO);
+        let e = StorageEngine::open_with(
+            disk,
+            FormatKind::GcsrPP,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default().with_cache_capacity(1 << 20),
+        )
+        .unwrap();
+        e.write_points::<f64>(&coords(&[[1, 2], [5, 5]]), &[1.0, 2.0])
+            .unwrap();
+        let q = coords(&[[5, 5], [1, 2]]);
+        let first = e.read_values::<f64>(&q).unwrap();
+        let after_first = e.backend().bytes_read();
+        let second = e.read_values::<f64>(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            e.backend().bytes_read(),
+            after_first,
+            "second read should be served from the cache"
+        );
+        let stats = e.cache().stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn consolidate_and_delete_invalidate_the_cache() {
+        let e = StorageEngine::open_with(
+            MemBackend::new(),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default().with_cache_capacity(1 << 20),
+        )
+        .unwrap();
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        e.read(&coords(&[[1, 1], [2, 2]])).unwrap();
+        assert!(!e.cache().is_empty());
+        let report = e.consolidate().unwrap();
+        assert_eq!(report.merged_fragments, 2);
+        // The merged fragment is the only cacheable thing left; the two
+        // deleted fragments must be gone from the cache.
+        assert!(e.cache().len() <= 1);
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[1, 1], [2, 2]])).unwrap(),
+            vec![Some(1.0), Some(2.0)]
+        );
+    }
+
+    #[test]
+    fn delete_fragment_and_refresh_track_the_device() {
+        let e = engine(FormatKind::Coo);
+        let r1 = e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        e.delete_fragment(&r1.fragment).unwrap();
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[1, 1], [2, 2]])).unwrap(),
+            vec![None, Some(2.0)]
+        );
+
+        // An external writer adds a blob behind the engine's back: the
+        // catalog only sees it after refresh.
+        let other = engine(FormatKind::Coo);
+        other
+            .write_points::<f64>(&coords(&[[3, 3]]), &[3.0])
+            .unwrap();
+        let blob = other.backend().get(&other.fragments().unwrap()[0]).unwrap();
+        e.backend().put("frag-00000099.asf", &blob).unwrap();
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        e.refresh().unwrap();
+        assert_eq!(e.fragments().unwrap().len(), 2);
+        // The id sequence moved past the discovered fragment.
+        let r = e.write_points::<f64>(&coords(&[[4, 4]]), &[4.0]).unwrap();
+        assert!(r.fragment.as_str() > "frag-00000099.asf");
+    }
+
+    #[test]
+    fn parallel_and_sequential_reads_agree() {
+        let shape = Shape::new(vec![32, 32]).unwrap();
+        let e =
+            StorageEngine::open(MemBackend::new(), FormatKind::Linear, shape.clone(), 8).unwrap();
+        for base in 0..6u64 {
+            let pts: Vec<[u64; 2]> = (0..8).map(|i| [(base * 4 + i) % 32, i]).collect();
+            let vals: Vec<f64> = (0..8).map(|i| (base * 100 + i) as f64).collect();
+            e.write_points::<f64>(&CoordBuffer::from_points(2, &pts).unwrap(), &vals)
+                .unwrap();
+        }
+        let q = Region::from_corners(&[0, 0], &[31, 7]).unwrap().to_coords();
+        let parallel = e.read(&q).unwrap();
+
+        let seq = StorageEngine::open_with(
+            e.into_backend(),
+            FormatKind::Linear,
+            shape,
+            8,
+            EngineConfig::default()
+                .with_read_parallelism(1)
+                .with_range_fetch(false),
+        )
+        .unwrap();
+        let sequential = seq.read(&q).unwrap();
+        assert_eq!(parallel.hits, sequential.hits);
+        assert_eq!(parallel.fragments_matched, sequential.fragments_matched);
     }
 }

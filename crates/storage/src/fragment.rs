@@ -82,6 +82,54 @@ impl FragmentMeta {
     pub fn total_len(&self) -> u64 {
         Self::header_len(self.shape.ndim()) as u64 + self.index_len + self.value_len
     }
+
+    /// Byte offset of the stored index section within the fragment.
+    pub fn index_offset(&self) -> u64 {
+        Self::header_len(self.shape.ndim()) as u64
+    }
+
+    /// Byte offset of the stored value section within the fragment.
+    pub fn value_offset(&self) -> u64 {
+        self.index_offset() + self.index_len
+    }
+}
+
+/// Decode the stored index section (as fetched from
+/// [`FragmentMeta::index_offset`]) into the uncompressed index payload.
+/// A short section means the device returned fewer bytes than the header
+/// promised — a truncated or externally modified fragment.
+pub fn decode_index_section(name: &str, meta: &FragmentMeta, section: &[u8]) -> Result<Vec<u8>> {
+    if section.len() != meta.index_len as usize {
+        return Err(StorageError::corrupt(
+            name,
+            format!(
+                "index section is {} bytes, header says {}",
+                section.len(),
+                meta.index_len
+            ),
+        ));
+    }
+    meta.index_codec
+        .decompress(section, meta.index_raw_len as usize)
+        .map_err(|e| StorageError::corrupt(name, format!("index payload: {e}")))
+}
+
+/// Decode the stored value section (as fetched from
+/// [`FragmentMeta::value_offset`]) into the uncompressed value payload.
+pub fn decode_value_section(name: &str, meta: &FragmentMeta, section: &[u8]) -> Result<Vec<u8>> {
+    if section.len() != meta.value_len as usize {
+        return Err(StorageError::corrupt(
+            name,
+            format!(
+                "value section is {} bytes, header says {}",
+                section.len(),
+                meta.value_len
+            ),
+        ));
+    }
+    meta.value_codec
+        .decompress(section, meta.value_raw_len as usize)
+        .map_err(|e| StorageError::corrupt(name, format!("value payload: {e}")))
 }
 
 /// Assemble a fragment file, applying the codecs to the payloads.
@@ -190,8 +238,7 @@ pub fn decode_meta(name: &str, bytes: &[u8]) -> Result<FragmentMeta> {
         hi.push(cur.get_u64_le());
     }
     let bbox = if flags & FLAG_HAS_BBOX != 0 {
-        let b =
-            Region::from_corners(&lo, &hi).map_err(|e| corrupt(&format!("bad bbox: {e}")))?;
+        let b = Region::from_corners(&lo, &hi).map_err(|e| corrupt(&format!("bad bbox: {e}")))?;
         if !b.fits_in(&shape) {
             return Err(corrupt("bbox outside shape"));
         }
@@ -316,6 +363,32 @@ mod tests {
         let header = FragmentMeta::header_len(2);
         let meta = decode_meta("t", &bytes[..header]).unwrap();
         assert_eq!(meta.n, 3);
+    }
+
+    #[test]
+    fn section_offsets_slice_the_fragment() {
+        for (ic, vc) in [(Codec::None, Codec::None), (Codec::DeltaVarint, Codec::Rle)] {
+            let bytes = sample_with(ic, vc);
+            let meta = decode_meta("t", &bytes).unwrap();
+            let (_, index, values) = decode_fragment("t", &bytes).unwrap();
+            let isec = &bytes
+                [meta.index_offset() as usize..(meta.index_offset() + meta.index_len) as usize];
+            let vsec = &bytes
+                [meta.value_offset() as usize..(meta.value_offset() + meta.value_len) as usize];
+            assert_eq!(decode_index_section("t", &meta, isec).unwrap(), index);
+            assert_eq!(decode_value_section("t", &meta, vsec).unwrap(), values);
+            assert_eq!(meta.value_offset() + meta.value_len, meta.total_len());
+        }
+    }
+
+    #[test]
+    fn short_sections_are_rejected() {
+        let bytes = sample();
+        let meta = decode_meta("t", &bytes).unwrap();
+        let isec =
+            &bytes[meta.index_offset() as usize..(meta.index_offset() + meta.index_len) as usize];
+        assert!(decode_index_section("t", &meta, &isec[..isec.len() - 1]).is_err());
+        assert!(decode_value_section("t", &meta, &[]).is_err());
     }
 
     #[test]

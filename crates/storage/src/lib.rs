@@ -11,20 +11,33 @@
 //!   in for the paper's Lustre file system;
 //! * [`fragment`] — the on-device fragment layout with fully validated
 //!   decoding;
+//! * [`catalog`] — the in-engine manifest of fragment metadata that turns
+//!   discovery and bounding-box pruning into an in-memory planning step;
+//! * [`cache`] — a bytes-bounded LRU of decoded fragments for
+//!   repeat-read workloads;
+//! * [`config`] — tuning knobs for the read pipeline (cache budget,
+//!   parallelism, range fetch);
 //! * [`engine`] — Algorithm 3's WRITE (with the Table III phase
-//!   breakdown) and READ (with fragment discovery and merge).
+//!   breakdown) and READ as a layered catalog → plan → fetch → decode →
+//!   merge pipeline.
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
+pub mod catalog;
 pub mod codec;
+pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fragment;
 pub mod striped;
 
 pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
+pub use cache::{CacheStats, DecodedFragment, FragmentCache};
+pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
+pub use config::EngineConfig;
 pub use engine::{ConsolidateReport, ReadHit, ReadResult, StorageEngine, StoreStats, WriteReport};
 pub use error::{Result, StorageError};
 pub use striped::StripedBackend;

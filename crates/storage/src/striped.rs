@@ -23,7 +23,10 @@ impl<B: StorageBackend> StripedBackend<B> {
     pub fn new(devices: Vec<B>, stripe_size: usize) -> Self {
         assert!(!devices.is_empty(), "at least one device");
         assert!(stripe_size > 0, "stripe size must be positive");
-        StripedBackend { devices, stripe_size }
+        StripedBackend {
+            devices,
+            stripe_size,
+        }
     }
 
     /// Number of devices (the stripe count).
@@ -167,6 +170,72 @@ impl<B: StorageBackend> StorageBackend for StripedBackend<B> {
         Ok(out)
     }
 
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.devices.len();
+        let s = self.stripe_size;
+        let offset = offset as usize;
+        // Global chunks touched by the window; chunk j lives on device
+        // j % n at device-local offset (j / n) * s, so the chunks one
+        // device owns within [j0, j1] form one contiguous local window.
+        let j0 = offset / s;
+        let j1 = (offset + len - 1) / s;
+        let mut windows: Vec<Option<(usize, usize, usize)>> = vec![None; n];
+        for (d, window) in windows.iter_mut().enumerate() {
+            let jmin = j0 + (d + n - j0 % n) % n;
+            if jmin > j1 {
+                continue;
+            }
+            let jmax = j1 - (j1 % n + n - d) % n;
+            let local_start = (jmin / n) * s;
+            let local_end = (jmax / n) * s + s;
+            *window = Some((jmin, local_start, local_end - local_start));
+        }
+        let parts: Vec<Result<Vec<u8>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .zip(windows.iter())
+                .map(|(dev, window)| {
+                    scope.spawn(move || match *window {
+                        None => Ok(Vec::new()),
+                        Some((_, lo, want)) => dev.get_range(name, lo as u64, want),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stripe reader panicked"))
+                .collect()
+        });
+        let parts: Vec<Vec<u8>> = parts.into_iter().collect::<Result<_>>()?;
+        // Reassemble the covered chunks in global order; a short or missing
+        // chunk means the blob ends inside the window.
+        let mut out = Vec::with_capacity((j1 - j0 + 1) * s);
+        for j in j0..=j1 {
+            let d = j % n;
+            let Some((jmin, _, _)) = windows[d] else {
+                break;
+            };
+            let rel = (j / n - jmin / n) * s;
+            let part = &parts[d];
+            if rel >= part.len() {
+                break;
+            }
+            let hi = (rel + s).min(part.len());
+            out.extend_from_slice(&part[rel..hi]);
+            if hi - rel < s {
+                break;
+            }
+        }
+        // `out` starts at global offset j0 * s; cut the requested window.
+        let skip = (offset - j0 * s).min(out.len());
+        let end = (offset - j0 * s + len).min(out.len());
+        Ok(out[skip..end].to_vec())
+    }
+
     fn list(&self) -> Result<Vec<String>> {
         self.devices[0].list()
     }
@@ -212,12 +281,33 @@ mod tests {
                     assert_eq!(b.get("blob").unwrap(), data, "n={n} s={stripe} len={len}");
                     assert_eq!(b.size("blob").unwrap(), len as u64);
                     for plen in [0usize, 1, stripe, stripe + 1, len, len + 5] {
-                        let want: Vec<u8> =
-                            data.iter().copied().take(plen).collect();
+                        let want: Vec<u8> = data.iter().copied().take(plen).collect();
                         assert_eq!(
                             b.get_prefix("blob", plen).unwrap(),
                             want,
                             "prefix n={n} s={stripe} len={len} plen={plen}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_reads_match_whole_blob_slicing() {
+        for n in [1usize, 2, 3, 5] {
+            for stripe in [1usize, 3, 8] {
+                let b = striped_mem(n, stripe);
+                let data: Vec<u8> = (0..100u32).map(|x| x as u8).collect();
+                b.put("blob", &data).unwrap();
+                for offset in [0usize, 1, 3, 8, 9, 24, 99, 100, 120] {
+                    for len in [0usize, 1, 2, 7, 8, 9, 50, 100, 200] {
+                        let start = offset.min(data.len());
+                        let end = (offset + len).min(data.len());
+                        assert_eq!(
+                            b.get_range("blob", offset as u64, len).unwrap(),
+                            &data[start..end],
+                            "n={n} s={stripe} offset={offset} len={len}"
                         );
                     }
                 }
@@ -242,7 +332,10 @@ mod tests {
         let b = striped_mem(2, 4);
         let data: Vec<u8> = (0..12).collect();
         b.put("x", &data).unwrap();
-        assert_eq!(b.devices()[0].get("x").unwrap(), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        assert_eq!(
+            b.devices()[0].get("x").unwrap(),
+            vec![0, 1, 2, 3, 8, 9, 10, 11]
+        );
         assert_eq!(b.devices()[1].get("x").unwrap(), vec![4, 5, 6, 7]);
     }
 
@@ -287,8 +380,7 @@ mod tests {
             8,
         )
         .unwrap();
-        let coords =
-            CoordBuffer::from_points(2, &[[1u64, 2], [30, 31], [5, 5]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[1u64, 2], [30, 31], [5, 5]]).unwrap();
         engine
             .write_points::<f64>(&coords, &[1.0, 2.0, 3.0])
             .unwrap();

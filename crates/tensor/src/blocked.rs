@@ -160,7 +160,11 @@ impl BlockGrid {
             .collect();
         for (dim, (&c, &m)) in coord.iter().zip(&self.global_dims).enumerate() {
             if c >= m {
-                return Err(TensorError::CoordOutOfBounds { dim, coord: c, size: m });
+                return Err(TensorError::CoordOutOfBounds {
+                    dim,
+                    coord: c,
+                    size: m,
+                });
             }
         }
         Ok(coord)
@@ -182,7 +186,9 @@ impl BlockGrid {
             block_coord[i] = b % self.grid_dims[i];
             b /= self.grid_dims[i];
         }
-        let lo: Vec<u64> = (0..d).map(|i| block_coord[i] * self.block_dims[i]).collect();
+        let lo: Vec<u64> = (0..d)
+            .map(|i| block_coord[i] * self.block_dims[i])
+            .collect();
         let hi: Vec<u64> = (0..d)
             .map(|i| ((block_coord[i] + 1) * self.block_dims[i]).min(self.global_dims[i]) - 1)
             .collect();
@@ -249,7 +255,10 @@ mod tests {
         assert!(g.address(&[0]).is_err());
         assert!(g.block_region(9).is_err());
         assert!(g
-            .coordinate(BlockAddr { block: 99, local: 0 })
+            .coordinate(BlockAddr {
+                block: 99,
+                local: 0
+            })
             .is_err());
     }
 }

@@ -21,7 +21,10 @@ pub struct CoordBuffer {
 impl CoordBuffer {
     /// An empty buffer of the given dimensionality.
     pub fn new(ndim: usize) -> Self {
-        CoordBuffer { ndim, data: Vec::new() }
+        CoordBuffer {
+            ndim,
+            data: Vec::new(),
+        }
     }
 
     /// An empty buffer with room for `n` points.
@@ -38,7 +41,10 @@ impl CoordBuffer {
             return Err(TensorError::EmptyShape);
         }
         if !data.len().is_multiple_of(ndim) {
-            return Err(TensorError::RaggedBuffer { len: data.len(), ndim });
+            return Err(TensorError::RaggedBuffer {
+                len: data.len(),
+                ndim,
+            });
         }
         Ok(CoordBuffer { ndim, data })
     }
@@ -73,7 +79,7 @@ impl CoordBuffer {
     /// Number of points (`n` in the paper).
     #[inline]
     pub fn len(&self) -> usize {
-        if self.ndim == 0 { 0 } else { self.data.len() / self.ndim }
+        self.data.len().checked_div(self.ndim).unwrap_or(0)
     }
 
     /// Whether the buffer holds no points.
@@ -171,7 +177,10 @@ impl CoordBuffer {
         for &src in perm {
             data.extend_from_slice(self.point(src));
         }
-        CoordBuffer { ndim: self.ndim, data }
+        CoordBuffer {
+            ndim: self.ndim,
+            data,
+        }
     }
 
     /// Reorder coordinate axes of every point: output dimension `k` is

@@ -31,12 +31,7 @@ impl<V: Element + Default> DenseTensor<V> {
 
     /// Materialize a sparse tensor: `fill` everywhere, points overriding.
     /// Later duplicates win.
-    pub fn from_sparse(
-        shape: Shape,
-        coords: &CoordBuffer,
-        values: &[V],
-        fill: V,
-    ) -> Result<Self> {
+    pub fn from_sparse(shape: Shape, coords: &CoordBuffer, values: &[V], fill: V) -> Result<Self> {
         if coords.len() != values.len() {
             return Err(TensorError::ValueLengthMismatch {
                 len: values.len(),
@@ -124,7 +119,10 @@ impl<V: Element> DenseTensor<V> {
         for cell in region.iter_cells() {
             data.push(self.data[self.shape.linearize_unchecked(&cell) as usize]);
         }
-        Ok(DenseTensor { shape: out_shape, data })
+        Ok(DenseTensor {
+            shape: out_shape,
+            data,
+        })
     }
 }
 
@@ -148,8 +146,7 @@ mod tests {
 
     #[test]
     fn sparse_dense_roundtrip() {
-        let coords =
-            CoordBuffer::from_points(2, &[[0u64, 1], [2, 2], [1, 3]]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[0u64, 1], [2, 2], [1, 3]]).unwrap();
         let values = vec![1.0f64, 2.0, 3.0];
         let dense = DenseTensor::from_sparse(shape(), &coords, &values, 0.0).unwrap();
         let (c2, v2) = dense.to_sparse(0.0);
@@ -165,8 +162,7 @@ mod tests {
     #[test]
     fn duplicates_last_wins() {
         let coords = CoordBuffer::from_points(2, &[[1u64, 1], [1, 1]]).unwrap();
-        let dense =
-            DenseTensor::from_sparse(shape(), &coords, &[5.0f64, 9.0], 0.0).unwrap();
+        let dense = DenseTensor::from_sparse(shape(), &coords, &[5.0f64, 9.0], 0.0).unwrap();
         assert_eq!(dense.get(&[1, 1]).unwrap(), 9.0);
     }
 
@@ -186,11 +182,7 @@ mod tests {
 
     #[test]
     fn slicing_copies_a_region() {
-        let t = DenseTensor::from_vec(
-            shape(),
-            (0..12).map(|x| x as f64).collect(),
-        )
-        .unwrap();
+        let t = DenseTensor::from_vec(shape(), (0..12).map(|x| x as f64).collect()).unwrap();
         let r = Region::from_corners(&[1, 1], &[2, 2]).unwrap();
         let s = t.slice(&r).unwrap();
         assert_eq!(s.shape().dims(), &[2, 2]);

@@ -42,7 +42,10 @@ impl Region {
                 });
             }
         }
-        Ok(Region { lo: lo.to_vec(), hi: hi.to_vec() })
+        Ok(Region {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        })
     }
 
     /// Build from an inclusive lower corner and per-dimension sizes (≥ 1).
@@ -167,8 +170,7 @@ impl Region {
 
     /// Whether this region lies entirely within `shape`.
     pub fn fits_in(&self, shape: &Shape) -> bool {
-        self.ndim() == shape.ndim()
-            && self.hi.iter().zip(shape.dims()).all(|(&h, &m)| h < m)
+        self.ndim() == shape.ndim() && self.hi.iter().zip(shape.dims()).all(|(&h, &m)| h < m)
     }
 
     /// Enumerate every cell of the region in row-major order.
@@ -303,10 +305,7 @@ mod tests {
     fn cell_iteration_row_major() {
         let r = Region::from_corners(&[1, 2], &[2, 3]).unwrap();
         let cells: Vec<Vec<u64>> = r.iter_cells().collect();
-        assert_eq!(
-            cells,
-            vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]
-        );
+        assert_eq!(cells, vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]);
         let coords = r.to_coords();
         assert_eq!(coords.len(), 4);
         assert_eq!(coords.point(2), &[2, 2]);

@@ -128,7 +128,11 @@ impl Shape {
         }
         for (dim, (&c, &m)) in coord.iter().zip(&self.dims).enumerate() {
             if c >= m {
-                return Err(TensorError::CoordOutOfBounds { dim, coord: c, size: m });
+                return Err(TensorError::CoordOutOfBounds {
+                    dim,
+                    coord: c,
+                    size: m,
+                });
             }
         }
         Ok(())
@@ -155,7 +159,11 @@ impl Shape {
     /// builds still assert.
     #[inline]
     pub fn linearize_unchecked(&self, coord: &[u64]) -> u64 {
-        debug_assert!(self.contains(coord), "coord {coord:?} outside {:?}", self.dims);
+        debug_assert!(
+            self.contains(coord),
+            "coord {coord:?} outside {:?}",
+            self.dims
+        );
         let mut addr = 0u64;
         for (&c, &m) in coord.iter().zip(&self.dims) {
             addr = addr * m + c;

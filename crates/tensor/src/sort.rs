@@ -24,7 +24,11 @@ pub struct SortedCoords {
 fn finish(coords: &CoordBuffer, perm: Vec<usize>) -> SortedCoords {
     let sorted = coords.gather(&perm);
     let map = invert_permutation(&perm);
-    SortedCoords { coords: sorted, perm, map }
+    SortedCoords {
+        coords: sorted,
+        perm,
+        map,
+    }
 }
 
 /// Stable lexicographic sort of points (dimension 0 most significant).
@@ -64,11 +68,7 @@ mod tests {
     use crate::permute::is_permutation;
 
     fn sample() -> CoordBuffer {
-        CoordBuffer::from_points(
-            2,
-            &[[2u64, 1], [0, 3], [2, 0], [0, 1], [1, 9]],
-        )
-        .unwrap()
+        CoordBuffer::from_points(2, &[[2u64, 1], [0, 3], [2, 0], [0, 1], [1, 9]]).unwrap()
     }
 
     #[test]

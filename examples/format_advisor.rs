@@ -12,13 +12,19 @@
 
 use artsparse::core::advisor::{recommend, AccessProfile};
 use artsparse::patterns::{Dataset, Pattern, PatternParams};
-use artsparse::{FormatKind, SparseTensor, Shape};
+use artsparse::{FormatKind, Shape, SparseTensor};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = [
-        ("checkpoint archive (write-heavy)", AccessProfile::write_heavy()),
-        ("interactive analysis (read-heavy)", AccessProfile::read_heavy()),
+        (
+            "checkpoint archive (write-heavy)",
+            AccessProfile::write_heavy(),
+        ),
+        (
+            "interactive analysis (read-heavy)",
+            AccessProfile::read_heavy(),
+        ),
         ("balanced pipeline", AccessProfile::balanced()),
     ];
 

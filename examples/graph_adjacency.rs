@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<14} {:>12} {}",
             kind.name(),
             enc.total_bytes(),
-            if hits[0].is_some() { "found" } else { "MISSING!" }
+            if hits[0].is_some() {
+                "found"
+            } else {
+                "MISSING!"
+            }
         );
         assert!(hits[0].is_some());
     }

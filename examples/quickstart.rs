@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Encode under each of the paper's five organizations and query back.
-    println!("\n{:<14} {:>12} {:>12}", "format", "index bytes", "total bytes");
+    println!(
+        "\n{:<14} {:>12} {:>12}",
+        "format", "index bytes", "total bytes"
+    );
     for kind in FormatKind::PAPER_FIVE {
         let encoded = tensor.encode(kind)?;
         assert_eq!(encoded.get::<f64>(&[0, 1, 2])?, Some(3.0));

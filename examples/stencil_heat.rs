@@ -51,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Jacobi iterations: u ← A·u, reading each row's band from storage.
     let mut u: Vec<f64> = (0..N)
-        .map(|i| if (N / 4..3 * N / 4).contains(&i) { 1.0 } else { 0.0 })
+        .map(|i| {
+            if (N / 4..3 * N / 4).contains(&i) {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     for step in 0..5 {
         let mut next = vec![0.0f64; N as usize];

@@ -23,8 +23,7 @@ fn compressed_fragments_roundtrip_every_format_and_codec() {
                 .unwrap()
                 .with_compression(ic, vc);
             engine.write_points::<f64>(&ds.coords, &values).unwrap();
-            let plain = StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8)
-                .unwrap();
+            let plain = StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
             plain.write_points::<f64>(&ds.coords, &values).unwrap();
             let a = engine.read_values::<f64>(&queries).unwrap();
             let b = plain.read_values::<f64>(&queries).unwrap();
@@ -40,21 +39,11 @@ fn delta_varint_shrinks_linear_over_tsp() {
     // organization, much smaller fragment.
     let ds = Dataset::for_scale(Pattern::Tsp, 2, Scale::Smoke, PatternParams::default());
     let values = ds.values();
-    let plain = StorageEngine::open(
-        MemBackend::new(),
-        FormatKind::Linear,
-        ds.shape.clone(),
-        8,
-    )
-    .unwrap();
-    let packed = StorageEngine::open(
-        MemBackend::new(),
-        FormatKind::Linear,
-        ds.shape.clone(),
-        8,
-    )
-    .unwrap()
-    .with_compression(Codec::DeltaVarint, Codec::None);
+    let plain =
+        StorageEngine::open(MemBackend::new(), FormatKind::Linear, ds.shape.clone(), 8).unwrap();
+    let packed = StorageEngine::open(MemBackend::new(), FormatKind::Linear, ds.shape.clone(), 8)
+        .unwrap()
+        .with_compression(Codec::DeltaVarint, Codec::None);
     let rp = plain.write_points::<f64>(&ds.coords, &values).unwrap();
     let rc = packed.write_points::<f64>(&ds.coords, &values).unwrap();
     assert!(
@@ -80,11 +69,7 @@ fn enumerate_inverts_build_for_every_format() {
                 None => assert_eq!(&listed, &ds.coords, "{kind} {pattern}"),
                 Some(map) => {
                     for (i, p) in ds.coords.iter().enumerate() {
-                        assert_eq!(
-                            listed.point(map[i]),
-                            p,
-                            "{kind} {pattern} point {i}"
-                        );
+                        assert_eq!(listed.point(map[i]), p, "{kind} {pattern} point {i}");
                     }
                 }
             }
@@ -139,8 +124,7 @@ fn consolidation_across_mixed_formats() {
             .unwrap();
         holder = Some(e.into_backend());
     }
-    let engine =
-        StorageEngine::open(holder.unwrap(), FormatKind::Csf, shape.clone(), 8).unwrap();
+    let engine = StorageEngine::open(holder.unwrap(), FormatKind::Csf, shape.clone(), 8).unwrap();
     let report = engine.consolidate().unwrap();
     assert_eq!(report.merged_fragments, 3);
     // The COO fragment wrote [0,0] twice (its [i,0] and [0,i] coincide at
@@ -155,8 +139,7 @@ fn consolidation_across_mixed_formats() {
 #[test]
 fn consolidating_zero_or_one_fragment_is_a_noop() {
     let shape = Shape::new(vec![8, 8]).unwrap();
-    let engine =
-        StorageEngine::open(MemBackend::new(), FormatKind::Coo, shape.clone(), 8).unwrap();
+    let engine = StorageEngine::open(MemBackend::new(), FormatKind::Coo, shape.clone(), 8).unwrap();
     let r = engine.consolidate().unwrap();
     assert_eq!(r.merged_fragments, 0);
     assert!(r.fragment.is_none());
@@ -179,10 +162,7 @@ fn export_lists_all_points_in_address_order() {
         .write_points::<f64>(&pts(&[[3, 3]]), &[33.0])
         .unwrap();
     let (coords, payload) = engine.export().unwrap();
-    let addrs: Vec<u64> = coords
-        .iter()
-        .map(|p| shape.linearize(p).unwrap())
-        .collect();
+    let addrs: Vec<u64> = coords.iter().map(|p| shape.linearize(p).unwrap()).collect();
     assert_eq!(addrs, vec![1, 51, 153]);
     let vals: Vec<f64> = artsparse::tensor::value::unpack(&payload).unwrap();
     assert_eq!(vals, vec![1.0, 33.0, 99.0]);
@@ -192,14 +172,9 @@ fn export_lists_all_points_in_address_order() {
 fn consolidated_compressed_store_reads_back() {
     let ds = Dataset::for_scale(Pattern::Msp, 2, Scale::Smoke, PatternParams::default());
     let values = ds.values();
-    let engine = StorageEngine::open(
-        MemBackend::new(),
-        FormatKind::Linear,
-        ds.shape.clone(),
-        8,
-    )
-    .unwrap()
-    .with_compression(Codec::DeltaVarint, Codec::None);
+    let engine = StorageEngine::open(MemBackend::new(), FormatKind::Linear, ds.shape.clone(), 8)
+        .unwrap()
+        .with_compression(Codec::DeltaVarint, Codec::None);
     // Split the dataset into 4 fragments.
     let quarter = ds.nnz() / 4;
     for q in 0..4 {

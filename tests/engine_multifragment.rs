@@ -109,27 +109,14 @@ fn fragments_written_under_different_formats_interoperate() {
     let mut expected = Vec::new();
     let mut backend_holder = Some(backend);
     for (i, kind) in FormatKind::ALL.into_iter().enumerate() {
-        let engine = StorageEngine::open(
-            backend_holder.take().unwrap(),
-            kind,
-            shape.clone(),
-            8,
-        )
-        .unwrap();
+        let engine =
+            StorageEngine::open(backend_holder.take().unwrap(), kind, shape.clone(), 8).unwrap();
         let c = [i as u64, i as u64 + 1];
-        engine
-            .write_points::<f64>(&pts(&[c]), &[i as f64])
-            .unwrap();
+        engine.write_points::<f64>(&pts(&[c]), &[i as f64]).unwrap();
         expected.push((c, i as f64));
         backend_holder = Some(engine.into_backend());
     }
-    let engine = StorageEngine::open(
-        backend_holder.unwrap(),
-        FormatKind::Coo,
-        shape,
-        8,
-    )
-    .unwrap();
+    let engine = StorageEngine::open(backend_holder.unwrap(), FormatKind::Coo, shape, 8).unwrap();
     assert_eq!(engine.fragments().unwrap().len(), FormatKind::ALL.len());
     for (c, v) in expected {
         let got = engine.read_values::<f64>(&pts(&[c])).unwrap();
@@ -149,9 +136,7 @@ fn simulated_disk_accounts_for_every_fragment_byte() {
     let r1 = engine
         .write_points::<f64>(&pts(&[[1, 1], [2, 2]]), &[1.0, 2.0])
         .unwrap();
-    let r2 = engine
-        .write_points::<f64>(&pts(&[[3, 3]]), &[3.0])
-        .unwrap();
+    let r2 = engine.write_points::<f64>(&pts(&[[3, 3]]), &[3.0]).unwrap();
     assert_eq!(
         engine.backend().bytes_written(),
         (r1.total_bytes + r2.total_bytes) as u64

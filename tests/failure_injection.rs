@@ -8,10 +8,7 @@ use artsparse::{CoordBuffer, FormatKind, Shape};
 
 fn build_index(kind: FormatKind, shape: &Shape, coords: &CoordBuffer) -> Vec<u8> {
     let counter = OpCounter::new();
-    kind.create()
-        .build(coords, shape, &counter)
-        .unwrap()
-        .index
+    kind.create().build(coords, shape, &counter).unwrap().index
 }
 
 fn sample_data() -> (Shape, CoordBuffer) {
@@ -104,10 +101,7 @@ fn engine_survives_foreign_blobs_in_the_store() {
     engine.write_points::<f64>(&coords, &[1.0]).unwrap();
     // Foreign blobs are ignored by fragment discovery.
     assert_eq!(engine.fragments().unwrap().len(), 1);
-    assert_eq!(
-        engine.read_values::<f64>(&coords).unwrap(),
-        vec![Some(1.0)]
-    );
+    assert_eq!(engine.read_values::<f64>(&coords).unwrap(), vec![Some(1.0)]);
 }
 
 #[test]

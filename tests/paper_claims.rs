@@ -165,10 +165,7 @@ fn table4_ranking_matches_paper() {
     let ranking = out.json["ranking"].as_array().unwrap();
     let first = ranking[0][0].as_str().unwrap();
     let last = ranking[ranking.len() - 1][0].as_str().unwrap();
-    assert!(
-        first == "LINEAR" || first == "GCSR++",
-        "best was {first}"
-    );
+    assert!(first == "LINEAR" || first == "GCSR++", "best was {first}");
     assert_eq!(last, "COO", "worst must be COO");
 }
 
@@ -223,11 +220,7 @@ fn msp_read_region_spans_both_point_kinds() {
     // At smoke scale (256) the read region [128,153] sits inside the dense
     // block [85,169], so independent points there are possible but rare;
     // the tensor as a whole must have both kinds.
-    let total_independent = ds
-        .coords
-        .iter()
-        .filter(|p| !dense.contains(p))
-        .count();
+    let total_independent = ds.coords.iter().filter(|p| !dense.contains(p)).count();
     assert!(total_independent > 0);
     let _ = independent;
 }

@@ -16,10 +16,7 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
 fn tensor_strategy(max_points: usize) -> impl Strategy<Value = (Shape, CoordBuffer)> {
     shape_strategy().prop_flat_map(move |shape| {
         let dims = shape.dims().to_vec();
-        let point = dims
-            .iter()
-            .map(|&m| 0u64..m)
-            .collect::<Vec<_>>();
+        let point = dims.iter().map(|&m| 0u64..m).collect::<Vec<_>>();
         prop::collection::vec(point, 0..max_points).prop_map(move |pts| {
             let mut buf = CoordBuffer::new(shape.ndim());
             for p in &pts {

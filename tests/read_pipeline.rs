@@ -1,0 +1,169 @@
+//! The layered read pipeline must be invisible: whatever combination of
+//! parallelism, range fetch, and caching is configured, READ returns
+//! byte-identical results to the sequential whole-fragment reference
+//! scan — and stays consistent under concurrent writers and readers.
+
+use artsparse::storage::{EngineConfig, MemBackend, StorageEngine};
+use artsparse::{CoordBuffer, FormatKind, Region, Shape};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small shape of 2–3 dimensions, each of size 2–10.
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(2u64..=10, 2..=3).prop_map(|dims| Shape::new(dims).unwrap())
+}
+
+/// A shape plus 1–5 fragments of up to 12 points each.
+fn store_strategy() -> impl Strategy<Value = (Shape, Vec<Vec<Vec<u64>>>)> {
+    shape_strategy().prop_flat_map(|shape| {
+        let dims = shape.dims().to_vec();
+        let point = dims.iter().map(|&m| 0u64..m).collect::<Vec<_>>();
+        prop::collection::vec(prop::collection::vec(point, 1..12), 1..=5)
+            .prop_map(move |frags| (shape.clone(), frags))
+    })
+}
+
+fn buffer(ndim: usize, pts: &[Vec<u64>]) -> CoordBuffer {
+    let mut buf = CoordBuffer::new(ndim);
+    for p in pts {
+        buf.push(p).unwrap();
+    }
+    buf
+}
+
+/// Write the fragments (values encode fragment and slot so collisions
+/// are observable), then return the populated backend.
+fn populate(shape: &Shape, kind: FormatKind, fragments: &[Vec<Vec<u64>>]) -> MemBackend {
+    let writer = StorageEngine::open(MemBackend::new(), kind, shape.clone(), 8).unwrap();
+    for (fi, pts) in fragments.iter().enumerate() {
+        let coords = buffer(shape.ndim(), pts);
+        let values: Vec<f64> = (0..pts.len())
+            .map(|slot| (fi * 1000 + slot) as f64)
+            .collect();
+        writer.write_points::<f64>(&coords, &values).unwrap();
+    }
+    writer.into_backend()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every pipeline configuration returns byte-identical hits (and the
+    /// same scan/match counts) as the sequential whole-fragment
+    /// reference.
+    #[test]
+    fn pipeline_configs_are_equivalent((shape, fragments) in store_strategy()) {
+        for kind in [FormatKind::Linear, FormatKind::Coo, FormatKind::Csf] {
+            let queries = Region::full(&shape).to_coords();
+
+            // Reference: one thread, whole-fragment fetches, no cache.
+            let reference = EngineConfig::default()
+                .with_read_parallelism(1)
+                .with_range_fetch(false);
+            let configs = [
+                EngineConfig::default(),                         // parallel + range fetch
+                EngineConfig::default().with_read_parallelism(3),
+                EngineConfig::default().with_range_fetch(false), // parallel, whole fragments
+                EngineConfig::default().with_cache_capacity(1 << 20),
+                EngineConfig::default()
+                    .with_read_parallelism(2)
+                    .with_cache_capacity(512), // cache under eviction pressure
+            ];
+
+            let mut backend = populate(&shape, kind, &fragments);
+            let expected = {
+                let e = StorageEngine::open_with(backend, kind, shape.clone(), 8, reference)
+                    .unwrap();
+                let r = e.read(&queries).unwrap();
+                backend = e.into_backend();
+                r
+            };
+            for config in configs {
+                let e = StorageEngine::open_with(
+                    backend,
+                    kind,
+                    shape.clone(),
+                    8,
+                    config.clone(),
+                )
+                .unwrap();
+                // Twice: the second read exercises any cache hits.
+                for pass in 0..2 {
+                    let got = e.read(&queries).unwrap();
+                    prop_assert_eq!(&got.hits, &expected.hits, "{} {:?} pass {}", kind, config, pass);
+                    prop_assert_eq!(got.fragments_scanned, expected.fragments_scanned);
+                    prop_assert_eq!(got.fragments_matched, expected.fragments_matched);
+                }
+                backend = e.into_backend();
+            }
+        }
+    }
+}
+
+/// Interleaved writers and readers on one shared engine: reads never
+/// error, never return phantom points, and once the writers finish every
+/// written point is read back with its final value.
+#[test]
+fn concurrent_writes_and_reads_stay_consistent() {
+    let shape = Shape::new(vec![32, 32]).unwrap();
+    let engine = Arc::new(
+        StorageEngine::open_with(
+            MemBackend::new(),
+            FormatKind::Linear,
+            shape.clone(),
+            8,
+            EngineConfig::default().with_cache_capacity(1 << 16),
+        )
+        .unwrap(),
+    );
+
+    let n_writers = 3usize;
+    let frags_per_writer = 8usize;
+    std::thread::scope(|scope| {
+        for w in 0..n_writers {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                // Writer w owns rows w, n_writers + w, … — no cross-writer
+                // collisions, so final values are deterministic.
+                for f in 0..frags_per_writer {
+                    let row = (w + f * n_writers) as u64 % 32;
+                    let pts: Vec<[u64; 2]> = (0..8).map(|c| [row, c * 4]).collect();
+                    let vals: Vec<f64> = (0..8).map(|c| (row * 100 + c * 4) as f64).collect();
+                    let coords = CoordBuffer::from_points(2, &pts).unwrap();
+                    engine.write_points::<f64>(&coords, &vals).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                let queries = Region::from_corners(&[0, 0], &[31, 31])
+                    .unwrap()
+                    .to_coords();
+                for _ in 0..20 {
+                    let r = engine.read(&queries).unwrap();
+                    for hit in &r.hits {
+                        // Any point a reader sees carries its final value.
+                        assert_eq!(hit.value.len(), 8);
+                        let v = f64::from_le_bytes(hit.value.as_slice().try_into().unwrap());
+                        assert_eq!(v, (hit.coord[0] * 100 + hit.coord[1]) as f64);
+                    }
+                }
+            });
+        }
+    });
+
+    let queries = Region::full(&shape).to_coords();
+    let vals = engine.read_values::<f64>(&queries).unwrap();
+    let mut found = 0;
+    for (q, v) in queries.iter().zip(&vals) {
+        let expected_here = q[1] % 4 == 0 && (q[0] as usize) < n_writers * frags_per_writer;
+        if expected_here {
+            assert_eq!(*v, Some((q[0] * 100 + q[1]) as f64), "at {q:?}");
+            found += 1;
+        } else {
+            assert_eq!(*v, None, "phantom point at {q:?}");
+        }
+    }
+    assert_eq!(found, 24 * 8);
+}

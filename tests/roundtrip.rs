@@ -27,13 +27,8 @@ fn every_format_pattern_dim_roundtrips_through_the_engine() {
             let queries = ds.read_region().to_coords();
 
             for kind in FormatKind::ALL {
-                let engine = StorageEngine::open(
-                    MemBackend::new(),
-                    kind,
-                    ds.shape.clone(),
-                    8,
-                )
-                .unwrap();
+                let engine =
+                    StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
                 engine.write_points::<f64>(&ds.coords, &values).unwrap();
                 let got = engine.read_values::<f64>(&queries).unwrap();
                 for (q, v) in queries.iter().zip(&got) {
@@ -59,8 +54,7 @@ fn direct_format_reads_match_engine_reads() {
         let org = kind.create();
         let built = org.build(&ds.coords, &ds.shape, &counter).unwrap();
         let slots = org.read(&built.index, &queries, &counter).unwrap();
-        let engine =
-            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        let engine = StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
         engine.write_points::<f64>(&ds.coords, &values).unwrap();
         let engine_vals = engine.read_values::<f64>(&queries).unwrap();
         for (i, (slot, ev)) in slots.iter().zip(&engine_vals).enumerate() {
@@ -74,8 +68,7 @@ fn all_stored_points_are_retrievable_individually() {
     let ds = Dataset::for_scale(Pattern::Tsp, 3, Scale::Smoke, PatternParams::default());
     let values = ds.values();
     for kind in FormatKind::PAPER_FIVE {
-        let engine =
-            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        let engine = StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
         engine.write_points::<f64>(&ds.coords, &values).unwrap();
         // Probe a sample of stored points (every 13th to keep runtime down
         // for the O(n·n_read) formats).
@@ -107,8 +100,7 @@ fn values_survive_reorganization_under_every_format() {
         expected.push(values[i]);
     }
     for kind in FormatKind::ALL {
-        let engine =
-            StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
+        let engine = StorageEngine::open(MemBackend::new(), kind, ds.shape.clone(), 8).unwrap();
         engine.write_points::<f64>(&ds.coords, &values).unwrap();
         let got = engine.read_values::<f64>(&probes).unwrap();
         for (g, e) in got.iter().zip(&expected) {

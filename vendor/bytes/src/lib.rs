@@ -1,0 +1,136 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no access to crates.io, so this vendored
+//! shim provides exactly the [`Buf`]/[`BufMut`] surface artsparse uses:
+//! little-endian integer cursors over `&[u8]` and `Vec<u8>`. Semantics
+//! match the real crate for that subset (including panicking on
+//! underflow, which callers guard against via [`Buf::remaining`]).
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consume and return a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Consume and return a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consume and return a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side sink for little-endian integers.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(&[1, 2, 3]);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        cur.advance(1);
+        assert_eq!(cur, &[2, 3]);
+    }
+}

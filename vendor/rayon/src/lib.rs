@@ -1,0 +1,252 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container cannot reach crates.io, so this shim provides the
+//! rayon surface artsparse uses without the work-stealing pool:
+//!
+//! * `par_sort_by` / `par_sort_by_key` — **really parallel**: a stable
+//!   fork-join merge sort on `std::thread::scope`, since sorting dominates
+//!   the engine's build phase;
+//! * `par_iter` / `par_chunks_exact` / `into_par_iter` / … — sequential
+//!   std iterators with rayon's method names (`flat_map_iter` aliases
+//!   `flat_map`). Callers written against rayon compile unchanged; where
+//!   artsparse needs real data parallelism on the read path it uses
+//!   `std::thread::scope` directly (see `artsparse-storage`'s executor).
+
+use std::cmp::Ordering;
+
+/// Number of worker threads a parallel operation may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Below this many elements a parallel sort runs sequentially.
+const SEQ_SORT_CUTOFF: usize = 1 << 13;
+
+fn merge_by<T: Clone, F: Fn(&T, &T) -> Ordering>(a: &[T], b: &[T], cmp: &F) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        // `<=` keeps the left run first on ties: stable merge.
+        if cmp(&a[i], &b[j]) != Ordering::Greater {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn par_merge_sort<T, F>(v: &mut [T], cmp: &F, depth: usize)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if depth == 0 || v.len() < SEQ_SORT_CUTOFF {
+        v.sort_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    let (lo, hi) = v.split_at_mut(mid);
+    std::thread::scope(|s| {
+        let h = s.spawn(|| par_merge_sort(lo, cmp, depth - 1));
+        par_merge_sort(hi, cmp, depth - 1);
+        h.join().expect("parallel sort worker panicked");
+    });
+    let merged = merge_by(lo, hi, cmp);
+    v.clone_from_slice(&merged);
+}
+
+/// Parallel (stable) sorting methods on slices.
+pub trait ParallelSliceMut<T> {
+    /// Stable parallel sort by comparator.
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        T: Clone + Send,
+        F: Fn(&T, &T) -> Ordering + Sync;
+
+    /// Stable parallel sort by key.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        T: Clone + Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+
+    /// Stable parallel sort by `Ord`.
+    fn par_sort(&mut self)
+    where
+        T: Clone + Send + Ord;
+
+    /// Unstable parallel sort (delegates to the stable one here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Clone + Send + Ord;
+
+    /// Parallel exact-size mutable chunks (sequential iterator).
+    fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T>;
+
+    /// Parallel mutable chunks (sequential iterator).
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        T: Clone + Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let depth = usize::BITS as usize - current_num_threads().leading_zeros() as usize;
+        par_merge_sort(self, &cmp, depth.min(6));
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        T: Clone + Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Clone + Send + Ord,
+    {
+        self.par_sort_by(T::cmp);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Clone + Send + Ord,
+    {
+        self.par_sort_by(T::cmp);
+    }
+
+    fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T> {
+        self.chunks_exact_mut(size)
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+/// Shared-slice "parallel" views (sequential iterators with rayon names).
+pub trait ParallelSlice<T> {
+    /// Iterator over elements.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Iterator over exact-size chunks.
+    fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T>;
+    /// Iterator over chunks.
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T> {
+        self.chunks_exact(size)
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+}
+
+/// `into_par_iter` for anything iterable (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Convert into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon's iterator trait, here a veneer over [`Iterator`] adding the
+/// rayon-specific adapter names.
+pub trait ParallelIterator: Iterator + Sized {
+    /// rayon's `flat_map_iter` — identical to `Iterator::flat_map` here.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// rayon's `with_min_len` — a no-op grain-size hint here.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Marker for indexed (zippable, exact-length) parallel iterators.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<I: Iterator> IndexedParallelIterator for I {}
+
+/// The rayon prelude: every trait needed for `.par_*` method syntax.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut a: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
+        let mut b = a.clone();
+        a.par_sort_by(|x, y| x.cmp(y));
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_is_stable() {
+        // Sort by the second component only; first must keep input order.
+        let mut v: Vec<(u32, u32)> = (0..20_000).map(|i| (i, i % 3)).collect();
+        v.par_sort_by(|a, b| a.1.cmp(&b.1));
+        for w in v.windows(2) {
+            if w[0].1 == w[1].1 {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_shims_compose() {
+        let v = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<u64> = (0..3u64)
+            .into_par_iter()
+            .flat_map_iter(|i| [i, i])
+            .collect();
+        assert_eq!(flat, vec![0, 0, 1, 1, 2, 2]);
+        let chunks: Vec<&[u64]> = v.par_chunks_exact(2).collect();
+        assert_eq!(chunks, vec![&[1, 2][..], &[3, 4][..]]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach crates.io, so this crate supplies the
+//! serialization surface artsparse actually uses. Instead of serde's
+//! visitor-based data model, [`Serialize`] renders directly into a JSON
+//! [`Value`] tree (artsparse only ever serializes *to JSON*, via
+//! `serde_json`). The companion `serde_derive` proc-macro generates the
+//! impls for `#[derive(Serialize, Deserialize)]`; nothing in the repo
+//! deserializes at runtime, so [`Deserialize`] is a marker trait.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Value};
+
+/// Types renderable as a JSON [`Value`].
+pub trait Serialize {
+    /// Render `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker for types that declare `#[derive(Deserialize)]`.
+///
+/// No runtime deserialization exists in this offline stand-in; the trait
+/// records intent (and keeps derive lines compiling) only.
+pub trait Deserialize {}
+
+// --- Serialize impls for std types ----------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for std::path::Path {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.display().to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_json_value(&self) -> Value {
+        self.as_path().to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.as_ref().to_string(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.as_ref().to_string(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3u64.to_json_value(), Value::U64(3));
+        assert_eq!((-3i32).to_json_value(), Value::I64(-3));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_render() {
+        let v = vec![1u8, 2];
+        assert_eq!(
+            v.to_json_value(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)])
+        );
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        let Value::Object(obj) = m.to_json_value() else {
+            panic!("expected object")
+        };
+        assert_eq!(obj.get("a"), Some(&Value::U64(1)));
+    }
+}

@@ -1,0 +1,416 @@
+//! The JSON value tree shared by the offline `serde`/`serde_json` pair.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered (sorted-key) JSON object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.values()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `&value["key"]` helper: `None` if not an object or key missing.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Any non-negative integer value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(v) => u64::try_from(*v).ok(),
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Any representable integer value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    // Keep a decimal point so floats stay floats on reparse.
+                    let s = v.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render compact JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Render human-readable JSON with 2-space indentation.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Numeric comparison across integer variants (1i64 == 1u64); floats
+/// compare only against floats, as in real serde_json.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => u64::try_from(*a).is_ok_and(|a| a == *b),
+            (String(a), String(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+macro_rules! eq_str {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_str() == Some(other.as_ref())
+            }
+        }
+        impl PartialEq<$t> for &Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_str() == Some(other.as_ref())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.as_str() == Some(self.as_ref())
+            }
+        }
+    )*};
+}
+
+eq_str!(&str, String);
+
+impl PartialEq<Value> for &Value {
+    fn eq(&self, other: &Value) -> bool {
+        **self == *other
+    }
+}
+
+macro_rules! eq_num {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::$variant(*other as $cast)
+            }
+        }
+        impl PartialEq<$t> for &Value {
+            fn eq(&self, other: &$t) -> bool {
+                **self == Value::$variant(*other as $cast)
+            }
+        }
+    )*};
+}
+
+eq_num!(
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    f64 => F64 as f64
+);
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_variant_integer_equality() {
+        assert_eq!(Value::I64(5), Value::U64(5));
+        assert_ne!(Value::I64(-5), Value::U64(5));
+        assert_ne!(Value::I64(1), Value::F64(1.0));
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let mut m = Map::new();
+        m.insert(
+            "k".into(),
+            Value::Array(vec![Value::U64(1), Value::F64(2.5)]),
+        );
+        let v = Value::Object(m);
+        assert_eq!(v["k"][0].as_u64(), Some(1));
+        assert_eq!(v["k"][1].as_f64(), Some(2.5));
+        assert!(v["missing"].is_null());
+        assert!(v["k"][9].is_null());
+    }
+
+    #[test]
+    fn string_equality_with_str() {
+        let v = Value::String("COO".into());
+        assert!(v == "COO");
+        assert!(&v == "COO");
+        assert!(v != "CSF");
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::U64(1));
+        m.insert("b".into(), Value::F64(1.0));
+        let s = Value::Object(m).to_json_string_pretty();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"b\": 1.0"));
+        let compact = Value::Array(vec![Value::Null, Value::Bool(true)]).to_json_string();
+        assert_eq!(compact, "[null,true]");
+    }
+
+    #[test]
+    fn escaping() {
+        let s = Value::String("a\"b\\c\n".into()).to_json_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+    }
+}

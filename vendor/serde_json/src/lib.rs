@@ -1,0 +1,92 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the vendored `serde` crate's [`Value`]/[`Map`] tree and
+//! provides the construction/rendering entry points artsparse uses:
+//! [`json!`], [`to_value`], [`to_string`], and [`to_string_pretty`].
+//! There is no parser — nothing in the repo deserializes JSON.
+
+use std::fmt;
+
+pub use serde::{Map, Value};
+
+/// Error type for serialization entry points.
+///
+/// Rendering into a [`Value`] tree cannot fail, so this is never
+/// constructed; it exists so `?` conversions and signatures match the
+/// real crate.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render any [`serde::Serialize`] type as a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Render compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Render pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Build a [`Value`] from JSON-ish syntax: `json!({"k": expr, ...})`,
+/// `json!([a, b])`, `json!(null)`, or any serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:literal : $value:expr ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7u64), Value::U64(7));
+        assert_eq!(json!([1, 4, 5]), json!([1u64, 4u64, 5u64]));
+        let nested = json!([[0, 2, 3], [0, 1, 3, 5]]);
+        assert_eq!(nested[1][3].as_u64(), Some(5));
+        let v = json!({"x": 1, "name": "demo", "arr": vec![1.5f64]});
+        assert_eq!(v["x"].as_u64(), Some(1));
+        assert_eq!(v["name"], "demo");
+        assert_eq!(v["arr"][0].as_f64(), Some(1.5));
+        assert_eq!(json!({}), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn to_string_pretty_roundtrips_visually() {
+        // Nested objects inside arrays use explicit json! calls (the
+        // abbreviated macro does not re-parse raw braces inside arrays).
+        let v = json!({"rows": [json!({"a": 1})]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"rows\""));
+        assert!(s.contains("\"a\": 1"));
+    }
+}
