@@ -77,6 +77,9 @@ fn pre_refactor_read(
     let header_len = FragmentMeta::header_len(shape.ndim());
     let mut hits: Vec<(usize, u64)> = Vec::new();
     let mut names = disk.list().unwrap();
+    // The store also holds commit-protocol blobs (epoch markers); the
+    // old engine's discovery only ever peeked fragment names.
+    names.retain(|n| n.starts_with("frag-") && n.ends_with(".asf"));
     names.sort();
     for name in &names {
         let header = disk.get_prefix(name, header_len).unwrap();

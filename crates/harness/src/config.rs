@@ -60,6 +60,10 @@ pub struct Config {
     pub sim_bandwidth_mib: f64,
     /// Simulated-device per-operation latency in microseconds.
     pub sim_latency_us: u64,
+    /// Publish fragments directly (`put_atomic`, no staging rename)
+    /// instead of the default crash-safe staged commit. Exposed so the
+    /// write-time experiments can quantify the protocol's overhead.
+    pub direct_commit: bool,
 }
 
 impl Default for Config {
@@ -74,11 +78,21 @@ impl Default for Config {
             out_dir: None,
             sim_bandwidth_mib: 2048.0,
             sim_latency_us: 250,
+            direct_commit: false,
         }
     }
 }
 
 impl Config {
+    /// The engine commit mode this configuration selects.
+    pub fn commit_mode(&self) -> artsparse_storage::CommitMode {
+        if self.direct_commit {
+            artsparse_storage::CommitMode::Direct
+        } else {
+            artsparse_storage::CommitMode::Staged
+        }
+    }
+
     /// A fast configuration for tests: smoke scale, in-memory backend.
     pub fn smoke() -> Self {
         Config {
@@ -113,5 +127,11 @@ mod tests {
         assert_eq!(c.patterns.len(), 3);
         assert_eq!(c.ndims, vec![2, 3, 4]);
         assert_eq!(c.label(), "medium/sim");
+        assert_eq!(c.commit_mode(), artsparse_storage::CommitMode::Staged);
+        let direct = Config {
+            direct_commit: true,
+            ..Config::default()
+        };
+        assert_eq!(direct.commit_mode(), artsparse_storage::CommitMode::Direct);
     }
 }

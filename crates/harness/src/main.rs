@@ -11,6 +11,7 @@
 //!   --seed N                     generator seed
 //!   --out DIR                    write JSON/CSV artifacts
 //!   --formats A,B,…              organizations       (default: paper five)
+//!   --commit-mode staged|direct  fragment publish    (default: staged)
 //! ```
 
 use artsparse_core::FormatKind;
@@ -30,7 +31,8 @@ const EXPERIMENTS: [&str; 13] = [
 fn usage() -> ! {
     eprintln!(
         "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
-         [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..]\n\
+         [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..] \
+         [--commit-mode staged|direct]\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -65,6 +67,14 @@ fn parse_args() -> (Vec<String>, Config) {
                     .split(',')
                     .map(|s| FormatKind::parse(s.trim()).unwrap_or_else(|| usage()))
                     .collect();
+            }
+            "--commit-mode" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.direct_commit = match v.to_ascii_lowercase().as_str() {
+                    "staged" => false,
+                    "direct" => true,
+                    _ => usage(),
+                };
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),

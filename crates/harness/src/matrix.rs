@@ -7,7 +7,9 @@ use crate::Result;
 use artsparse_core::FormatKind;
 use artsparse_metrics::{time_it, Measurement, WriteBreakdown};
 use artsparse_patterns::{Dataset, Pattern, Scale};
-use artsparse_storage::{FsBackend, MemBackend, SimulatedDisk, StorageBackend, StorageEngine};
+use artsparse_storage::{
+    EngineConfig, FsBackend, MemBackend, SimulatedDisk, StorageBackend, StorageEngine,
+};
 use artsparse_tensor::value::pack;
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +129,13 @@ pub fn measure_cell(
     queries: &artsparse_tensor::CoordBuffer,
 ) -> Result<CellMeasurement> {
     let handle = make_backend(cfg)?;
-    let engine = StorageEngine::open(handle.backend, format, dataset.shape.clone(), 8)?;
+    let engine = StorageEngine::open_with(
+        handle.backend,
+        format,
+        dataset.shape.clone(),
+        8,
+        EngineConfig::default().with_commit_mode(cfg.commit_mode()),
+    )?;
 
     let report = engine.write(&dataset.coords, payload)?;
     let (read_dur, read) = time_it(|| engine.read(queries));

@@ -25,6 +25,46 @@ pub trait StorageBackend: Send + Sync {
     /// Create or overwrite a blob.
     fn put(&self, name: &str, data: &[u8]) -> Result<()>;
 
+    /// Create or overwrite a blob so that a crash mid-write never leaves
+    /// a torn blob: after this returns (or fails), readers see either the
+    /// complete new contents or nothing/the old contents — never a
+    /// prefix.
+    ///
+    /// The default delegates to [`put`](StorageBackend::put); devices with
+    /// a real atomicity primitive (rename on a file system, a map insert
+    /// under one lock) override it.
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.put(name, data)
+    }
+
+    /// Create a blob only if the name is unclaimed, failing with an
+    /// `AlreadyExists` I/O error otherwise. This is the mutual-exclusion
+    /// primitive behind per-engine epoch claims: two engines racing on
+    /// one store cannot both win the same name.
+    ///
+    /// The default is check-then-put (racy on devices without native
+    /// support); [`FsBackend`] and [`MemBackend`] override it with truly
+    /// exclusive creation.
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        if self.exists(name) {
+            return Err(already_exists(name).into());
+        }
+        self.put(name, data)
+    }
+
+    /// Atomically move a blob to a new name, replacing any blob already
+    /// at the destination. This is the commit step of the engine's
+    /// two-phase fragment publish: a staged blob becomes visible under
+    /// its final name in one device operation.
+    ///
+    /// The default copies then deletes (not atomic); devices with a real
+    /// rename override it.
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let data = self.get(from)?;
+        self.put(to, &data)?;
+        self.delete(from)
+    }
+
     /// Read a whole blob.
     fn get(&self, name: &str) -> Result<Vec<u8>>;
 
@@ -66,6 +106,51 @@ pub trait StorageBackend: Send + Sync {
 impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         (**self).put(name, data)
+    }
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        (**self).put_atomic(name, data)
+    }
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        (**self).put_exclusive(name, data)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        (**self).rename(from, to)
+    }
+    fn get(&self, name: &str) -> Result<Vec<u8>> {
+        (**self).get(name)
+    }
+    fn get_prefix(&self, name: &str, len: usize) -> Result<Vec<u8>> {
+        (**self).get_prefix(name, len)
+    }
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        (**self).get_range(name, offset, len)
+    }
+    fn list(&self) -> Result<Vec<String>> {
+        (**self).list()
+    }
+    fn size(&self, name: &str) -> Result<u64> {
+        (**self).size(name)
+    }
+    fn delete(&self, name: &str) -> Result<()> {
+        (**self).delete(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+}
+
+impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
+    fn put(&self, name: &str, data: &[u8]) -> Result<()> {
+        (**self).put(name, data)
+    }
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        (**self).put_atomic(name, data)
+    }
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        (**self).put_exclusive(name, data)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        (**self).rename(from, to)
     }
     fn get(&self, name: &str) -> Result<Vec<u8>> {
         (**self).get(name)
@@ -120,6 +205,37 @@ impl StorageBackend for FsBackend {
         // absolute durability costs).
         f.flush()?;
         Ok(())
+    }
+
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        // Write a sibling temp file, then rename over the destination.
+        // rename(2) is atomic within a directory, so readers see the old
+        // blob or the new one, never a prefix. Like `put`, this skips
+        // fsync (DESIGN.md's durability caveat): the *ordering* guarantee
+        // holds, but an OS crash may still lose recently renamed data.
+        // The `.tmp` suffix keeps a crash-orphaned temp inside the
+        // engine's staging namespace, so recovery at open sweeps it.
+        let staged = format!("{name}.put{}.tmp", std::process::id());
+        let mut f = std::fs::File::create(self.path(&staged))?;
+        f.write_all(data)?;
+        f.flush()?;
+        drop(f);
+        std::fs::rename(self.path(&staged), self.path(name))?;
+        Ok(())
+    }
+
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        let mut f = std::fs::File::options()
+            .write(true)
+            .create_new(true)
+            .open(self.path(name))?;
+        f.write_all(data)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        Ok(std::fs::rename(self.path(from), self.path(to))?)
     }
 
     fn get(&self, name: &str) -> Result<Vec<u8>> {
@@ -202,9 +318,35 @@ fn not_found(name: &str) -> crate::error::StorageError {
     std::io::Error::new(std::io::ErrorKind::NotFound, format!("no blob {name}")).into()
 }
 
+fn already_exists(name: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::AlreadyExists,
+        format!("blob {name} already exists"),
+    )
+}
+
 impl StorageBackend for MemBackend {
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         self.blobs.lock().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    // `put` inserts the full payload under one lock, so it is already
+    // atomic — the default `put_atomic` delegation is correct here.
+
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        let mut blobs = self.blobs.lock();
+        if blobs.contains_key(name) {
+            return Err(already_exists(name).into());
+        }
+        blobs.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut blobs = self.blobs.lock();
+        let data = blobs.remove(from).ok_or_else(|| not_found(from))?;
+        blobs.insert(to.to_string(), data);
         Ok(())
     }
 
@@ -302,6 +444,28 @@ impl StorageBackend for SimulatedDisk {
         self.inner.put(name, data)
     }
 
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.charge(data.len());
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.put_atomic(name, data)
+    }
+
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.inner.put_exclusive(name, data)?;
+        self.charge(data.len());
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        // A rename moves metadata, not payload bytes: charge one
+        // operation's latency but no transfer.
+        self.charge(0);
+        self.inner.rename(from, to)
+    }
+
     fn get(&self, name: &str) -> Result<Vec<u8>> {
         let data = self.inner.get(name)?;
         self.charge(data.len());
@@ -368,6 +532,26 @@ mod tests {
         assert!(!backend.exists("a"));
         assert!(backend.get("a").is_err());
         assert!(backend.delete("a").is_err());
+
+        // Commit-protocol primitives.
+        backend.put_atomic("c", &[4, 5]).unwrap();
+        assert_eq!(backend.get("c").unwrap(), vec![4, 5]);
+        backend.put_atomic("c", &[6]).unwrap(); // atomic overwrite
+        assert_eq!(backend.get("c").unwrap(), vec![6]);
+        backend.put_exclusive("d", &[8]).unwrap();
+        let err = backend.put_exclusive("d", &[9]).unwrap_err();
+        assert!(err.is_already_exists(), "{err}");
+        assert_eq!(backend.get("d").unwrap(), vec![8]);
+        backend.rename("d", "e").unwrap();
+        assert!(!backend.exists("d"));
+        assert_eq!(backend.get("e").unwrap(), vec![8]);
+        backend.rename("e", "c").unwrap(); // rename over an existing blob
+        assert_eq!(backend.get("c").unwrap(), vec![8]);
+        assert!(backend.rename("missing", "x").unwrap_err().is_not_found());
+        backend.delete("b").unwrap();
+        backend.delete("c").unwrap();
+        // No temp residue from the atomic puts.
+        assert!(backend.list().unwrap().is_empty());
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl FragmentCatalog {
 
     /// Build a catalog by listing the device and peeking every header
     /// once. `ndim` sizes the header peek; `filter` keeps only blob names
-    /// that belong to the engine (fragment names).
+    /// that belong to the engine (fragment names). The engine's filter is
+    /// strict fragment-name parsing, which is what keeps the commit
+    /// protocol's auxiliary blobs — `.tmp` staging blobs, `tomb-*.tsn`
+    /// tombstones, `epoch-*.lck` claim markers — invisible to discovery:
+    /// a staged fragment simply does not exist until its rename-commit.
     pub fn load<B: StorageBackend>(
         backend: &B,
         ndim: usize,
@@ -196,6 +200,30 @@ mod tests {
         );
         assert_eq!(catalog.total_bytes(), (len_a + len_b) as u64);
         assert_eq!(catalog.get("frag-00000001.asf").unwrap().meta.n, 1);
+    }
+
+    #[test]
+    fn commit_protocol_blobs_stay_invisible_to_discovery() {
+        // Staging blobs, tombstones, and epoch markers share the store
+        // with fragments; the engine's name filter must keep all of them
+        // out of the catalog. Their payloads are not valid fragments, so
+        // letting one through would fail the load outright.
+        let backend = MemBackend::new();
+        put_fragment(&backend, "frag-00000001-00000001.asf", [0, 0], [3, 3]);
+        backend
+            .put("frag-00000002-00000001.asf.tmp", &[0xde, 0xad])
+            .unwrap();
+        backend
+            .put(
+                "tomb-frag-00000001-00000001c000001.asf.tsn",
+                b"frag-00000001-00000001.asf\n",
+            )
+            .unwrap();
+        backend.put("epoch-00000001.lck", &[]).unwrap();
+
+        let filter = |n: &str| n.starts_with("frag-") && n.ends_with(".asf");
+        let catalog = FragmentCatalog::load(&backend, 2, filter).unwrap();
+        assert_eq!(catalog.names(), vec!["frag-00000001-00000001.asf"]);
     }
 
     #[test]

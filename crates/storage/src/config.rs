@@ -1,9 +1,26 @@
-//! Tuning knobs for the engine's read pipeline.
+//! Tuning knobs for the engine's read pipeline and commit protocol.
+
+/// How WRITE publishes a fragment to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Two-phase publish (the default): stage the fragment under a
+    /// `.tmp` name invisible to discovery, then rename-commit it. A
+    /// crash anywhere in the window leaves only an orphaned temp blob
+    /// that recovery sweeps at the next open — never a torn fragment.
+    #[default]
+    Staged,
+    /// Publish directly under the final name with one `put_atomic`.
+    /// Skips the staging rename — the legacy write path, kept as a
+    /// benchmark baseline and for devices where rename is expensive.
+    /// Crash safety then rests entirely on the device's `put_atomic`.
+    Direct,
+}
 
 /// Configuration of the catalog → plan → fetch → decode → merge read
-/// pipeline. The default reproduces Algorithm 3's semantics exactly
-/// while fetching only the bytes a query needs; the knobs trade memory
-/// and concurrency for repeat-read latency.
+/// pipeline and of the fragment commit protocol. The default reproduces
+/// Algorithm 3's semantics exactly while fetching only the bytes a query
+/// needs and publishing crash-safely; the knobs trade memory, concurrency,
+/// and commit overhead for latency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Budget (in decoded payload bytes) for the decoded-fragment LRU
@@ -20,6 +37,10 @@ pub struct EngineConfig {
     /// off to reproduce the legacy whole-fragment fetch, e.g. as a
     /// baseline in benchmarks.
     pub range_fetch: bool,
+    /// How WRITE publishes fragments. Consolidation always uses the
+    /// staged, tombstone-protected protocol regardless of this setting —
+    /// the knob only covers the plain write hot path.
+    pub commit_mode: CommitMode,
 }
 
 impl Default for EngineConfig {
@@ -28,6 +49,7 @@ impl Default for EngineConfig {
             cache_capacity_bytes: 0,
             read_parallelism: 0,
             range_fetch: true,
+            commit_mode: CommitMode::Staged,
         }
     }
 }
@@ -61,6 +83,12 @@ impl EngineConfig {
         self.range_fetch = enabled;
         self
     }
+
+    /// Builder-style commit-mode override.
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_mode = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -73,14 +101,17 @@ mod tests {
         assert_eq!(c.cache_capacity_bytes, 0);
         assert_eq!(c.read_parallelism, 0);
         assert!(c.range_fetch);
+        assert_eq!(c.commit_mode, CommitMode::Staged);
         assert!(c.effective_parallelism() >= 1);
 
         let c = EngineConfig::default()
             .with_cache_capacity(1 << 20)
             .with_read_parallelism(2)
-            .with_range_fetch(false);
+            .with_range_fetch(false)
+            .with_commit_mode(CommitMode::Direct);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
         assert_eq!(c.effective_parallelism(), 2);
         assert!(!c.range_fetch);
+        assert_eq!(c.commit_mode, CommitMode::Direct);
     }
 }

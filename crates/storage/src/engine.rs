@@ -49,6 +49,52 @@ use std::sync::Arc;
 const FRAG_PREFIX: &str = "frag-";
 const FRAG_SUFFIX: &str = ".asf";
 
+/// Suffix of staged (not yet committed) blobs. Staged names never parse
+/// as fragment names, so `list`-based discovery, catalog reloads, and
+/// recovery all treat them as invisible until the rename-commit.
+const STAGING_SUFFIX: &str = ".tmp";
+
+/// Prefix + suffix of consolidation tombstones: a durable record of the
+/// delete set, written before the consolidated fragment commits so a
+/// crash mid-consolidation is replayed (sources deleted) or discarded
+/// (commit never happened) at the next open/refresh.
+const TOMB_PREFIX: &str = "tomb-";
+const TOMB_SUFFIX: &str = ".tsn";
+
+/// Prefix + suffix of epoch claim markers. Each engine claims a unique
+/// epoch at open with a create-exclusive put, and stamps it into every
+/// fragment name it writes — two engines over one directory can race but
+/// can never silently overwrite each other's fragments.
+const EPOCH_PREFIX: &str = "epoch-";
+const EPOCH_SUFFIX: &str = ".lck";
+
+/// How many times a read re-plans when a planned fragment vanished
+/// mid-flight (deleted or consolidated away by a concurrent writer)
+/// before settling for skipping the vanished fragments.
+const MAX_READ_REPLANS: usize = 3;
+
+/// Identity of a fragment, encoded in (and recovered from) its name.
+///
+/// Names are fixed-width decimal, so lexicographic blob-name order — the
+/// catalog's iteration order and therefore the engine's cross-fragment
+/// precedence — equals `(seq, epoch, cgen)` order:
+///
+/// * `seq` is the per-store write sequence;
+/// * `epoch` is the per-engine claim, disambiguating two engines that
+///   allocate the same `seq` concurrently;
+/// * `cgen` is the consolidation generation: a consolidated fragment
+///   keeps the *highest sequence number of its sources* (it contains no
+///   newer data than that), with `cgen` breaking the tie just above
+///   them. A fragment written while consolidation was running gets a
+///   higher `seq` and so keeps precedence over the consolidated output —
+///   the TileDB-style rule that makes consolidation safe to race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FragmentId {
+    seq: u64,
+    epoch: u64,
+    cgen: u32,
+}
+
 /// When range-fetching uncompressed value records, adjacent runs whose
 /// gap is at most this many bytes are fetched as one request — each
 /// request pays the device's per-operation latency, so small gaps are
@@ -67,6 +113,17 @@ pub struct StorageEngine<B: StorageBackend> {
     shape: Shape,
     elem_size: u32,
     next_id: AtomicU64,
+    /// Epoch claimed at open, stamped into every fragment this engine
+    /// writes so concurrent engines over one store never collide.
+    epoch: u64,
+    /// Staging blobs this engine is mid-commit on. [`StorageEngine::refresh`]
+    /// runs the recovery sweep, which must not reap a commit that is
+    /// still in flight in this very process.
+    inflight: parking_lot::Mutex<std::collections::HashSet<String>>,
+    /// Serializes consolidation passes on this engine: two concurrent
+    /// passes would derive the same consolidated name from the same
+    /// snapshot and rename-commit over each other.
+    consolidate_lock: parking_lot::Mutex<()>,
     counter: OpCounter,
     index_codec: Codec,
     value_codec: Codec,
@@ -165,6 +222,12 @@ impl<B: StorageBackend> StorageEngine<B> {
     }
 
     /// Open an engine with an explicit pipeline configuration.
+    ///
+    /// Opening first recovers the store — consolidation tombstones are
+    /// replayed or discarded, orphaned staging blobs are swept — then
+    /// claims a fresh epoch, so the catalog is built over a clean store
+    /// and this engine's fragment names cannot collide with any other
+    /// engine's, past or concurrent.
     pub fn open_with(
         backend: B,
         kind: FormatKind,
@@ -172,13 +235,15 @@ impl<B: StorageBackend> StorageEngine<B> {
         elem_size: u32,
         config: EngineConfig,
     ) -> Result<Self> {
+        recover_store(&backend, None)?;
+        let epoch = claim_epoch(&backend)?;
         let catalog = FragmentCatalog::load(&backend, shape.ndim(), |name| {
             parse_fragment_name(name).is_some()
         })?;
-        let mut max_id = 0u64;
+        let mut max_seq = 0u64;
         for name in catalog.names() {
             if let Some(id) = parse_fragment_name(&name) {
-                max_id = max_id.max(id);
+                max_seq = max_seq.max(id.seq);
             }
         }
         let cache = FragmentCache::new(config.cache_capacity_bytes);
@@ -187,7 +252,10 @@ impl<B: StorageBackend> StorageEngine<B> {
             kind,
             shape,
             elem_size,
-            next_id: AtomicU64::new(max_id + 1),
+            next_id: AtomicU64::new(max_seq + 1),
+            epoch,
+            inflight: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            consolidate_lock: parking_lot::Mutex::new(()),
             counter: OpCounter::new(),
             index_codec: Codec::None,
             value_codec: Codec::None,
@@ -234,6 +302,12 @@ impl<B: StorageBackend> StorageEngine<B> {
         &self.config
     }
 
+    /// The epoch this engine claimed at open (stamped into its fragment
+    /// names).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The decoded-fragment cache (e.g. to inspect hit rates).
     pub fn cache(&self) -> &FragmentCache {
         &self.cache
@@ -262,19 +336,29 @@ impl<B: StorageBackend> StorageEngine<B> {
         Ok(self.catalog.total_bytes())
     }
 
-    /// Delete one fragment: device blob, catalog entry, and any cached
-    /// decode.
+    /// Delete one fragment: catalog entry, any cached decode, and the
+    /// device blob — in that order, so a read racing this delete that
+    /// hits NotFound on the blob finds the catalog already updated and
+    /// treats the fragment as vanished (skip/re-plan) instead of failing.
     pub fn delete_fragment(&self, name: &str) -> Result<()> {
-        self.backend.delete(name)?;
-        self.catalog.remove(name);
+        let entry = self.catalog.remove(name);
         self.cache.invalidate(name);
-        Ok(())
+        match self.backend.delete(name) {
+            // Tolerate a blob already gone if we did know the fragment —
+            // the racing deleter finished first; the outcome stands.
+            Err(e) if e.is_not_found() && entry.is_some() => Ok(()),
+            other => other,
+        }
     }
 
     /// Resynchronize the catalog with the device (after an external
-    /// writer changed it) and drop the cache. The id sequence advances
-    /// past any newly discovered fragments.
+    /// writer changed it) and drop the cache. Runs the same recovery as
+    /// open first — an external writer may have crashed mid-commit —
+    /// while sparing staging blobs of commits in flight in this engine.
+    /// The id sequence advances past any newly discovered fragments.
     pub fn refresh(&self) -> Result<()> {
+        let keep = self.inflight.lock().clone();
+        recover_store(&self.backend, Some(&keep))?;
         self.catalog
             .reload(&self.backend, self.shape.ndim(), |name| {
                 parse_fragment_name(name).is_some()
@@ -282,7 +366,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         self.cache.clear();
         for name in self.catalog.names() {
             if let Some(id) = parse_fragment_name(&name) {
-                self.next_id.fetch_max(id + 1, Ordering::SeqCst);
+                self.next_id.fetch_max(id.seq + 1, Ordering::SeqCst);
             }
         }
         Ok(())
@@ -292,7 +376,25 @@ impl<B: StorageBackend> StorageEngine<B> {
     ///
     /// `values` is an opaque payload of `elem_size`-byte records, one per
     /// point, in the same order as `coords`.
+    ///
+    /// Publication is crash-safe under the configured [`CommitMode`]:
+    /// with the default staged mode a fragment either commits whole (one
+    /// rename) or leaves only an invisible staging blob that recovery
+    /// sweeps — readers, catalog reloads, and concurrent engines never
+    /// observe a torn fragment.
     pub fn write(&self, coords: &CoordBuffer, values: &[u8]) -> Result<WriteReport> {
+        self.write_with(coords, values, None)
+    }
+
+    /// WRITE, optionally on behalf of a consolidation pass: `consolidation`
+    /// carries the precomputed fragment identity and the source fragments
+    /// the new one replaces (recorded in a tombstone before commit).
+    fn write_with(
+        &self,
+        coords: &CoordBuffer,
+        values: &[u8],
+        consolidation: Option<(FragmentId, &[String])>,
+    ) -> Result<WriteReport> {
         let mut timer = PhaseTimer::new();
 
         // -- Others: validation and metadata ---------------------------
@@ -334,10 +436,28 @@ impl<B: StorageBackend> StorageEngine<B> {
             self.index_codec,
             self.value_codec,
         );
-        let name = format_fragment_name(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let id = match consolidation {
+            Some((id, _)) => id,
+            None => FragmentId {
+                seq: self.next_id.fetch_add(1, Ordering::SeqCst),
+                epoch: self.epoch,
+                cgen: 0,
+            },
+        };
+        let name = format_fragment_name(id);
+        let tombstone = consolidation.map(|(_, sources)| {
+            let mut body = String::new();
+            for src in sources {
+                body.push_str(src);
+                body.push('\n');
+            }
+            body
+        });
 
         // -- Write: persist the fragment (line 7) -----------------------
-        timer.time(WritePhase::Write, || self.backend.put(&name, &frag))?;
+        timer.time(WritePhase::Write, || {
+            self.commit_fragment(&name, &frag, tombstone.as_deref(), consolidation.is_some())
+        })?;
 
         // Catalog maintenance: decode the header we just encoded (pure
         // memory) so discovery never needs to ask the device about it.
@@ -356,6 +476,50 @@ impl<B: StorageBackend> StorageEngine<B> {
             total_bytes: frag.len(),
             n_points: coords.len(),
         })
+    }
+
+    /// Publish an encoded fragment under `name`.
+    ///
+    /// Staged mode (and every consolidation, which passes `force_staged`)
+    /// runs the two-phase protocol: stage the bytes under a `.tmp` name
+    /// invisible to discovery, durably record the delete set (tombstone)
+    /// if consolidating, then rename-commit. The commit point is the
+    /// rename — until it lands, a crash leaves only blobs that recovery
+    /// reaps; after it, a crash leaves a tombstone recovery replays.
+    /// Direct mode publishes with one `put_atomic` and no staging.
+    fn commit_fragment(
+        &self,
+        name: &str,
+        frag: &[u8],
+        tombstone: Option<&str>,
+        force_staged: bool,
+    ) -> Result<()> {
+        if self.config.commit_mode == crate::config::CommitMode::Direct && !force_staged {
+            return self.backend.put_atomic(name, frag);
+        }
+        let staged = staged_name(name);
+        self.inflight.lock().insert(staged.clone());
+        let commit = (|| -> Result<()> {
+            self.backend.put(&staged, frag)?;
+            if let Some(body) = tombstone {
+                // The delete set must be durable *before* the commit:
+                // a crash right after the rename must still delete the
+                // sources, or the store doubles its points.
+                self.backend
+                    .put_atomic(&tombstone_name(name), body.as_bytes())?;
+            }
+            self.backend.rename(&staged, name)
+        })();
+        self.inflight.lock().remove(&staged);
+        if commit.is_err() {
+            // Best effort: the orphan is invisible either way, and the
+            // recovery sweep will reap it if this delete also fails.
+            let _ = self.backend.delete(&staged);
+            if tombstone.is_some() {
+                let _ = self.backend.delete(&tombstone_name(name));
+            }
+        }
+        commit
     }
 
     /// Typed WRITE convenience.
@@ -380,22 +544,37 @@ impl<B: StorageBackend> StorageEngine<B> {
             .bounding_box()
             .expect("non-empty queries have a bbox");
 
-        // Plan: in-memory discovery + bbox pruning. Every scanned
-        // fragment must describe the same tensor this engine stores.
-        for entry in self.catalog.snapshot() {
-            self.check_entry_shape(&entry)?;
+        // A planned fragment can vanish mid-read when a concurrent
+        // delete or consolidation removes it between plan and fetch.
+        // That is not an error: its points live on in whatever replaced
+        // it, so the read re-plans against the refreshed catalog. If
+        // fragments keep vanishing (a pathological churn of writers),
+        // the final attempt skips them — they are gone from the catalog,
+        // so skipping matches what a fresh plan would read anyway.
+        for attempt in 0..=MAX_READ_REPLANS {
+            // Plan: in-memory discovery + bbox pruning. Every scanned
+            // fragment must describe the same tensor this engine stores.
+            for entry in self.catalog.snapshot() {
+                self.check_entry_shape(&entry)?;
+            }
+            let plan = self.catalog.plan(&qbbox);
+
+            // Fetch → decode → per-fragment read, in parallel; hit
+            // batches come back in fragment (write) order, `None` where
+            // a fragment vanished under the read.
+            let per_fragment = self.execute_plan(&plan.fragments, queries)?;
+            if attempt < MAX_READ_REPLANS && per_fragment.iter().any(|batch| batch.is_none()) {
+                continue;
+            }
+            result.fragments_scanned = plan.scanned;
+            result.fragments_matched = plan.fragments.len();
+            result.hits = per_fragment.into_iter().flatten().flatten().collect();
+
+            // Merge: sort by linear address (stable: fragment order on
+            // ties).
+            result.hits.sort_by_key(|a| a.addr);
+            break;
         }
-        let plan = self.catalog.plan(&qbbox);
-        result.fragments_scanned = plan.scanned;
-        result.fragments_matched = plan.fragments.len();
-
-        // Fetch → decode → per-fragment read, in parallel; hit batches
-        // come back in fragment (write) order.
-        let per_fragment = self.execute_plan(&plan.fragments, queries)?;
-        result.hits = per_fragment.into_iter().flatten().collect();
-
-        // Merge: sort by linear address (stable: fragment order on ties).
-        result.hits.sort_by_key(|a| a.addr);
         Ok(result)
     }
 
@@ -413,13 +592,14 @@ impl<B: StorageBackend> StorageEngine<B> {
 
     /// Run `read_fragment` over the planned fragments, spreading them
     /// across worker threads, and return each fragment's hits in plan
-    /// (write) order. Errors surface deterministically: the first failed
-    /// fragment in plan order wins regardless of thread timing.
+    /// (write) order — `None` for a fragment that vanished under the
+    /// read. Errors surface deterministically: the first failed fragment
+    /// in plan order wins regardless of thread timing.
     fn execute_plan(
         &self,
         fragments: &[Arc<CatalogEntry>],
         queries: &CoordBuffer,
-    ) -> Result<Vec<Vec<ReadHit>>> {
+    ) -> Result<Vec<Option<Vec<ReadHit>>>> {
         let threads = self
             .config
             .effective_parallelism()
@@ -428,11 +608,13 @@ impl<B: StorageBackend> StorageEngine<B> {
         if threads == 1 {
             return fragments
                 .iter()
-                .map(|entry| self.read_fragment(entry, queries))
+                .map(|entry| self.read_fragment_or_skip(entry, queries))
                 .collect();
         }
+        // Per-fragment result slot: None until its worker fills it.
+        type Slot = parking_lot::Mutex<Option<Result<Option<Vec<ReadHit>>>>>;
         let next = AtomicUsize::new(0);
-        let outputs: Vec<parking_lot::Mutex<Option<Result<Vec<ReadHit>>>>> = (0..fragments.len())
+        let outputs: Vec<Slot> = (0..fragments.len())
             .map(|_| parking_lot::Mutex::new(None))
             .collect();
         std::thread::scope(|scope| {
@@ -440,7 +622,7 @@ impl<B: StorageBackend> StorageEngine<B> {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(entry) = fragments.get(i) else { break };
-                    *outputs[i].lock() = Some(self.read_fragment(entry, queries));
+                    *outputs[i].lock() = Some(self.read_fragment_or_skip(entry, queries));
                 });
             }
         });
@@ -448,6 +630,22 @@ impl<B: StorageBackend> StorageEngine<B> {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every fragment slot is filled"))
             .collect()
+    }
+
+    /// [`Self::read_fragment`], downgrading a NotFound on a fragment that
+    /// a concurrent delete or consolidation removed from the catalog to
+    /// `Ok(None)` (vanished). A NotFound on a fragment the catalog still
+    /// lists is real store corruption and stays an error.
+    fn read_fragment_or_skip(
+        &self,
+        entry: &CatalogEntry,
+        queries: &CoordBuffer,
+    ) -> Result<Option<Vec<ReadHit>>> {
+        match self.read_fragment(entry, queries) {
+            Ok(hits) => Ok(Some(hits)),
+            Err(e) if e.is_not_found() && self.catalog.get(&entry.name).is_none() => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Fetch, decode, and query one fragment. Chooses among the cached,
@@ -786,11 +984,11 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// format's read scans/searches to the first matching record); across
     /// fragments the most recently written one wins. The BTreeMap gives
     /// canonical linear-address order.
-    fn merged_points(&self) -> Result<MergedPoints> {
+    fn merged_points_from(&self, entries: &[Arc<CatalogEntry>]) -> Result<MergedPoints> {
         let mut merged = MergedPoints::new();
-        for entry in self.catalog.snapshot() {
+        for entry in entries {
             let name = &entry.name;
-            self.check_entry_shape(&entry)?;
+            self.check_entry_shape(entry)?;
             if entry.meta.elem_size != self.elem_size {
                 return Err(StorageError::Mismatch {
                     reason: format!(
@@ -799,7 +997,7 @@ impl<B: StorageBackend> StorageEngine<B> {
                     ),
                 });
             }
-            let decoded = self.fetch_decoded(&entry)?;
+            let decoded = self.fetch_decoded(entry)?;
             let org = decoded.meta.kind.create();
             let coords = org.enumerate(&decoded.index, &self.counter)?;
             let elem = decoded.meta.elem_size as usize;
@@ -828,36 +1026,75 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// fragment's index is enumerated back into coordinates, values are
     /// deduplicated with the same last-writer-wins rule as
     /// [`StorageEngine::read`], and one new fragment is written under the
-    /// engine's current organization and codecs; the old fragments are
-    /// deleted (and their cache entries invalidated). Reads over many
-    /// small fragments pay per-fragment discovery and decode costs —
-    /// consolidation removes them.
+    /// engine's current organization and codecs; the source fragments are
+    /// deleted (and their cache entries invalidated).
+    ///
+    /// The pass is transactional: one catalog snapshot drives both the
+    /// merge and the delete set; the delete set is recorded in a tombstone
+    /// that commits (atomically) before the consolidated fragment does, so
+    /// a crash in any window either discards the whole pass or replays the
+    /// deletions at the next open/refresh — never a store with both the
+    /// merged fragment and a partial set of its sources counted twice.
+    /// The consolidated fragment takes the *highest source* sequence
+    /// number (with a consolidation-generation tiebreaker just above the
+    /// sources), so a fragment written concurrently while the pass ran
+    /// keeps precedence over the merged output instead of being shadowed.
     pub fn consolidate(&self) -> Result<ConsolidateReport> {
-        let names = self.catalog.names();
-        let before_bytes = self.catalog.total_bytes();
-        if names.len() <= 1 {
+        let _guard = self.consolidate_lock.lock();
+        // ONE snapshot drives everything below: the merge input, the new
+        // fragment's identity, and the delete set. Fragments written
+        // after this point are untouched and outrank the merged output.
+        let snapshot = self.catalog.snapshot();
+        let before_bytes: u64 = snapshot.iter().map(|e| e.size).sum();
+        if snapshot.len() <= 1 {
             return Ok(ConsolidateReport {
-                merged_fragments: names.len(),
+                merged_fragments: snapshot.len(),
                 n_points: 0,
                 before_bytes,
                 after_bytes: before_bytes,
                 fragment: None,
             });
         }
+        let sources: Vec<String> = snapshot.iter().map(|e| e.name.clone()).collect();
+        let mut id = FragmentId {
+            seq: 0,
+            epoch: self.epoch,
+            cgen: 0,
+        };
+        for src in &sources {
+            let sid = parse_fragment_name(src)
+                .ok_or_else(|| StorageError::corrupt(src, "cataloged name does not parse"))?;
+            id.seq = id.seq.max(sid.seq);
+            id.cgen = id.cgen.max(sid.cgen);
+        }
+        id.cgen += 1;
 
-        let merged = self.merged_points()?;
+        let merged = self.merged_points_from(&snapshot)?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::with_capacity(merged.len() * self.elem_size as usize);
         for (coord, record) in merged.values() {
             coords.push(coord)?;
             payload.extend_from_slice(record);
         }
-        let report = self.write(&coords, &payload)?;
-        for name in &names {
-            self.delete_fragment(name)?;
+        let report = self.write_with(&coords, &payload, Some((id, &sources)))?;
+        // The commit landed: from here the tombstone guarantees the
+        // deletions happen even if this process dies mid-loop. A source
+        // already gone (racing deleter, replayed tombstone) is fine.
+        for name in &sources {
+            // Catalog first: a read racing these deletions then treats
+            // the source as vanished instead of failing on NotFound.
+            self.catalog.remove(name);
+            self.cache.invalidate(name);
+            match self.backend.delete(name) {
+                Err(e) if !e.is_not_found() => return Err(e),
+                _ => {}
+            }
         }
+        // The deletions are done; the tombstone is spent. Best effort —
+        // recovery replays a leftover as a no-op.
+        let _ = self.backend.delete(&tombstone_name(&report.fragment));
         Ok(ConsolidateReport {
-            merged_fragments: names.len(),
+            merged_fragments: sources.len(),
             n_points: coords.len(),
             before_bytes,
             after_bytes: self.catalog.total_bytes(),
@@ -869,7 +1106,7 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// linear-address order, with its value record. Runs over the same
     /// scan layer as [`StorageEngine::consolidate`].
     pub fn export(&self) -> Result<(CoordBuffer, Vec<u8>)> {
-        let merged = self.merged_points()?;
+        let merged = self.merged_points_from(&self.catalog.snapshot())?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::new();
         for (coord, record) in merged.values() {
@@ -880,15 +1117,147 @@ impl<B: StorageBackend> StorageEngine<B> {
     }
 }
 
-fn format_fragment_name(id: u64) -> String {
-    format!("{FRAG_PREFIX}{id:08}{FRAG_SUFFIX}")
+fn format_fragment_name(id: FragmentId) -> String {
+    let FragmentId { seq, epoch, cgen } = id;
+    if cgen == 0 {
+        format!("{FRAG_PREFIX}{seq:08}-{epoch:08}{FRAG_SUFFIX}")
+    } else {
+        format!("{FRAG_PREFIX}{seq:08}-{epoch:08}c{cgen:06}{FRAG_SUFFIX}")
+    }
 }
 
-fn parse_fragment_name(name: &str) -> Option<u64> {
-    name.strip_prefix(FRAG_PREFIX)?
-        .strip_suffix(FRAG_SUFFIX)?
-        .parse()
-        .ok()
+/// Strict fixed-base decimal (rejects signs/whitespace that `parse`
+/// would accept, keeping name parsing a bijection with formatting).
+fn parse_decimal(s: &str) -> Option<u64> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+fn parse_fragment_name(name: &str) -> Option<FragmentId> {
+    let body = name.strip_prefix(FRAG_PREFIX)?.strip_suffix(FRAG_SUFFIX)?;
+    let Some((seq, rest)) = body.split_once('-') else {
+        // Legacy pre-epoch name `frag-NNNNNNNN.asf`.
+        return Some(FragmentId {
+            seq: parse_decimal(body)?,
+            epoch: 0,
+            cgen: 0,
+        });
+    };
+    let seq = parse_decimal(seq)?;
+    match rest.split_once('c') {
+        None => Some(FragmentId {
+            seq,
+            epoch: parse_decimal(rest)?,
+            cgen: 0,
+        }),
+        Some((epoch, cgen)) => {
+            let cgen = parse_decimal(cgen)?;
+            // `c000000` would alias the plain name; reject it.
+            if cgen == 0 || cgen > u32::MAX as u64 {
+                return None;
+            }
+            Some(FragmentId {
+                seq,
+                epoch: parse_decimal(epoch)?,
+                cgen: cgen as u32,
+            })
+        }
+    }
+}
+
+fn staged_name(name: &str) -> String {
+    format!("{name}{STAGING_SUFFIX}")
+}
+
+fn tombstone_name(target: &str) -> String {
+    format!("{TOMB_PREFIX}{target}{TOMB_SUFFIX}")
+}
+
+/// The fragment a tombstone protects, if the blob name is a tombstone.
+fn parse_tombstone_name(name: &str) -> Option<&str> {
+    let target = name.strip_prefix(TOMB_PREFIX)?.strip_suffix(TOMB_SUFFIX)?;
+    parse_fragment_name(target).map(|_| target)
+}
+
+fn epoch_marker_name(epoch: u64) -> String {
+    format!("{EPOCH_PREFIX}{epoch:08}{EPOCH_SUFFIX}")
+}
+
+fn parse_epoch_marker(name: &str) -> Option<u64> {
+    parse_decimal(
+        name.strip_prefix(EPOCH_PREFIX)?
+            .strip_suffix(EPOCH_SUFFIX)?,
+    )
+}
+
+/// Claim a fresh epoch: start past every epoch already visible (markers
+/// and fragment names), then race create-exclusive puts until one wins.
+fn claim_epoch<B: StorageBackend>(backend: &B) -> Result<u64> {
+    let mut epoch: u64 = 1;
+    for name in backend.list()? {
+        if let Some(e) = parse_epoch_marker(&name) {
+            epoch = epoch.max(e + 1);
+        } else if let Some(id) = parse_fragment_name(&name) {
+            epoch = epoch.max(id.epoch + 1);
+        }
+    }
+    loop {
+        match backend.put_exclusive(&epoch_marker_name(epoch), &[]) {
+            Ok(()) => return Ok(epoch),
+            Err(e) if e.is_already_exists() => epoch += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Crash recovery over a store: replay or discard consolidation
+/// tombstones, then sweep orphaned staging blobs. Runs before the
+/// catalog is (re)built so recovered state is what gets cataloged.
+///
+/// `keep` names staging blobs that belong to commits in flight *in this
+/// process* and must survive the sweep; at open there are none.
+fn recover_store<B: StorageBackend>(
+    backend: &B,
+    keep: Option<&std::collections::HashSet<String>>,
+) -> Result<()> {
+    let names = backend.list()?;
+    for name in &names {
+        let Some(target) = parse_tombstone_name(name) else {
+            continue;
+        };
+        if backend.exists(target) {
+            // The consolidated fragment committed: finish the deletions
+            // it recorded. Idempotent — already-deleted sources are fine.
+            let content = backend.get(name)?;
+            for src in String::from_utf8_lossy(&content)
+                .lines()
+                .filter(|l| !l.is_empty())
+            {
+                match backend.delete(src) {
+                    Err(e) if !e.is_not_found() => return Err(e),
+                    _ => {}
+                }
+            }
+        }
+        // Committed-and-replayed or never-committed: either way the
+        // tombstone is spent.
+        match backend.delete(name) {
+            Err(e) if !e.is_not_found() => return Err(e),
+            _ => {}
+        }
+    }
+    for name in &names {
+        if !name.ends_with(STAGING_SUFFIX) || keep.is_some_and(|k| k.contains(name)) {
+            continue;
+        }
+        match backend.delete(name) {
+            Err(e) if !e.is_not_found() => return Err(e),
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1076,10 +1445,143 @@ mod tests {
 
     #[test]
     fn fragment_names_roundtrip() {
-        let n = format_fragment_name(42);
-        assert_eq!(parse_fragment_name(&n), Some(42));
-        assert_eq!(parse_fragment_name("other.bin"), None);
-        assert_eq!(parse_fragment_name("frag-xx.asf"), None);
+        for id in [
+            FragmentId {
+                seq: 42,
+                epoch: 7,
+                cgen: 0,
+            },
+            FragmentId {
+                seq: 42,
+                epoch: 7,
+                cgen: 3,
+            },
+            FragmentId {
+                seq: u64::MAX,
+                epoch: u64::MAX,
+                cgen: u32::MAX,
+            },
+        ] {
+            let n = format_fragment_name(id);
+            assert_eq!(parse_fragment_name(&n), Some(id), "{n}");
+        }
+        // Legacy pre-epoch names still parse (epoch 0, plain).
+        assert_eq!(
+            parse_fragment_name("frag-00000042.asf"),
+            Some(FragmentId {
+                seq: 42,
+                epoch: 0,
+                cgen: 0
+            })
+        );
+        for bad in [
+            "other.bin",
+            "frag-xx.asf",
+            "frag-00000001-xx.asf",
+            "frag-00000001-00000001c000000.asf", // cgen 0 aliases the plain name
+            "frag-00000001-00000001cxx.asf",
+            "frag--1.asf",
+            "frag-+1.asf",
+            "frag-00000001-00000001.asf.tmp", // staged: invisible
+            "tomb-frag-00000001-00000001.asf.tsn",
+            "epoch-00000001.lck",
+        ] {
+            assert_eq!(parse_fragment_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn name_order_is_precedence_order() {
+        // Lexicographic blob-name order must equal (seq, epoch, cgen)
+        // order — it is what the catalog sorts by and what cross-fragment
+        // last-writer-wins precedence runs on.
+        let ids = [
+            FragmentId {
+                seq: 1,
+                epoch: 2,
+                cgen: 0,
+            },
+            FragmentId {
+                seq: 1,
+                epoch: 2,
+                cgen: 1,
+            },
+            FragmentId {
+                seq: 1,
+                epoch: 3,
+                cgen: 0,
+            },
+            FragmentId {
+                seq: 2,
+                epoch: 1,
+                cgen: 0,
+            },
+            FragmentId {
+                seq: 100,
+                epoch: 1,
+                cgen: 0,
+            },
+        ];
+        let names: Vec<String> = ids.iter().map(|&id| format_fragment_name(id)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn auxiliary_names_roundtrip() {
+        let frag = "frag-00000003-00000001.asf";
+        assert_eq!(staged_name(frag), "frag-00000003-00000001.asf.tmp");
+        let tomb = tombstone_name(frag);
+        assert_eq!(parse_tombstone_name(&tomb), Some(frag));
+        assert_eq!(parse_tombstone_name("tomb-junk.tsn"), None);
+        assert_eq!(parse_tombstone_name(frag), None);
+        assert_eq!(parse_epoch_marker(&epoch_marker_name(9)), Some(9));
+        assert_eq!(parse_epoch_marker(frag), None);
+    }
+
+    #[test]
+    fn epochs_are_claimed_exclusively() {
+        let backend = MemBackend::new();
+        assert_eq!(claim_epoch(&backend).unwrap(), 1);
+        assert_eq!(claim_epoch(&backend).unwrap(), 2);
+        // A fragment from a crashed engine whose marker was never written
+        // still pushes the claim past its epoch.
+        backend.put("frag-00000001-00000009.asf", &[0]).unwrap();
+        assert_eq!(claim_epoch(&backend).unwrap(), 10);
+    }
+
+    #[test]
+    fn recovery_discards_uncommitted_and_replays_committed_tombstones() {
+        let backend = MemBackend::new();
+        let frag = "frag-00000002-00000001c000001.asf";
+        // Uncommitted: tombstone exists, target never renamed in.
+        backend.put("frag-00000001-00000001.asf", &[1]).unwrap();
+        backend
+            .put(&tombstone_name(frag), b"frag-00000001-00000001.asf\n")
+            .unwrap();
+        backend.put(&staged_name(frag), &[9]).unwrap();
+        recover_store(&backend, None).unwrap();
+        assert!(backend.exists("frag-00000001-00000001.asf"));
+        assert!(!backend.exists(&tombstone_name(frag)));
+        assert!(!backend.exists(&staged_name(frag)));
+
+        // Committed: target present → sources deleted, tombstone spent.
+        backend.put(frag, &[2]).unwrap();
+        backend
+            .put(&tombstone_name(frag), b"frag-00000001-00000001.asf\n")
+            .unwrap();
+        recover_store(&backend, None).unwrap();
+        assert!(backend.exists(frag));
+        assert!(!backend.exists("frag-00000001-00000001.asf"));
+        assert!(!backend.exists(&tombstone_name(frag)));
+
+        // `keep` protects an in-flight staging blob from the sweep.
+        let inflight = staged_name("frag-00000005-00000001.asf");
+        backend.put(&inflight, &[3]).unwrap();
+        let keep: std::collections::HashSet<String> = [inflight.clone()].into();
+        recover_store(&backend, Some(&keep)).unwrap();
+        assert!(backend.exists(&inflight));
     }
 
     #[test]

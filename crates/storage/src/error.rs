@@ -35,6 +35,22 @@ impl StorageError {
             reason: reason.into(),
         }
     }
+
+    /// Whether this is an I/O error for a blob that does not exist — the
+    /// signature of a fragment deleted (or consolidated away) between a
+    /// read's planning and fetch steps.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StorageError::Io(e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+
+    /// Whether this is an I/O error for a blob that already exists — the
+    /// rejection a create-exclusive [`put_exclusive`] issues when another
+    /// writer claimed the name first.
+    ///
+    /// [`put_exclusive`]: crate::backend::StorageBackend::put_exclusive
+    pub fn is_already_exists(&self) -> bool {
+        matches!(self, StorageError::Io(e) if e.kind() == std::io::ErrorKind::AlreadyExists)
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -95,5 +111,16 @@ mod tests {
         assert!(matches!(e, StorageError::Tensor(_)));
         let e = StorageError::corrupt("frag-000001", "truncated");
         assert!(e.to_string().contains("frag-000001"));
+    }
+
+    #[test]
+    fn io_kind_helpers() {
+        let nf: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "no blob").into();
+        assert!(nf.is_not_found() && !nf.is_already_exists());
+        let ae: StorageError =
+            std::io::Error::new(std::io::ErrorKind::AlreadyExists, "taken").into();
+        assert!(ae.is_already_exists() && !ae.is_not_found());
+        let other = StorageError::corrupt("f", "x");
+        assert!(!other.is_not_found() && !other.is_already_exists());
     }
 }

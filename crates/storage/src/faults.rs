@@ -1,0 +1,225 @@
+//! Failure injection for the commit protocol.
+//!
+//! [`FailingBackend`] wraps any device and simulates a process crash at a
+//! chosen point in the write path: a torn `put` (only a prefix of the
+//! payload reaches the device before the "crash"), a killed rename (the
+//! staged blob never becomes visible), or failing deletes (a
+//! consolidation dies between committing its merged fragment and removing
+//! the sources). Tests drive the engine into each window, then reopen the
+//! store and assert the recovery sweep restores the invariants.
+//!
+//! The wrapper is shipped in the library (not `#[cfg(test)]`) so
+//! integration tests and downstream chaos harnesses can reuse it.
+
+use crate::backend::StorageBackend;
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn injected(op: &str, name: &str) -> crate::error::StorageError {
+    std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        format!("injected crash during {op} of {name}"),
+    )
+    .into()
+}
+
+/// A [`StorageBackend`] wrapper that kills writes at a chosen byte or
+/// operation. Reads always pass through unmodified.
+#[derive(Debug)]
+pub struct FailingBackend<B> {
+    inner: B,
+    /// Remaining write-byte budget; `None` = unlimited.
+    write_budget: Mutex<Option<u64>>,
+    fail_renames: AtomicBool,
+    fail_deletes: AtomicBool,
+}
+
+impl<B: StorageBackend> FailingBackend<B> {
+    /// Wrap a device with no failures armed.
+    pub fn new(inner: B) -> Self {
+        FailingBackend {
+            inner,
+            write_budget: Mutex::new(None),
+            fail_renames: AtomicBool::new(false),
+            fail_deletes: AtomicBool::new(false),
+        }
+    }
+
+    /// Unwrap the inner device.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The inner device (for accounting assertions).
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Arm a torn write: after `budget` more payload bytes, a `put`
+    /// writes only the prefix that fits and then errors — the on-device
+    /// blob is torn, exactly as if the process died mid-write. An armed
+    /// `put_atomic` honors its all-or-nothing contract: it writes nothing
+    /// once the budget cannot cover the whole payload.
+    pub fn fail_after_write_bytes(&self, budget: u64) {
+        *self.write_budget.lock() = Some(budget);
+    }
+
+    /// Disarm the write-byte budget.
+    pub fn disarm(&self) {
+        *self.write_budget.lock() = None;
+        self.fail_renames.store(false, Ordering::SeqCst);
+        self.fail_deletes.store(false, Ordering::SeqCst);
+    }
+
+    /// Make every `rename` fail (a crash between staging and commit).
+    pub fn fail_renames(&self, on: bool) {
+        self.fail_renames.store(on, Ordering::SeqCst);
+    }
+
+    /// Make every `delete` fail without deleting (a crash between a
+    /// consolidation's commit and its source deletions).
+    pub fn fail_deletes(&self, on: bool) {
+        self.fail_deletes.store(on, Ordering::SeqCst);
+    }
+
+    /// Charge `len` bytes against the armed budget. Returns how many of
+    /// them may still be written (`None` = all of them).
+    fn take_budget(&self, len: u64) -> Option<u64> {
+        let mut budget = self.write_budget.lock();
+        match *budget {
+            None => None,
+            Some(left) => {
+                let allowed = left.min(len);
+                *budget = Some(left - allowed);
+                Some(allowed)
+            }
+        }
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
+    fn put(&self, name: &str, data: &[u8]) -> Result<()> {
+        match self.take_budget(data.len() as u64) {
+            None => self.inner.put(name, data),
+            Some(allowed) if allowed >= data.len() as u64 => self.inner.put(name, data),
+            Some(allowed) => {
+                // Torn write: the prefix lands, then the "process dies".
+                self.inner.put(name, &data[..allowed as usize])?;
+                Err(injected("put", name))
+            }
+        }
+    }
+
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        match self.take_budget(data.len() as u64) {
+            None => self.inner.put_atomic(name, data),
+            Some(allowed) if allowed >= data.len() as u64 => self.inner.put_atomic(name, data),
+            // All-or-nothing: a crash mid-`put_atomic` leaves no blob.
+            Some(_) => Err(injected("put_atomic", name)),
+        }
+    }
+
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        match self.take_budget(data.len() as u64) {
+            None => self.inner.put_exclusive(name, data),
+            Some(allowed) if allowed >= data.len() as u64 => self.inner.put_exclusive(name, data),
+            Some(_) => Err(injected("put_exclusive", name)),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        if self.fail_renames.load(Ordering::SeqCst) {
+            return Err(injected("rename", from));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        if self.fail_deletes.load(Ordering::SeqCst) {
+            return Err(injected("delete", name));
+        }
+        self.inner.delete(name)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>> {
+        self.inner.get(name)
+    }
+
+    fn get_prefix(&self, name: &str, len: usize) -> Result<Vec<u8>> {
+        self.inner.get_prefix(name, len)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.inner.get_range(name, offset, len)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn size(&self, name: &str) -> Result<u64> {
+        self.inner.size(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn passthrough_when_disarmed() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.put("a", &[1, 2, 3]).unwrap();
+        b.put_atomic("b", &[4]).unwrap();
+        b.rename("b", "c").unwrap();
+        assert_eq!(b.get("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.get("c").unwrap(), vec![4]);
+        b.delete("c").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["a"]);
+    }
+
+    #[test]
+    fn torn_put_leaves_a_prefix() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.fail_after_write_bytes(4);
+        assert!(b.put("x", &[7; 10]).is_err());
+        assert_eq!(b.inner().get("x").unwrap(), vec![7; 4]);
+        // Budget is exhausted: the next write tears at zero bytes.
+        assert!(b.put("y", &[7; 2]).is_err());
+        assert_eq!(b.inner().get("y").unwrap(), Vec::<u8>::new());
+        b.disarm();
+        b.put("x", &[7; 10]).unwrap();
+        assert_eq!(b.get("x").unwrap(), vec![7; 10]);
+    }
+
+    #[test]
+    fn atomic_put_never_tears() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.put_atomic("x", &[1, 2]).unwrap();
+        b.fail_after_write_bytes(1);
+        assert!(b.put_atomic("x", &[9; 8]).is_err());
+        // The old contents survive untouched.
+        assert_eq!(b.get("x").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rename_and_delete_failures_leave_state_intact() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.put("a", &[1]).unwrap();
+        b.fail_renames(true);
+        assert!(b.rename("a", "b").is_err());
+        assert!(b.exists("a") && !b.exists("b"));
+        b.fail_deletes(true);
+        assert!(b.delete("a").is_err());
+        assert!(b.exists("a"));
+        b.disarm();
+        b.rename("a", "b").unwrap();
+        b.delete("b").unwrap();
+    }
+}

@@ -16,10 +16,12 @@
 //! * [`cache`] — a bytes-bounded LRU of decoded fragments for
 //!   repeat-read workloads;
 //! * [`config`] — tuning knobs for the read pipeline (cache budget,
-//!   parallelism, range fetch);
+//!   parallelism, range fetch) and the fragment commit protocol;
 //! * [`engine`] — Algorithm 3's WRITE (with the Table III phase
-//!   breakdown) and READ as a layered catalog → plan → fetch → decode →
-//!   merge pipeline.
+//!   breakdown, published through a crash-safe staged commit) and READ
+//!   as a layered catalog → plan → fetch → decode → merge pipeline;
+//! * [`faults`] — a failure-injecting backend wrapper for driving the
+//!   commit protocol into its crash windows under test.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod fragment;
 pub mod striped;
 
@@ -37,7 +40,8 @@ pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
 pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
-pub use config::EngineConfig;
+pub use config::{CommitMode, EngineConfig};
 pub use engine::{ConsolidateReport, ReadHit, ReadResult, StorageEngine, StoreStats, WriteReport};
 pub use error::{Result, StorageError};
+pub use faults::FailingBackend;
 pub use striped::StripedBackend;

@@ -83,6 +83,63 @@ impl<B: StorageBackend> StorageBackend for StripedBackend<B> {
         Ok(())
     }
 
+    fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        // Atomic per device: each OST flips its part in one step. The
+        // cross-device cut-over is not atomic — the engine's staged
+        // commit (temp name + rename) provides the store-level guarantee.
+        let n = self.devices.len();
+        let s = self.stripe_size;
+        let mut parts: Vec<Vec<u8>> = (0..n)
+            .map(|d| Vec::with_capacity(self.part_len(data.len(), d)))
+            .collect();
+        for (j, chunk) in data.chunks(s).enumerate() {
+            parts[j % n].extend_from_slice(chunk);
+        }
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .zip(&parts)
+                .map(|(dev, part)| scope.spawn(move || dev.put_atomic(name, part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stripe writer panicked"))
+                .collect()
+        });
+        results.into_iter().collect::<Result<Vec<()>>>()?;
+        Ok(())
+    }
+
+    fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        // Device 0 arbitrates the claim: its exclusive create either wins
+        // the name for the whole stripe set or rejects the put before any
+        // other device is touched.
+        let n = self.devices.len();
+        let s = self.stripe_size;
+        let mut parts: Vec<Vec<u8>> = (0..n)
+            .map(|d| Vec::with_capacity(self.part_len(data.len(), d)))
+            .collect();
+        for (j, chunk) in data.chunks(s).enumerate() {
+            parts[j % n].extend_from_slice(chunk);
+        }
+        self.devices[0].put_exclusive(name, &parts[0])?;
+        for (dev, part) in self.devices.iter().zip(&parts).skip(1) {
+            dev.put_atomic(name, part)?;
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        // Metadata-only on every device; device order matches `put`'s
+        // part order so a partially renamed blob is detected by `get`'s
+        // part-length validation rather than silently reassembled.
+        for dev in &self.devices {
+            dev.rename(from, to)?;
+        }
+        Ok(())
+    }
+
     fn get(&self, name: &str) -> Result<Vec<u8>> {
         let n = self.devices.len();
         let s = self.stripe_size;
@@ -325,6 +382,67 @@ mod tests {
         b.delete("a").unwrap();
         assert!(!b.exists("a"));
         assert!(b.get("a").is_err());
+    }
+
+    #[test]
+    fn commit_primitives_stripe_consistently() {
+        for n in [1usize, 2, 3] {
+            let b = striped_mem(n, 4);
+            let data: Vec<u8> = (0..23).collect();
+            b.put_atomic("x", &data).unwrap();
+            assert_eq!(b.get("x").unwrap(), data);
+            b.rename("x", "y").unwrap();
+            assert!(!b.exists("x"));
+            assert_eq!(b.get("y").unwrap(), data);
+            // Exclusive create: first claim wins, the rest are rejected
+            // before any device's part changes.
+            b.put_exclusive("z", &data).unwrap();
+            assert!(b
+                .put_exclusive("z", &[9; 30])
+                .unwrap_err()
+                .is_already_exists());
+            assert_eq!(b.get("z").unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn range_reads_transfer_fewer_device_bytes_than_whole_gets() {
+        // The satellite regression: a striped range read must hit only
+        // the devices (and only the windows) the byte range maps to, not
+        // fall back to assembling the whole blob. Asserted through the
+        // per-OST `bytes_read` accounting.
+        let mk = || SimulatedDisk::new(1e12, Duration::ZERO);
+        let b = StripedBackend::new((0..4).map(|_| mk()).collect(), 16);
+        let data: Vec<u8> = (0..4096u32).map(|x| x as u8).collect();
+        b.put("blob", &data).unwrap();
+
+        let device_bytes = |b: &StripedBackend<SimulatedDisk>| -> u64 {
+            b.devices().iter().map(|d| d.bytes_read()).sum()
+        };
+
+        let before = device_bytes(&b);
+        let window = b.get_range("blob", 100, 50).unwrap();
+        assert_eq!(window, &data[100..150]);
+        let ranged = device_bytes(&b) - before;
+
+        let before = device_bytes(&b);
+        let _ = b.get("blob").unwrap();
+        let whole = device_bytes(&b) - before;
+
+        assert_eq!(whole, data.len() as u64);
+        // The 50-byte window spans at most 4 chunks of 16 bytes + stripe
+        // rounding — far below the 4096-byte blob.
+        assert!(
+            ranged < whole && ranged <= 5 * 16,
+            "ranged read transferred {ranged} bytes vs whole {whole}"
+        );
+
+        // Prefix reads are windowed the same way.
+        let before = device_bytes(&b);
+        let head = b.get_prefix("blob", 40).unwrap();
+        assert_eq!(head, &data[..40]);
+        let prefixed = device_bytes(&b) - before;
+        assert!(prefixed < whole && prefixed <= 3 * 16, "{prefixed}");
     }
 
     #[test]

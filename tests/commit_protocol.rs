@@ -1,0 +1,373 @@
+//! Crash-safety of the fragment commit protocol, end to end.
+//!
+//! Each test drives the engine into one crash window with a
+//! [`FailingBackend`], then "restarts the process" — reopens an engine
+//! over the surviving blobs — and asserts the recovered store holds the
+//! protocol's invariants: no torn or half-visible fragments, no
+//! duplicated points after an interrupted consolidation, no name
+//! collisions between concurrent engines.
+
+use artsparse::storage::{
+    CommitMode, EngineConfig, FailingBackend, FsBackend, MemBackend, SimulatedDisk, StorageBackend,
+    StorageEngine, StripedBackend,
+};
+use artsparse::{CoordBuffer, FormatKind, Shape};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pts(p: &[[u64; 2]]) -> CoordBuffer {
+    CoordBuffer::from_points(2, p).unwrap()
+}
+
+fn shape() -> Shape {
+    Shape::new(vec![64, 64]).unwrap()
+}
+
+fn open<B: StorageBackend>(backend: B) -> StorageEngine<B> {
+    StorageEngine::open(backend, FormatKind::Linear, shape(), 8).unwrap()
+}
+
+/// A write that dies mid-put must leave no visible fragment: not to the
+/// writing engine, not to a catalog reload, not after reopening the
+/// store. The torn bytes live only under a staging name that recovery
+/// sweeps.
+#[test]
+fn torn_write_leaves_no_visible_fragment_after_reopen() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+
+    // Die mid-put of the staged blob, and make the abort cleanup fail
+    // too, so the torn orphan really survives until "restart".
+    engine.backend().fail_after_write_bytes(10);
+    engine.backend().fail_deletes(true);
+    assert!(engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).is_err());
+
+    // Invisible immediately: the engine's own catalog never listed it.
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    // The orphan is on the device, but only under a staging name.
+    let backend = engine.into_backend();
+    backend.disarm();
+    assert!(backend.list().unwrap().iter().any(|n| n.ends_with(".tmp")));
+
+    // "Restart": recovery sweeps the orphan; the good fragment survives.
+    let engine = open(backend);
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert!(!engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .any(|n| n.ends_with(".tmp")));
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+        vec![Some(1.0), None]
+    );
+}
+
+/// When the abort cleanup *can* run, the failed write leaves the store
+/// completely clean — no reopen needed.
+#[test]
+fn failed_write_cleans_up_its_staging_blob() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine.backend().fail_after_write_bytes(10);
+    assert!(engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).is_err());
+    engine.backend().disarm();
+    // Only the epoch claim marker remains.
+    let leftovers: Vec<String> = engine
+        .backend()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| !n.starts_with("epoch-"))
+        .collect();
+    assert_eq!(leftovers, Vec::<String>::new());
+}
+
+/// Direct commit mode leans on `put_atomic`: an interrupted write
+/// publishes nothing at all, not even a staging blob.
+#[test]
+fn direct_mode_interrupted_write_publishes_nothing() {
+    let engine = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default().with_commit_mode(CommitMode::Direct),
+    )
+    .unwrap();
+    engine.backend().fail_after_write_bytes(10);
+    assert!(engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).is_err());
+    engine.backend().disarm();
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| n.starts_with("epoch-")));
+}
+
+/// A consolidation that dies before its rename-commit changes nothing:
+/// after restart the sources are intact, the tombstone is discarded, and
+/// reads see exactly the pre-consolidation data.
+#[test]
+fn consolidation_crash_before_commit_is_discarded() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+    engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).unwrap();
+
+    // The rename is the commit point; kill it, and kill deletes too so
+    // the abort cleanup cannot tidy up — restart must cope with both the
+    // staged blob and the (uncommitted) tombstone lying around.
+    engine.backend().fail_renames(true);
+    engine.backend().fail_deletes(true);
+    assert!(engine.consolidate().is_err());
+
+    let backend = engine.into_backend();
+    backend.disarm();
+    let engine = open(backend);
+    assert_eq!(engine.fragments().unwrap().len(), 2);
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| !n.ends_with(".tmp") && !n.ends_with(".tsn")));
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+        vec![Some(1.0), Some(2.0)]
+    );
+    assert_eq!(engine.stats().unwrap().total_points, 2);
+}
+
+/// A consolidation that dies *after* its rename-commit but before the
+/// source deletions must not double the store: restart replays the
+/// tombstone, deleting the sources, and reads return each point exactly
+/// once with the consolidated (last-writer-wins) values.
+#[test]
+fn consolidation_crash_after_commit_replays_deletions() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+    engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).unwrap();
+    // Overwrite [1,1] so precedence through the crash is observable.
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[3.0]).unwrap();
+
+    engine.backend().fail_deletes(true);
+    assert!(engine.consolidate().is_err());
+
+    // The commit landed: consolidated fragment, tombstone, and all three
+    // sources coexist on the device right now.
+    let backend = engine.into_backend();
+    backend.disarm();
+    assert!(backend.list().unwrap().iter().any(|n| n.ends_with(".tsn")));
+    assert_eq!(
+        backend
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| n.ends_with(".asf"))
+            .count(),
+        4
+    );
+
+    // "Restart": the tombstone replays, the sources go, no duplicates.
+    let engine = open(backend);
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| !n.ends_with(".tsn")));
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.fragments, 1);
+    assert_eq!(stats.total_points, 2, "points must not be double-counted");
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+        vec![Some(3.0), Some(2.0)]
+    );
+}
+
+/// Two engines over one store claim distinct epochs, so their fragment
+/// names can never collide even when their write sequences do.
+#[test]
+fn two_engines_over_one_store_never_collide() {
+    let store = Arc::new(MemBackend::new());
+    let e1 = open(Arc::clone(&store));
+    let e2 = open(Arc::clone(&store));
+    assert_ne!(e1.epoch(), e2.epoch());
+
+    // Interleave writes: both engines hand out overlapping sequence
+    // numbers, so without the epoch in the name these would overwrite
+    // each other silently.
+    for i in 0..3u64 {
+        e1.write_points::<f64>(&pts(&[[i, 0]]), &[i as f64])
+            .unwrap();
+        e2.write_points::<f64>(&pts(&[[i, 1]]), &[10.0 + i as f64])
+            .unwrap();
+    }
+    assert_eq!(e1.fragments().unwrap().len(), 3);
+
+    // Each engine sees the other's fragments after a refresh; all six
+    // names are distinct and all six points are readable.
+    e1.refresh().unwrap();
+    assert_eq!(e1.fragments().unwrap().len(), 6);
+    let q = pts(&[[0, 0], [1, 0], [2, 0], [0, 1], [1, 1], [2, 1]]);
+    assert_eq!(
+        e1.read_values::<f64>(&q).unwrap(),
+        vec![
+            Some(0.0),
+            Some(1.0),
+            Some(2.0),
+            Some(10.0),
+            Some(11.0),
+            Some(12.0)
+        ]
+    );
+}
+
+/// The lost-update regression: a fragment written concurrently while
+/// another engine consolidates must keep precedence over the merged
+/// output. The consolidated fragment takes the highest *source* sequence
+/// number (plus a generation tiebreaker), so the newer write still
+/// outranks it.
+#[test]
+fn fragment_written_during_consolidation_keeps_precedence() {
+    let store = Arc::new(MemBackend::new());
+    let writer = open(Arc::clone(&store));
+    writer.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+    writer.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).unwrap();
+
+    // A second engine opens, snapshotting the two fragments...
+    let consolidator = open(Arc::clone(&store));
+    // ...while the writer lands an overwrite the consolidator's catalog
+    // has not seen.
+    writer.write_points::<f64>(&pts(&[[1, 1]]), &[9.0]).unwrap();
+
+    // The consolidator merges its stale snapshot. It must not shadow the
+    // concurrent overwrite.
+    let report = consolidator.consolidate().unwrap();
+    assert_eq!(report.merged_fragments, 2);
+
+    consolidator.refresh().unwrap();
+    assert_eq!(consolidator.fragments().unwrap().len(), 2);
+    assert_eq!(
+        consolidator
+            .read_values::<f64>(&pts(&[[1, 1], [2, 2]]))
+            .unwrap(),
+        vec![Some(9.0), Some(2.0)],
+        "the concurrent overwrite must win over the consolidated output"
+    );
+}
+
+/// Reads racing deletes and consolidations on the same engine re-plan
+/// instead of failing: a planned fragment that vanishes mid-read is
+/// always covered by whatever replaced it.
+#[test]
+fn reads_racing_consolidation_and_deletes_never_fail() {
+    let engine = open(MemBackend::new());
+    engine
+        .write_points::<f64>(&pts(&[[9, 9]]), &[99.0])
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for i in 0..40u64 {
+                engine
+                    .write_points::<f64>(&pts(&[[i % 8, 1 + (i % 8)]]), &[i as f64])
+                    .unwrap();
+                if i % 4 == 3 {
+                    engine.consolidate().unwrap();
+                }
+            }
+        });
+        // The anchor point predates the churn, so every read must see it
+        // no matter which fragment currently holds it.
+        for _ in 0..200 {
+            let vals = engine.read_values::<f64>(&pts(&[[9, 9]])).unwrap();
+            assert_eq!(vals, vec![Some(99.0)]);
+        }
+        writer.join().unwrap();
+    });
+
+    engine.consolidate().unwrap();
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[9, 9]])).unwrap(),
+        vec![Some(99.0)]
+    );
+}
+
+/// The full protocol over a real directory: staged writes, an
+/// interrupted-looking directory state (stray staging file, spent
+/// tombstone), reopen, and recovery.
+#[test]
+fn filesystem_store_recovers_on_reopen() {
+    let dir = tempfile::tempdir().unwrap();
+    {
+        let engine = open(FsBackend::new(dir.path()).unwrap());
+        engine.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+        engine.write_points::<f64>(&pts(&[[2, 2]]), &[2.0]).unwrap();
+        engine.consolidate().unwrap();
+    }
+    // Simulate a crashed writer: a torn staging blob left in the store.
+    std::fs::write(
+        dir.path().join("frag-00000009-00000007.asf.tmp"),
+        b"torn garbage",
+    )
+    .unwrap();
+
+    let engine = open(FsBackend::new(dir.path()).unwrap());
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| !n.ends_with(".tmp") && !n.ends_with(".tsn")));
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+        vec![Some(1.0), Some(2.0)]
+    );
+}
+
+/// Range reads through the whole engine stack on a striped store move
+/// strictly fewer device bytes than whole-fragment fetches would — the
+/// per-device accounting of the simulated disks proves it.
+#[test]
+fn striped_range_reads_transfer_fewer_device_bytes() {
+    let striped = StripedBackend::new(
+        (0..4)
+            .map(|_| SimulatedDisk::new(1e12, Duration::ZERO))
+            .collect(),
+        64,
+    );
+    let engine = open(striped);
+    let coords: Vec<[u64; 2]> = (0..64).map(|i| [i, i]).collect();
+    let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    engine
+        .write_points::<f64>(&CoordBuffer::from_points(2, &coords).unwrap(), &vals)
+        .unwrap();
+    let frag_bytes = engine.total_stored_bytes().unwrap();
+
+    let read_before: u64 = engine
+        .backend()
+        .devices()
+        .iter()
+        .map(|d| d.bytes_read())
+        .sum();
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[7, 7]])).unwrap(),
+        vec![Some(7.0)]
+    );
+    let transferred: u64 = engine
+        .backend()
+        .devices()
+        .iter()
+        .map(|d| d.bytes_read())
+        .sum::<u64>()
+        - read_before;
+    assert!(
+        transferred < frag_bytes,
+        "one-point read moved {transferred} of {frag_bytes} stored bytes"
+    );
+}
