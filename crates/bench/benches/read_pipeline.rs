@@ -10,6 +10,9 @@
 //! * `pipeline`     — the default configuration: catalog planning plus
 //!   parallel per-fragment range fetches (index section, then only the
 //!   matched value records);
+//! * `pipeline-telemetry` — the same pipeline with the telemetry
+//!   recorder enabled, bounding the cost of span tracing + I/O
+//!   accounting;
 //! * `cached`       — the pipeline plus the decoded-fragment LRU, so
 //!   repeat reads skip the device entirely.
 //!
@@ -29,7 +32,7 @@ use artsparse_patterns::rng::SplitMix64;
 use artsparse_storage::fragment::{decode_fragment, decode_meta, FragmentMeta};
 use artsparse_storage::{EngineConfig, SimulatedDisk, StorageBackend, StorageEngine};
 use artsparse_tensor::{CoordBuffer, Region, Shape};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
 
 const SIDE: u64 = 256;
@@ -128,12 +131,15 @@ fn bench_read_pipeline(c: &mut Criterion) {
             "read_pipeline/pre-refactor: {} hits, {per_read} bytes transferred per read",
             hits.len()
         );
+        // Deterministic bytes-per-read: the stable signal CI's regression
+        // guard compares (wall time on a shared runner is only coarse).
+        group.throughput(Throughput::Bytes(per_read));
         group.bench_function("pre-refactor", |b| {
             b.iter(|| pre_refactor_read(&disk, &shape, &queries, &counter));
         });
     }
 
-    let configs: [(&str, EngineConfig); 3] = [
+    let configs: [(&str, EngineConfig); 4] = [
         (
             "legacy-fetch",
             EngineConfig::default()
@@ -143,6 +149,14 @@ fn bench_read_pipeline(c: &mut Criterion) {
         (
             "pipeline",
             EngineConfig::default().with_read_parallelism(FRAGMENTS),
+        ),
+        // `pipeline` with full telemetry recording: CI tracks both so the
+        // disabled path stays free and the enabled overhead stays visible.
+        (
+            "pipeline-telemetry",
+            EngineConfig::default()
+                .with_read_parallelism(FRAGMENTS)
+                .with_telemetry(true),
         ),
         (
             "cached",
@@ -167,6 +181,7 @@ fn bench_read_pipeline(c: &mut Criterion) {
             r.hits.len()
         );
 
+        group.throughput(Throughput::Bytes(per_read));
         group.bench_function(label, |b| {
             b.iter(|| engine.read(&queries).unwrap());
         });

@@ -64,6 +64,13 @@ pub struct Config {
     /// instead of the default crash-safe staged commit. Exposed so the
     /// write-time experiments can quantify the protocol's overhead.
     pub direct_commit: bool,
+    /// Collect runtime telemetry (span traces, I/O accounting, latency
+    /// histograms) during matrix cells and print a per-cell digest.
+    pub telemetry: bool,
+    /// Directory for per-cell telemetry JSON documents
+    /// (`telemetry-<format>-<pattern>-<ndim>D.json`). Setting it implies
+    /// `telemetry`.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -79,6 +86,8 @@ impl Default for Config {
             sim_bandwidth_mib: 2048.0,
             sim_latency_us: 250,
             direct_commit: false,
+            telemetry: false,
+            telemetry_out: None,
         }
     }
 }
@@ -91,6 +100,11 @@ impl Config {
         } else {
             artsparse_storage::CommitMode::Staged
         }
+    }
+
+    /// Whether telemetry should be collected (either flag).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry || self.telemetry_out.is_some()
     }
 
     /// A fast configuration for tests: smoke scale, in-memory backend.
@@ -133,5 +147,21 @@ mod tests {
             ..Config::default()
         };
         assert_eq!(direct.commit_mode(), artsparse_storage::CommitMode::Direct);
+    }
+
+    #[test]
+    fn telemetry_out_implies_telemetry() {
+        let c = Config::default();
+        assert!(!c.telemetry_enabled());
+        let c = Config {
+            telemetry: true,
+            ..Config::default()
+        };
+        assert!(c.telemetry_enabled());
+        let c = Config {
+            telemetry_out: Some(PathBuf::from("/tmp/t")),
+            ..Config::default()
+        };
+        assert!(c.telemetry_enabled());
     }
 }

@@ -20,9 +20,10 @@
 pub mod config;
 pub mod experiments;
 pub mod matrix;
+pub mod telemetry;
 
 pub use config::{BackendKind, Config};
-pub use matrix::{run_matrix, Matrix};
+pub use matrix::{run_matrix, run_matrix_with_telemetry, Matrix};
 
 /// Error-erased result used across the harness.
 pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

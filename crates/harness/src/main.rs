@@ -12,6 +12,11 @@
 //!   --out DIR                    write JSON/CSV artifacts
 //!   --formats A,B,…              organizations       (default: paper five)
 //!   --commit-mode staged|direct  fragment publish    (default: staged)
+//!   --telemetry                  collect + print per-cell telemetry
+//!   --telemetry-out DIR          write per-cell telemetry JSON documents
+//!
+//! validate-telemetry <file>... [--schema PATH]
+//!   validate telemetry documents against schemas/telemetry.schema.json
 //! ```
 
 use artsparse_core::FormatKind;
@@ -19,7 +24,7 @@ use artsparse_harness::experiments::{
     ablate, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3, table4,
     ExperimentOutput,
 };
-use artsparse_harness::{run_matrix, BackendKind, Config, Result};
+use artsparse_harness::{run_matrix_with_telemetry, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
@@ -32,11 +37,54 @@ fn usage() -> ! {
     eprintln!(
         "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
          [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..] \
-         [--commit-mode staged|direct]\n\
-         experiments: {} all",
+         [--commit-mode staged|direct] [--telemetry] [--telemetry-out DIR]\n\
+         experiments: {} all\n\
+         or: artsparse-bench validate-telemetry <file>... [--schema PATH]",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// `validate-telemetry <file>... [--schema PATH]`: exit nonzero listing
+/// every schema violation.
+fn validate_telemetry(args: &[String]) -> Result<()> {
+    let mut schema = PathBuf::from("schemas/telemetry.schema.json");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                schema = PathBuf::from(v);
+            }
+            other if other.starts_with('-') => usage(),
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("validate-telemetry: no files given");
+        usage();
+    }
+    let mut violations = 0usize;
+    for file in &files {
+        let errors = artsparse_harness::telemetry::validate_file(file, &schema)?;
+        if errors.is_empty() {
+            eprintln!("[valid] {}", file.display());
+        } else {
+            violations += errors.len();
+            for e in &errors {
+                eprintln!("[invalid] {}: {e}", file.display());
+            }
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} schema violation(s) across {} file(s)",
+            files.len()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn parse_args() -> (Vec<String>, Config) {
@@ -76,6 +124,11 @@ fn parse_args() -> (Vec<String>, Config) {
                     _ => usage(),
                 };
             }
+            "--telemetry" => cfg.telemetry = true,
+            "--telemetry-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.telemetry_out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => wanted.push(other.to_string()),
@@ -97,6 +150,13 @@ fn emit(cfg: &Config, out: ExperimentOutput) -> Result<()> {
 }
 
 fn main() -> Result<()> {
+    // The validator subcommand takes file paths, not experiment names —
+    // dispatch it before experiment parsing.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("validate-telemetry") {
+        return validate_telemetry(&raw[1..]);
+    }
+
     let (wanted, cfg) = parse_args();
     let run_all = wanted.iter().any(|w| w == "all");
     let wants = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -126,7 +186,7 @@ fn main() -> Result<()> {
     // fig3/fig4/fig5/table4 share one measured matrix.
     let needs_matrix = ["fig3", "fig4", "fig5", "table4"].iter().any(|e| wants(e));
     if needs_matrix {
-        let matrix = run_matrix(&cfg)?;
+        let (matrix, _telemetry) = run_matrix_with_telemetry(&cfg)?;
         if wants("fig3") {
             emit(&cfg, fig3::from_matrix(&cfg, &matrix))?;
         }

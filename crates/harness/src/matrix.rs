@@ -5,7 +5,7 @@
 use crate::config::{BackendKind, Config};
 use crate::Result;
 use artsparse_core::FormatKind;
-use artsparse_metrics::{time_it, Measurement, WriteBreakdown};
+use artsparse_metrics::{time_it, Measurement, TelemetryReport, WriteBreakdown};
 use artsparse_patterns::{Dataset, Pattern, Scale};
 use artsparse_storage::{
     EngineConfig, FsBackend, MemBackend, SimulatedDisk, StorageBackend, StorageEngine,
@@ -128,20 +128,35 @@ pub fn measure_cell(
     payload: &[u8],
     queries: &artsparse_tensor::CoordBuffer,
 ) -> Result<CellMeasurement> {
+    Ok(measure_cell_telemetry(cfg, format, dataset, payload, queries)?.0)
+}
+
+/// [`measure_cell`], also returning the engine's telemetry snapshot when
+/// `cfg` enables collection.
+pub fn measure_cell_telemetry(
+    cfg: &Config,
+    format: FormatKind,
+    dataset: &Dataset,
+    payload: &[u8],
+    queries: &artsparse_tensor::CoordBuffer,
+) -> Result<(CellMeasurement, Option<TelemetryReport>)> {
     let handle = make_backend(cfg)?;
     let engine = StorageEngine::open_with(
         handle.backend,
         format,
         dataset.shape.clone(),
         8,
-        EngineConfig::default().with_commit_mode(cfg.commit_mode()),
+        EngineConfig::default()
+            .with_commit_mode(cfg.commit_mode())
+            .with_telemetry(cfg.telemetry_enabled()),
     )?;
 
     let report = engine.write(&dataset.coords, payload)?;
     let (read_dur, read) = time_it(|| engine.read(queries));
     let read = read?;
+    let telemetry = engine.telemetry_report();
 
-    Ok(CellMeasurement {
+    let cell = CellMeasurement {
         format: format.name().to_string(),
         pattern: dataset.pattern.name().to_string(),
         ndim: dataset.shape.ndim(),
@@ -154,13 +169,27 @@ pub fn measure_cell(
         read_secs: read_dur.as_secs_f64(),
         file_bytes: report.total_bytes as u64,
         index_bytes: report.index_bytes as u64,
-    })
+    };
+    Ok((cell, telemetry))
 }
 
 /// Run the full grid: every configured pattern × dimensionality ×
 /// organization.
 pub fn run_matrix(cfg: &Config) -> Result<Matrix> {
+    Ok(run_matrix_with_telemetry(cfg)?.0)
+}
+
+/// Per-cell telemetry collected alongside a [`Matrix`]:
+/// `(format, pattern, ndim, report)`.
+pub type CellTelemetry = (String, String, usize, TelemetryReport);
+
+/// [`run_matrix`], additionally returning each cell's telemetry report
+/// when `cfg` enables collection. With `telemetry_out` set, one JSON
+/// document per cell is written there as a side effect; with plain
+/// `telemetry`, an ASCII digest is printed per cell.
+pub fn run_matrix_with_telemetry(cfg: &Config) -> Result<(Matrix, Vec<CellTelemetry>)> {
     let mut cells = Vec::new();
+    let mut reports = Vec::new();
     for &pattern in &cfg.patterns {
         for &ndim in &cfg.ndims {
             let dataset = Dataset::for_scale(pattern, ndim, cfg.scale, cfg.params);
@@ -173,20 +202,38 @@ pub fn run_matrix(cfg: &Config) -> Result<Matrix> {
                 queries.len()
             );
             for &format in &cfg.formats {
-                let cell = measure_cell(cfg, format, &dataset, &payload, &queries)?;
+                let (cell, telemetry) =
+                    measure_cell_telemetry(cfg, format, &dataset, &payload, &queries)?;
                 eprintln!(
                     "[matrix]   {:<14} write {:.4}s  read {:.4}s  {} bytes",
                     cell.format, cell.write_secs, cell.read_secs, cell.file_bytes
                 );
+                if let Some(report) = telemetry {
+                    if let Some(dir) = &cfg.telemetry_out {
+                        let path = crate::telemetry::write_cell_document(
+                            dir,
+                            cfg,
+                            &cell.format,
+                            &cell.pattern,
+                            cell.ndim,
+                            &report,
+                        )?;
+                        eprintln!("[matrix]   telemetry -> {}", path.display());
+                    } else if cfg.telemetry {
+                        eprintln!("{}", report.to_ascii());
+                    }
+                    reports.push((cell.format.clone(), cell.pattern.clone(), cell.ndim, report));
+                }
                 cells.push(cell);
             }
         }
     }
-    Ok(Matrix {
+    let matrix = Matrix {
         scale: cfg.scale,
         backend: cfg.backend.name().to_string(),
         cells,
-    })
+    };
+    Ok((matrix, reports))
 }
 
 /// Measure just the datasets (no I/O) — Table II needs only generation.

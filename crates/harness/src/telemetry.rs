@@ -1,0 +1,258 @@
+//! Per-cell telemetry documents and their schema validation.
+//!
+//! With `--telemetry-out DIR`, every matrix cell writes one JSON document
+//! (`telemetry-<format>-<pattern>-<ndim>D.json`) wrapping the engine's
+//! [`TelemetryReport`] with the cell's identity. CI validates those
+//! documents against the checked-in `schemas/telemetry.schema.json` via
+//! the `validate-telemetry` subcommand; [`validate`] implements the
+//! JSON-Schema subset that schema uses (`type`, `required`,
+//! `properties`, `items`, `enum`, `minimum`).
+
+use crate::config::Config;
+use crate::Result;
+use artsparse_metrics::TelemetryReport;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// File name for one cell's telemetry document.
+pub fn telemetry_file_name(format: &str, pattern: &str, ndim: usize) -> String {
+    // Format names contain '+' (GCSR++); keep names shell-friendly.
+    let fmt: String = format
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { 'p' })
+        .collect();
+    format!(
+        "telemetry-{}-{}-{}D.json",
+        fmt.to_ascii_lowercase(),
+        pattern.to_ascii_lowercase(),
+        ndim
+    )
+}
+
+/// Wrap a cell's report with its identity into the exported document.
+pub fn cell_document(
+    cfg: &Config,
+    format: &str,
+    pattern: &str,
+    ndim: usize,
+    report: &TelemetryReport,
+) -> Value {
+    let mut cell = serde_json::Map::new();
+    cell.insert("format".into(), Value::String(format.to_string()));
+    cell.insert("pattern".into(), Value::String(pattern.to_string()));
+    cell.insert("ndim".into(), Value::U64(ndim as u64));
+    cell.insert("scale".into(), Value::String(cfg.scale.to_string()));
+    cell.insert(
+        "backend".into(),
+        Value::String(cfg.backend.name().to_string()),
+    );
+    let mut doc = serde_json::Map::new();
+    doc.insert("cell".into(), Value::Object(cell));
+    doc.insert(
+        "telemetry".into(),
+        serde_json::to_value(report).expect("telemetry serializes infallibly"),
+    );
+    Value::Object(doc)
+}
+
+/// Write one cell document under `dir`, returning the path written.
+pub fn write_cell_document(
+    dir: &Path,
+    cfg: &Config,
+    format: &str,
+    pattern: &str,
+    ndim: usize,
+    report: &TelemetryReport,
+) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(telemetry_file_name(format, pattern, ndim));
+    let doc = cell_document(cfg, format, pattern, ndim, report);
+    std::fs::write(&path, doc.to_json_string_pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Validate `value` against a JSON-Schema-subset `schema`. Returns the
+/// list of violations (empty = valid), each prefixed with the JSON path
+/// of the offending value.
+pub fn validate(value: &Value, schema: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(value, schema, "$", &mut errors);
+    errors
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn type_matches(value: &Value, wanted: &str) -> bool {
+    match wanted {
+        // Every JSON integer is also a number.
+        "number" => matches!(value, Value::I64(_) | Value::U64(_) | Value::F64(_)),
+        other => type_name(value) == other,
+    }
+}
+
+fn validate_at(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    // Cap the error list: a wholesale-wrong document should not produce
+    // megabytes of output.
+    if errors.len() >= 64 {
+        return;
+    }
+
+    if let Some(t) = schema.get("type") {
+        let allowed: Vec<&str> = match t {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(a) => a.iter().filter_map(|v| v.as_str()).collect(),
+            _ => vec![],
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|w| type_matches(value, w)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                allowed.join("|"),
+                type_name(value)
+            ));
+            return;
+        }
+    }
+
+    if let Some(allowed) = schema.get("enum").and_then(Value::as_array) {
+        if !allowed.iter().any(|candidate| candidate == value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(Value::as_f64) {
+        match value.as_f64() {
+            Some(v) if v < min => errors.push(format!("{path}: {v} below minimum {min}")),
+            _ => {}
+        }
+    }
+
+    if let Some(obj) = value.as_object() {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required.iter().filter_map(|k| k.as_str()) {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{path}: missing required property \"{key}\""));
+                }
+            }
+        }
+        if let Some(props) = schema.get("properties").and_then(Value::as_object) {
+            for (key, sub) in props.iter() {
+                if let Some(v) = obj.get(key) {
+                    validate_at(v, sub, &format!("{path}.{key}"), errors);
+                }
+            }
+        }
+    }
+
+    if let Some(arr) = value.as_array() {
+        if let Some(items) = schema.get("items") {
+            if !items.is_null() {
+                for (i, item) in arr.iter().enumerate() {
+                    validate_at(item, items, &format!("{path}[{i}]"), errors);
+                }
+            }
+        }
+    }
+}
+
+/// Load and validate one telemetry document file against a schema file.
+pub fn validate_file(doc_path: &Path, schema_path: &Path) -> Result<Vec<String>> {
+    let doc = serde_json::from_str(&std::fs::read_to_string(doc_path)?)
+        .map_err(|e| format!("{}: {e}", doc_path.display()))?;
+    let schema = serde_json::from_str(&std::fs::read_to_string(schema_path)?)
+        .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+    Ok(validate(&doc, &schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn schema() -> Value {
+        serde_json::from_str(include_str!("../../../schemas/telemetry.schema.json"))
+            .expect("checked-in schema parses")
+    }
+
+    #[test]
+    fn file_names_are_shell_friendly() {
+        assert_eq!(
+            telemetry_file_name("COO", "TSP", 2),
+            "telemetry-coo-tsp-2D.json"
+        );
+        assert_eq!(
+            telemetry_file_name("GCSR++", "GSP", 3),
+            "telemetry-gcsrpp-gsp-3D.json"
+        );
+    }
+
+    #[test]
+    fn validator_subset_works() {
+        let schema = serde_json::from_str(
+            r#"{
+                "type": "object",
+                "required": ["a", "b"],
+                "properties": {
+                    "a": {"type": "integer", "minimum": 0},
+                    "b": {"type": "array", "items": {"type": "string"}},
+                    "c": {"type": "number"}
+                }
+            }"#,
+        )
+        .unwrap();
+        let good = serde_json::from_str(r#"{"a": 1, "b": ["x"], "c": 2}"#).unwrap();
+        assert!(validate(&good, &schema).is_empty());
+
+        let bad = serde_json::from_str(r#"{"a": -1, "b": [1]}"#).unwrap();
+        let errors = validate(&bad, &schema);
+        assert!(
+            errors.iter().any(|e| e.contains("below minimum")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("$.b[0]")), "{errors:?}");
+
+        let missing = serde_json::from_str(r#"{"a": 3}"#).unwrap();
+        let errors = validate(&missing, &schema);
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing required property \"b\"")));
+    }
+
+    #[test]
+    fn checked_in_schema_accepts_a_real_cell_document() {
+        use artsparse_core::FormatKind;
+        use artsparse_patterns::Pattern;
+
+        let mut cfg = Config::smoke();
+        cfg.telemetry = true;
+        cfg.formats = vec![FormatKind::Linear];
+        cfg.patterns = vec![Pattern::Tsp];
+        cfg.ndims = vec![2];
+        let (_, reports) = crate::matrix::run_matrix_with_telemetry(&cfg).unwrap();
+        assert_eq!(reports.len(), 1);
+        let (format, pattern, ndim, report) = &reports[0];
+        let doc = cell_document(&cfg, format, pattern, *ndim, report);
+        let errors = validate(&doc, &schema());
+        assert!(errors.is_empty(), "{errors:?}");
+        // Round-trip through text, as CI does.
+        let reparsed = serde_json::from_str(&doc.to_json_string_pretty()).unwrap();
+        let errors = validate(&reparsed, &schema());
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn schema_rejects_a_mangled_document() {
+        let doc = json!({"cell": 3});
+        let errors = validate(&doc, &schema());
+        assert!(!errors.is_empty());
+    }
+}

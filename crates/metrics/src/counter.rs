@@ -41,21 +41,27 @@ pub struct OpCounts {
 }
 
 impl OpCounts {
-    /// Sum of all categories — a crude "total work" proxy.
+    /// Sum of all categories — a crude "total work" proxy (saturating).
     pub fn total(&self) -> u64 {
-        self.transforms + self.compares + self.sort_compares + self.node_visits + self.emits
+        self.transforms
+            .saturating_add(self.compares)
+            .saturating_add(self.sort_compares)
+            .saturating_add(self.node_visits)
+            .saturating_add(self.emits)
     }
 }
 
 impl std::ops::Sub for OpCounts {
     type Output = OpCounts;
+    /// Saturating per-field delta: a snapshot pair taken around a reset
+    /// must clamp to zero, not panic in debug or wrap in release.
     fn sub(self, rhs: OpCounts) -> OpCounts {
         OpCounts {
-            transforms: self.transforms - rhs.transforms,
-            compares: self.compares - rhs.compares,
-            sort_compares: self.sort_compares - rhs.sort_compares,
-            node_visits: self.node_visits - rhs.node_visits,
-            emits: self.emits - rhs.emits,
+            transforms: self.transforms.saturating_sub(rhs.transforms),
+            compares: self.compares.saturating_sub(rhs.compares),
+            sort_compares: self.sort_compares.saturating_sub(rhs.sort_compares),
+            node_visits: self.node_visits.saturating_sub(rhs.node_visits),
+            emits: self.emits.saturating_sub(rhs.emits),
         }
     }
 }
@@ -80,6 +86,9 @@ impl OpCounter {
     }
 
     /// Add `n` operations of the given kind.
+    ///
+    /// Saturating: long soak runs must never wrap a counter back to a
+    /// small number and corrupt a complexity fit.
     #[inline]
     pub fn add(&self, kind: OpKind, n: u64) {
         let cell = match kind {
@@ -89,7 +98,9 @@ impl OpCounter {
             OpKind::NodeVisit => &self.node_visits,
             OpKind::Emit => &self.emits,
         };
-        cell.fetch_add(n, Ordering::Relaxed);
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_add(n))
+        });
     }
 
     /// Add one operation of the given kind.

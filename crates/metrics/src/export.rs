@@ -1,0 +1,300 @@
+//! Machine-readable telemetry export.
+//!
+//! [`TelemetryReport`] is the stable snapshot a
+//! [`TelemetryRecorder`](crate::TelemetryRecorder) produces: per-span-kind
+//! summaries (count, latency percentiles, I/O totals), per-backend
+//! operation timings, the grand I/O total, and the retained raw events.
+//! It serializes to the JSON document the harness writes per matrix cell
+//! (validated by `schemas/telemetry.schema.json` in CI) and renders to
+//! CSV via the shared [`Table`] so telemetry lands in the same formats as
+//! the paper tables.
+
+use crate::histogram::Histogram;
+use crate::recorder::Inner;
+use crate::report::Table;
+use crate::span::{IoStats, SpanKind, SpanRecord};
+use serde::Serialize;
+
+/// Schema version stamped into every exported document.
+pub const TELEMETRY_VERSION: u32 = 1;
+
+/// Aggregated view of one span kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSummary {
+    /// The span kind (serialized as its dotted name).
+    pub kind: SpanKind,
+    /// Number of finished spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all spans of this kind.
+    pub total_ns: u64,
+    /// Mean span duration in nanoseconds.
+    pub mean_ns: u64,
+    /// Median duration (log₂-bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile duration.
+    pub p95_ns: u64,
+    /// 99th-percentile duration.
+    pub p99_ns: u64,
+    /// Summed I/O charged to spans of this kind.
+    pub io: IoStats,
+    /// The full latency histogram (mergeable offline).
+    pub latency: Histogram,
+}
+
+/// Aggregated view of one backend operation on one backend kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct BackendOpSummary {
+    /// Backend kind name (`fs`, `mem`, `sim`, `striped`).
+    pub backend: String,
+    /// Operation name (`get`, `get_range`, `put`, …).
+    pub op: String,
+    /// Number of timed calls.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Total payload bytes moved by these calls.
+    pub bytes: u64,
+    /// Mean call duration in nanoseconds.
+    pub mean_ns: u64,
+    /// Median call duration (log₂-bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile call duration.
+    pub p95_ns: u64,
+    /// 99th-percentile call duration.
+    pub p99_ns: u64,
+    /// The full latency histogram.
+    pub latency: Histogram,
+}
+
+/// One telemetry document: everything a recorder saw, aggregated.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryReport {
+    /// Export schema version ([`TELEMETRY_VERSION`]).
+    pub version: u32,
+    /// Per-span-kind summaries, in taxonomy order.
+    pub spans: Vec<SpanSummary>,
+    /// Per-(backend, operation) summaries, sorted by key.
+    pub backend_ops: Vec<BackendOpSummary>,
+    /// Grand total of I/O across every span kind (self-IO accounting
+    /// makes this sum double-count-free).
+    pub totals: IoStats,
+    /// The most recent raw span events (bounded ring; oldest dropped).
+    pub events: Vec<SpanRecord>,
+    /// Raw events dropped because the ring was full.
+    pub events_dropped: u64,
+}
+
+impl TelemetryReport {
+    pub(crate) fn from_inner(inner: &Inner) -> TelemetryReport {
+        let mut totals = IoStats::default();
+        let spans = inner
+            .spans
+            .iter()
+            .map(|(&kind, agg)| {
+                totals.merge(&agg.io);
+                SpanSummary {
+                    kind,
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                    mean_ns: agg.latency.mean(),
+                    p50_ns: agg.latency.p50(),
+                    p95_ns: agg.latency.p95(),
+                    p99_ns: agg.latency.p99(),
+                    io: agg.io,
+                    latency: agg.latency.clone(),
+                }
+            })
+            .collect();
+        let backend_ops = inner
+            .backend_ops
+            .iter()
+            .map(|(&(backend, op), agg)| BackendOpSummary {
+                backend: backend.to_string(),
+                op: op.to_string(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+                bytes: agg.bytes,
+                mean_ns: agg.latency.mean(),
+                p50_ns: agg.latency.p50(),
+                p95_ns: agg.latency.p95(),
+                p99_ns: agg.latency.p99(),
+                latency: agg.latency.clone(),
+            })
+            .collect();
+        TelemetryReport {
+            version: TELEMETRY_VERSION,
+            spans,
+            backend_ops,
+            totals,
+            events: inner.events.iter().cloned().collect(),
+            events_dropped: inner.events_dropped,
+        }
+    }
+
+    /// The summary for one span kind, if any spans of it finished.
+    pub fn span(&self, kind: SpanKind) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.kind == kind)
+    }
+
+    /// The summary for one (backend, operation) pair, if recorded.
+    pub fn backend_op(&self, backend: &str, op: &str) -> Option<&BackendOpSummary> {
+        self.backend_ops
+            .iter()
+            .find(|b| b.backend == backend && b.op == op)
+    }
+
+    /// Pretty JSON — the `--telemetry-out` document format.
+    pub fn to_json_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("telemetry serializes infallibly")
+    }
+
+    /// Compact JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(self).expect("telemetry serializes infallibly")
+    }
+
+    /// CSV rendering: a span table and a backend-op table separated by a
+    /// blank line.
+    pub fn to_csv(&self) -> String {
+        let mut spans = Table::new(
+            "",
+            &[
+                "span",
+                "count",
+                "total_ns",
+                "mean_ns",
+                "p50_ns",
+                "p95_ns",
+                "p99_ns",
+                "bytes_requested",
+                "bytes_fetched",
+                "bytes_written",
+                "requests",
+                "cache_hits",
+                "cache_misses",
+            ],
+        );
+        for s in &self.spans {
+            spans.push_row(vec![
+                s.kind.name().to_string(),
+                s.count.to_string(),
+                s.total_ns.to_string(),
+                s.mean_ns.to_string(),
+                s.p50_ns.to_string(),
+                s.p95_ns.to_string(),
+                s.p99_ns.to_string(),
+                s.io.bytes_requested.to_string(),
+                s.io.bytes_fetched.to_string(),
+                s.io.bytes_written.to_string(),
+                s.io.requests.to_string(),
+                s.io.cache_hits.to_string(),
+                s.io.cache_misses.to_string(),
+            ]);
+        }
+        let mut ops = Table::new(
+            "",
+            &[
+                "backend", "op", "count", "total_ns", "mean_ns", "p50_ns", "p95_ns", "p99_ns",
+                "bytes",
+            ],
+        );
+        for b in &self.backend_ops {
+            ops.push_row(vec![
+                b.backend.clone(),
+                b.op.clone(),
+                b.count.to_string(),
+                b.total_ns.to_string(),
+                b.mean_ns.to_string(),
+                b.p50_ns.to_string(),
+                b.p95_ns.to_string(),
+                b.p99_ns.to_string(),
+                b.bytes.to_string(),
+            ]);
+        }
+        format!("{}\n{}", spans.to_csv(), ops.to_csv())
+    }
+
+    /// A short human-readable digest (for harness stdout).
+    pub fn to_ascii(&self) -> String {
+        let mut t = Table::new(
+            "telemetry",
+            &[
+                "span",
+                "count",
+                "mean_ns",
+                "p95_ns",
+                "bytes_fetched",
+                "bytes_written",
+            ],
+        );
+        for s in &self.spans {
+            t.push_row(vec![
+                s.kind.name().to_string(),
+                s.count.to_string(),
+                s.mean_ns.to_string(),
+                s.p95_ns.to_string(),
+                s.io.bytes_fetched.to_string(),
+                s.io.bytes_written.to_string(),
+            ]);
+        }
+        t.to_ascii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TelemetryRecorder};
+    use crate::span::{charge, Span};
+    use std::sync::Arc;
+
+    fn sample_report() -> TelemetryReport {
+        let t = Arc::new(TelemetryRecorder::new());
+        let r: Arc<dyn Recorder> = t.clone();
+        {
+            let _read = Span::enter(&r, SpanKind::Read);
+            charge(|io| io.bytes_requested += 64);
+            let _fetch = Span::enter(&r, SpanKind::ReadFetch);
+            charge(|io| {
+                io.requests += 2;
+                io.bytes_fetched += 256;
+            });
+        }
+        t.record_backend_op("sim", "get_range", 2_000, 256);
+        t.report()
+    }
+
+    #[test]
+    fn json_document_has_expected_shape() {
+        let report = sample_report();
+        let v = serde_json::to_value(&report).unwrap();
+        assert_eq!(v["version"].as_u64(), Some(1));
+        let spans = v["spans"].as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert!(spans
+            .iter()
+            .any(|s| s["kind"].as_str() == Some("engine.read.fetch")));
+        assert_eq!(v["totals"]["bytes_fetched"].as_u64(), Some(256));
+        assert_eq!(v["totals"]["bytes_requested"].as_u64(), Some(64));
+        let ops = v["backend_ops"].as_array().unwrap();
+        assert_eq!(ops[0]["backend"].as_str(), Some("sim"));
+        assert_eq!(ops[0]["bytes"].as_u64(), Some(256));
+        assert!(!v["events"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_contains_both_tables() {
+        let csv = sample_report().to_csv();
+        assert!(csv.starts_with("span,count,"));
+        assert!(csv.contains("engine.read.fetch"));
+        assert!(csv.contains("backend,op,"));
+        assert!(csv.contains("sim,get_range"));
+    }
+
+    #[test]
+    fn ascii_digest_renders() {
+        let s = sample_report().to_ascii();
+        assert!(s.contains("== telemetry =="));
+        assert!(s.contains("engine.read"));
+    }
+}

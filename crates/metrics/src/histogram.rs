@@ -1,0 +1,259 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Telemetry wants an answer to "how long do reads take, and how bad is
+//! the tail?" without unbounded memory or per-sample allocation. A
+//! [`Histogram`] buckets samples by the floor of their base-2 logarithm:
+//! bucket 0 holds `{0, 1}`, bucket *i* holds `[2^i, 2^(i+1))`. Sixty-four
+//! buckets cover the whole `u64` range, so one histogram is a flat
+//! `8 × 64`-byte array regardless of sample count — cheap to record into,
+//! cheap to snapshot, and mergeable across threads, engines, and runs by
+//! element-wise addition.
+//!
+//! Quantiles are read back as the *inclusive upper bound* of the bucket
+//! the requested rank falls in — a deliberate over-estimate of at most 2×,
+//! which is the precision the log₂ layout trades for its fixed footprint.
+
+use serde::{Serialize, Value};
+
+/// Number of log₂ buckets (covers all of `u64`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The bucket a sample falls into: 0 for `{0, 1}`, else `⌊log₂ v⌋`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// The `[lo, hi]` inclusive value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HISTOGRAM_BUCKETS);
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+/// A mergeable log₂-bucket histogram of `u64` samples (typically
+/// nanoseconds or bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts (index = `bucket_index` of the samples).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Element-wise accumulate another histogram (the merge used to
+    /// combine per-thread or per-cell histograms).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the inclusive
+    /// upper bound of the bucket holding that rank (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=count: the sample index the quantile points at.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (see [`Histogram::quantile`] for the bucket rounding).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Serialize for Histogram {
+    /// Sparse rendering: only non-empty buckets, as `[index, count]`
+    /// pairs, plus the count/sum scalars — compact in exported JSON while
+    /// staying exactly reconstructible (and therefore mergeable offline).
+    fn to_json_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("count".to_string(), Value::U64(self.count));
+        m.insert("sum".to_string(), Value::U64(self.sum));
+        let sparse: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Value::Array(vec![Value::U64(i as u64), Value::U64(n)]))
+            .collect();
+        m.insert("buckets".to_string(), Value::Array(sparse));
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 holds {0, 1}; bucket i holds [2^i, 2^(i+1)).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if hi < u64::MAX {
+                assert_eq!(bucket_index(hi + 1), i + 1, "hi+1 of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_count_sum_mean() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 107);
+        assert_eq!(h.mean(), 26);
+        assert_eq!(h.buckets()[0], 1); // 1
+        assert_eq!(h.buckets()[1], 1); // 2
+        assert_eq!(h.buckets()[2], 1); // 4
+        assert_eq!(h.buckets()[6], 1); // 100 in [64, 128)
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 10, 1000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        // One histogram fed all six samples agrees bucket-for-bucket.
+        let mut direct = Histogram::new();
+        for v in [1u64, 10, 100, 2, 10, 1000] {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        h.record(1000); // bucket 9: [512, 1024)
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p95(), 15);
+        // Rank 100 of 100 lands on the single slow sample.
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.p99(), 15); // rank 99 still in the fast bucket
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn serializes_sparsely() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let v = h.to_json_value();
+        assert_eq!(v["count"].as_u64(), Some(2));
+        assert_eq!(v["sum"].as_u64(), Some(6));
+        let buckets = v["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0][0].as_u64(), Some(1));
+        assert_eq!(buckets[0][1].as_u64(), Some(2));
+    }
+}

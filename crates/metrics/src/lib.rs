@@ -7,18 +7,30 @@
 //! * [`stopwatch`] — phase timers producing Table III's Build / Reorg. /
 //!   Write / Others breakdown;
 //! * [`score`] — the Table IV overall-score formula;
-//! * [`report`] — aligned ASCII tables plus CSV/JSON emission.
+//! * [`report`] — aligned ASCII tables plus CSV/JSON emission;
+//! * [`span`] / [`recorder`] / [`histogram`] / [`export`] — the runtime
+//!   telemetry subsystem: thread-local span tracing with per-span I/O
+//!   accounting, log₂ latency histograms, pluggable span sinks (no-op by
+//!   default), and JSON/CSV export of the aggregated report.
 
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod export;
+pub mod histogram;
+pub mod recorder;
 pub mod report;
 pub mod score;
+pub mod span;
 pub mod stats;
 pub mod stopwatch;
 
 pub use counter::{OpCounter, OpCounts, OpKind};
+pub use export::{BackendOpSummary, SpanSummary, TelemetryReport, TELEMETRY_VERSION};
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+pub use recorder::{NoopRecorder, Recorder, TelemetryRecorder, DEFAULT_EVENT_CAPACITY};
 pub use report::Table;
 pub use score::{overall_scores, ranking, Measurement, ScoreError};
+pub use span::{charge, now_ns, IoStats, Span, SpanKind, SpanRecord};
 pub use stats::{repeat_measure, Summary};
 pub use stopwatch::{time_it, PhaseTimer, WriteBreakdown, WritePhase};

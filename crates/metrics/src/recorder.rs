@@ -1,0 +1,209 @@
+//! Span sinks: the [`Recorder`] trait, the no-op default, and the
+//! aggregating [`TelemetryRecorder`].
+//!
+//! The engine holds an `Arc<dyn Recorder>` and consults
+//! [`Recorder::enabled`] before doing any telemetry work, so the default
+//! no-op recorder keeps instrumented code on a single predictable branch.
+//! [`TelemetryRecorder`] is the real sink: it folds every finished span
+//! into per-kind aggregates (count, latency histogram, I/O totals), keeps
+//! per-backend-operation latency histograms, and retains the most recent
+//! spans verbatim in a bounded ring buffer for event-level inspection.
+
+use crate::histogram::Histogram;
+use crate::span::{IoStats, SpanKind, SpanRecord};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default number of raw span events retained by [`TelemetryRecorder`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A sink for finished spans and timed backend operations.
+///
+/// All methods default to no-ops so a disabled recorder costs one virtual
+/// `enabled()` check (or less, where call sites cache it).
+pub trait Recorder: Send + Sync {
+    /// Whether spans should be opened and I/O charged at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Accept one finished span.
+    fn record_span(&self, _record: &SpanRecord) {}
+
+    /// Accept one timed backend operation (`backend` is the backend kind
+    /// name — `fs`, `mem`, `sim`, `striped` — and `op` the method name).
+    fn record_backend_op(
+        &self,
+        _backend: &'static str,
+        _op: &'static str,
+        _dur_ns: u64,
+        _bytes: u64,
+    ) {
+    }
+}
+
+/// The default recorder: discards everything, reports disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Per-span-kind aggregate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct KindAgg {
+    pub count: u64,
+    pub total_ns: u64,
+    pub latency: Histogram,
+    pub io: IoStats,
+}
+
+/// Per-(backend, operation) aggregate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpAgg {
+    pub count: u64,
+    pub total_ns: u64,
+    pub bytes: u64,
+    pub latency: Histogram,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub spans: BTreeMap<SpanKind, KindAgg>,
+    pub backend_ops: BTreeMap<(&'static str, &'static str), OpAgg>,
+    pub events: VecDeque<SpanRecord>,
+    pub events_dropped: u64,
+}
+
+/// An enabled, aggregating recorder.
+///
+/// One mutex guards the aggregates; spans finish at operation granularity
+/// (not per byte or per record), so contention stays negligible next to
+/// the I/O being measured.
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    inner: Mutex<Inner>,
+    event_capacity: usize,
+}
+
+impl Default for TelemetryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRecorder {
+    /// A recorder retaining [`DEFAULT_EVENT_CAPACITY`] raw events.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder whose event ring holds `capacity` spans (0 disables the
+    /// ring; aggregates are always kept).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        TelemetryRecorder {
+            inner: Mutex::new(Inner::default()),
+            event_capacity: capacity,
+        }
+    }
+
+    /// Build an aggregated report from everything recorded so far.
+    pub fn report(&self) -> crate::export::TelemetryReport {
+        crate::export::TelemetryReport::from_inner(&self.inner.lock())
+    }
+
+    /// Raw span events dropped because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.lock().events_dropped
+    }
+}
+
+impl Recorder for TelemetryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record_span(&self, record: &SpanRecord) {
+        let mut inner = self.inner.lock();
+        let agg = inner.spans.entry(record.kind).or_default();
+        agg.count = agg.count.saturating_add(1);
+        agg.total_ns = agg.total_ns.saturating_add(record.dur_ns);
+        agg.latency.record(record.dur_ns);
+        agg.io.merge(&record.io);
+        if self.event_capacity > 0 {
+            if inner.events.len() >= self.event_capacity {
+                inner.events.pop_front();
+                inner.events_dropped = inner.events_dropped.saturating_add(1);
+            }
+            inner.events.push_back(record.clone());
+        }
+    }
+
+    fn record_backend_op(&self, backend: &'static str, op: &'static str, dur_ns: u64, bytes: u64) {
+        let mut inner = self.inner.lock();
+        let agg = inner.backend_ops.entry((backend, op)).or_default();
+        agg.count = agg.count.saturating_add(1);
+        agg.total_ns = agg.total_ns.saturating_add(dur_ns);
+        agg.bytes = agg.bytes.saturating_add(bytes);
+        agg.latency.record(dur_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{charge, Span};
+    use std::sync::Arc;
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        assert!(!NoopRecorder.enabled());
+    }
+
+    #[test]
+    fn aggregates_fold_spans_by_kind() {
+        let t = Arc::new(TelemetryRecorder::new());
+        let r: Arc<dyn Recorder> = t.clone();
+        for _ in 0..3 {
+            let _s = Span::enter(&r, SpanKind::ReadFetch);
+            charge(|io| {
+                io.requests += 1;
+                io.bytes_fetched += 100;
+            });
+        }
+        let report = t.report();
+        let fetch = report.span(SpanKind::ReadFetch).unwrap();
+        assert_eq!(fetch.count, 3);
+        assert_eq!(fetch.io.requests, 3);
+        assert_eq!(fetch.io.bytes_fetched, 300);
+        assert_eq!(fetch.latency.count(), 3);
+        assert_eq!(report.events.len(), 3);
+    }
+
+    #[test]
+    fn backend_ops_fold_by_backend_and_op() {
+        let t = TelemetryRecorder::new();
+        t.record_backend_op("sim", "get_range", 1_000, 64);
+        t.record_backend_op("sim", "get_range", 3_000, 128);
+        t.record_backend_op("fs", "put", 500, 32);
+        let report = t.report();
+        let sim = report.backend_op("sim", "get_range").unwrap();
+        assert_eq!(sim.count, 2);
+        assert_eq!(sim.bytes, 192);
+        assert_eq!(sim.total_ns, 4_000);
+        assert_eq!(report.backend_op("fs", "put").unwrap().count, 1);
+        assert!(report.backend_op("fs", "get_range").is_none());
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_counts_drops() {
+        let t = Arc::new(TelemetryRecorder::with_event_capacity(2));
+        let r: Arc<dyn Recorder> = t.clone();
+        for _ in 0..5 {
+            let _s = Span::enter(&r, SpanKind::Write);
+        }
+        assert_eq!(t.report().events.len(), 2);
+        assert_eq!(t.events_dropped(), 3);
+        // Aggregates still saw every span.
+        assert_eq!(t.report().span(SpanKind::Write).unwrap().count, 5);
+    }
+}

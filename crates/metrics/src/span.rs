@@ -1,0 +1,387 @@
+//! Allocation-frugal span tracing.
+//!
+//! A [`Span`] brackets one engine operation (or sub-phase) on the thread
+//! that runs it. While the span is open, the code inside it reports I/O
+//! through [`charge`], which mutates an [`IoStats`] frame on a
+//! thread-local stack — no allocation, no locking, no recorder call until
+//! the span closes. On drop the span pops its frame, stamps it with a
+//! monotonic start/duration, and hands the finished [`SpanRecord`] to the
+//! [`Recorder`](crate::Recorder).
+//!
+//! Two properties keep the accounting honest:
+//!
+//! * **Self-IO only.** A frame accumulates only the I/O charged while it
+//!   is the *innermost* open span on its thread; nothing propagates to
+//!   parents. Summing any one span kind therefore never double-counts,
+//!   and the sum over *all* kinds equals the global total.
+//! * **Per-thread stacks.** Worker threads (`std::thread::scope` fragment
+//!   readers) open spans on their own stacks at depth 0; the recorder is
+//!   the only cross-thread rendezvous. Nesting depth is informational,
+//!   not a tree encoding.
+//!
+//! When the recorder is disabled, [`Span::enter`] returns an inert guard
+//! and [`charge`] finds an empty stack: the whole layer reduces to one
+//! branch per call site.
+
+use crate::recorder::Recorder;
+use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The kinds of spans the engine emits, mirroring its layer structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum SpanKind {
+    Write,
+    WriteEncode,
+    WriteStage,
+    WriteCommit,
+    Read,
+    ReadPlan,
+    ReadFetch,
+    ReadDecode,
+    ReadMerge,
+    Consolidate,
+    ConsolidateSnapshot,
+    ConsolidateMerge,
+    ConsolidateTombstone,
+    ConsolidateCommit,
+    ConsolidateSweep,
+    Recover,
+}
+
+impl SpanKind {
+    /// The dotted span name used in exports (`engine.read.fetch`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Write => "engine.write",
+            SpanKind::WriteEncode => "engine.write.encode",
+            SpanKind::WriteStage => "engine.write.stage",
+            SpanKind::WriteCommit => "engine.write.commit",
+            SpanKind::Read => "engine.read",
+            SpanKind::ReadPlan => "engine.read.plan",
+            SpanKind::ReadFetch => "engine.read.fetch",
+            SpanKind::ReadDecode => "engine.read.decode",
+            SpanKind::ReadMerge => "engine.read.merge",
+            SpanKind::Consolidate => "engine.consolidate",
+            SpanKind::ConsolidateSnapshot => "engine.consolidate.snapshot",
+            SpanKind::ConsolidateMerge => "engine.consolidate.merge",
+            SpanKind::ConsolidateTombstone => "engine.consolidate.tombstone",
+            SpanKind::ConsolidateCommit => "engine.consolidate.commit",
+            SpanKind::ConsolidateSweep => "engine.consolidate.sweep",
+            SpanKind::Recover => "engine.recover",
+        }
+    }
+
+    /// All span kinds, in taxonomy order.
+    pub fn all() -> &'static [SpanKind] {
+        &[
+            SpanKind::Write,
+            SpanKind::WriteEncode,
+            SpanKind::WriteStage,
+            SpanKind::WriteCommit,
+            SpanKind::Read,
+            SpanKind::ReadPlan,
+            SpanKind::ReadFetch,
+            SpanKind::ReadDecode,
+            SpanKind::ReadMerge,
+            SpanKind::Consolidate,
+            SpanKind::ConsolidateSnapshot,
+            SpanKind::ConsolidateMerge,
+            SpanKind::ConsolidateTombstone,
+            SpanKind::ConsolidateCommit,
+            SpanKind::ConsolidateSweep,
+            SpanKind::Recover,
+        ]
+    }
+}
+
+impl Serialize for SpanKind {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+/// Per-span I/O accounting, charged via [`charge`] while the span is the
+/// innermost open one on its thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IoStats {
+    /// Bytes the planner asked the backend for (coalesced run lengths,
+    /// whole-section lengths, prefix peeks).
+    pub bytes_requested: u64,
+    /// Bytes the backend actually returned.
+    pub bytes_fetched: u64,
+    /// Bytes handed to the backend by put/rename-commit writes.
+    pub bytes_written: u64,
+    /// Individual backend requests issued (gets, ranges, puts, lists…).
+    pub requests: u64,
+    /// Value runs merged into a single range request by gap coalescing.
+    pub ranges_coalesced: u64,
+    /// Range plans abandoned for a whole-section fetch (too many runs or
+    /// poor selectivity).
+    pub whole_section_fallbacks: u64,
+    /// Decoded-fragment cache hits.
+    pub cache_hits: u64,
+    /// Decoded-fragment cache misses.
+    pub cache_misses: u64,
+    /// Fragments evicted from the decoded cache while this span was open.
+    pub cache_evictions: u64,
+    /// Bytes those evictions released.
+    pub cache_evicted_bytes: u64,
+    /// Fragments the planner pruned by bounding-box intersection.
+    pub fragments_skipped_bbox: u64,
+    /// Fragments that vanished under a racing delete and forced a
+    /// re-plan.
+    pub fragments_replanned: u64,
+    /// Errors injected by the fault-testing backend.
+    pub fault_trips: u64,
+}
+
+impl IoStats {
+    /// Accumulate another stats block (saturating).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_requested = self.bytes_requested.saturating_add(other.bytes_requested);
+        self.bytes_fetched = self.bytes_fetched.saturating_add(other.bytes_fetched);
+        self.bytes_written = self.bytes_written.saturating_add(other.bytes_written);
+        self.requests = self.requests.saturating_add(other.requests);
+        self.ranges_coalesced = self.ranges_coalesced.saturating_add(other.ranges_coalesced);
+        self.whole_section_fallbacks = self
+            .whole_section_fallbacks
+            .saturating_add(other.whole_section_fallbacks);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.cache_evictions = self.cache_evictions.saturating_add(other.cache_evictions);
+        self.cache_evicted_bytes = self
+            .cache_evicted_bytes
+            .saturating_add(other.cache_evicted_bytes);
+        self.fragments_skipped_bbox = self
+            .fragments_skipped_bbox
+            .saturating_add(other.fragments_skipped_bbox);
+        self.fragments_replanned = self
+            .fragments_replanned
+            .saturating_add(other.fragments_replanned);
+        self.fault_trips = self.fault_trips.saturating_add(other.fault_trips);
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == IoStats::default()
+    }
+}
+
+/// One finished span as delivered to the recorder.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanRecord {
+    /// What the span measured.
+    pub kind: SpanKind,
+    /// Start time in nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on the recording thread (0 = outermost there).
+    pub depth: u32,
+    /// I/O charged while this span was innermost on its thread.
+    pub io: IoStats,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<IoStats>> = const { RefCell::new(Vec::new()) };
+}
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process telemetry epoch (monotonic).
+pub fn now_ns() -> u64 {
+    process_epoch().elapsed().as_nanos() as u64
+}
+
+/// Charge I/O to the innermost open span on this thread, if any.
+///
+/// The closure only runs when a span is open, so call sites can pass
+/// counter updates unconditionally without paying for disabled telemetry.
+#[inline]
+pub fn charge(f: impl FnOnce(&mut IoStats)) {
+    STACK.with(|stack| {
+        if let Some(frame) = stack.borrow_mut().last_mut() {
+            f(frame);
+        }
+    });
+}
+
+/// RAII guard for one traced operation. See the module docs.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    // `None` when telemetry is disabled: drop does nothing.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    recorder: Arc<dyn Recorder>,
+    kind: SpanKind,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+impl Span {
+    /// Open a span; inert (and free beyond one branch) when the recorder
+    /// is disabled.
+    pub fn enter(recorder: &Arc<dyn Recorder>, kind: SpanKind) -> Span {
+        if !recorder.enabled() {
+            return Span { live: None };
+        }
+        let depth = STACK.with(|stack| {
+            let mut s = stack.borrow_mut();
+            s.push(IoStats::default());
+            (s.len() - 1) as u32
+        });
+        // now_ns() and start come from the same clock; keeping the
+        // Instant avoids a second epoch subtraction on the hot path.
+        let start = Instant::now();
+        let start_ns = start.duration_since(process_epoch()).as_nanos() as u64;
+        Span {
+            live: Some(LiveSpan {
+                recorder: Arc::clone(recorder),
+                kind,
+                start,
+                start_ns,
+                depth,
+            }),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let io = STACK
+            .with(|stack| stack.borrow_mut().pop())
+            .unwrap_or_default();
+        let record = SpanRecord {
+            kind: live.kind,
+            start_ns: live.start_ns,
+            dur_ns: live.start.elapsed().as_nanos() as u64,
+            depth: live.depth,
+            io,
+        };
+        live.recorder.record_span(&record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TelemetryRecorder;
+
+    fn telemetry() -> (Arc<TelemetryRecorder>, Arc<dyn Recorder>) {
+        let t = Arc::new(TelemetryRecorder::new());
+        let r: Arc<dyn Recorder> = t.clone();
+        (t, r)
+    }
+
+    #[test]
+    fn charge_outside_any_span_is_a_no_op() {
+        charge(|io| io.bytes_fetched += 100);
+        // Nothing to assert beyond "did not panic": the stack was empty.
+    }
+
+    #[test]
+    fn span_collects_self_io_only() {
+        let (t, r) = telemetry();
+        {
+            let _outer = Span::enter(&r, SpanKind::Read);
+            charge(|io| io.bytes_requested += 10);
+            {
+                let _inner = Span::enter(&r, SpanKind::ReadFetch);
+                charge(|io| io.bytes_fetched += 512);
+            }
+            charge(|io| io.bytes_requested += 5);
+        }
+        let report = t.report();
+        let read = report.span(SpanKind::Read).unwrap();
+        let fetch = report.span(SpanKind::ReadFetch).unwrap();
+        // The inner fetch's bytes did NOT propagate to the outer span.
+        assert_eq!(read.io.bytes_requested, 15);
+        assert_eq!(read.io.bytes_fetched, 0);
+        assert_eq!(fetch.io.bytes_fetched, 512);
+        assert_eq!(report.totals.bytes_fetched, 512);
+        assert_eq!(report.totals.bytes_requested, 15);
+    }
+
+    #[test]
+    fn depth_tracks_nesting_per_thread() {
+        let (t, r) = telemetry();
+        {
+            let _outer = Span::enter(&r, SpanKind::Read);
+            let _inner = Span::enter(&r, SpanKind::ReadPlan);
+        }
+        let events = t.report().events;
+        let plan = events
+            .iter()
+            .find(|e| e.kind == SpanKind::ReadPlan)
+            .unwrap();
+        let read = events.iter().find(|e| e.kind == SpanKind::Read).unwrap();
+        assert_eq!(read.depth, 0);
+        assert_eq!(plan.depth, 1);
+        assert!(plan.start_ns >= read.start_ns);
+    }
+
+    #[test]
+    fn worker_threads_record_at_depth_zero_and_aggregate() {
+        let (t, r) = telemetry();
+        {
+            let _outer = Span::enter(&r, SpanKind::Read);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let r = &r;
+                    s.spawn(move || {
+                        let _fetch = Span::enter(r, SpanKind::ReadFetch);
+                        charge(|io| io.bytes_fetched += 1000);
+                    });
+                }
+            });
+        }
+        let report = t.report();
+        let fetch = report.span(SpanKind::ReadFetch).unwrap();
+        assert_eq!(fetch.count, 4);
+        assert_eq!(fetch.io.bytes_fetched, 4000);
+        // Each worker's stack was its own: their spans sit at depth 0.
+        for e in report
+            .events
+            .iter()
+            .filter(|e| e.kind == SpanKind::ReadFetch)
+        {
+            assert_eq!(e.depth, 0);
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_yields_inert_spans_and_empty_stack() {
+        let r: Arc<dyn Recorder> = Arc::new(crate::recorder::NoopRecorder);
+        let span = Span::enter(&r, SpanKind::Write);
+        assert!(!span.is_recording());
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_dotted() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &k in SpanKind::all() {
+            assert!(k.name().starts_with("engine."), "{}", k.name());
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+        }
+        assert_eq!(seen.len(), 16);
+    }
+}

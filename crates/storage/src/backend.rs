@@ -22,6 +22,13 @@ use std::time::Duration;
 
 /// A named-blob storage device.
 pub trait StorageBackend: Send + Sync {
+    /// A short static label for this device kind (`fs`, `mem`, `sim`,
+    /// `striped`), used to key per-backend telemetry. Wrappers forward to
+    /// the device they wrap.
+    fn kind_name(&self) -> &'static str {
+        "backend"
+    }
+
     /// Create or overwrite a blob.
     fn put(&self, name: &str, data: &[u8]) -> Result<()>;
 
@@ -104,6 +111,9 @@ pub trait StorageBackend: Send + Sync {
 }
 
 impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
+    fn kind_name(&self) -> &'static str {
+        (**self).kind_name()
+    }
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         (**self).put(name, data)
     }
@@ -140,6 +150,9 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
 }
 
 impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
+    fn kind_name(&self) -> &'static str {
+        (**self).kind_name()
+    }
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         (**self).put(name, data)
     }
@@ -197,6 +210,10 @@ impl FsBackend {
 }
 
 impl StorageBackend for FsBackend {
+    fn kind_name(&self) -> &'static str {
+        "fs"
+    }
+
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         let mut f = std::fs::File::create(self.path(name))?;
         f.write_all(data)?;
@@ -326,6 +343,10 @@ fn already_exists(name: &str) -> std::io::Error {
 }
 
 impl StorageBackend for MemBackend {
+    fn kind_name(&self) -> &'static str {
+        "mem"
+    }
+
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         self.blobs.lock().insert(name.to_string(), data.to_vec());
         Ok(())
@@ -437,6 +458,10 @@ impl SimulatedDisk {
 }
 
 impl StorageBackend for SimulatedDisk {
+    fn kind_name(&self) -> &'static str {
+        "sim"
+    }
+
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         self.charge(data.len());
         self.bytes_written

@@ -15,6 +15,7 @@
 //! caching entirely.
 
 use crate::fragment::FragmentMeta;
+use artsparse_metrics::charge;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,13 +46,17 @@ struct CacheInner {
     tick: u64,
 }
 
-/// Cache hit/miss counters (monotonic since engine open).
+/// Cache hit/miss/eviction counters (monotonic since engine open).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Entries evicted to make room (excludes explicit invalidations).
+    pub evictions: u64,
+    /// Decoded payload bytes those evictions dropped.
+    pub evicted_bytes: u64,
 }
 
 /// The bytes-bounded LRU of [`DecodedFragment`]s.
@@ -61,6 +66,8 @@ pub struct FragmentCache {
     capacity_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl FragmentCache {
@@ -73,6 +80,8 @@ impl FragmentCache {
             capacity_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
     }
 
@@ -101,11 +110,13 @@ impl FragmentCache {
         self.inner.lock().entries.is_empty()
     }
 
-    /// Hit/miss counters.
+    /// Hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -123,11 +134,13 @@ impl FragmentCache {
                 let entry = entry.clone();
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                charge(|io| io.cache_hits += 1);
                 Some(entry)
             }
             None => {
                 drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                charge(|io| io.cache_misses += 1);
                 None
             }
         }
@@ -143,7 +156,7 @@ impl FragmentCache {
         }
         let mut inner = self.inner.lock();
         if let Some((old, _)) = inner.entries.remove(name) {
-            inner.held_bytes -= old.cost_bytes();
+            inner.held_bytes = inner.held_bytes.saturating_sub(old.cost_bytes());
         }
         while inner.held_bytes + cost > self.capacity_bytes {
             // Fragment stores are small (tens of entries); a linear scan
@@ -157,7 +170,15 @@ impl FragmentCache {
                 break;
             };
             if let Some((evicted, _)) = inner.entries.remove(&oldest) {
-                inner.held_bytes -= evicted.cost_bytes();
+                let dropped = evicted.cost_bytes();
+                inner.held_bytes = inner.held_bytes.saturating_sub(dropped);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes
+                    .fetch_add(dropped as u64, Ordering::Relaxed);
+                charge(|io| {
+                    io.cache_evictions += 1;
+                    io.cache_evicted_bytes = io.cache_evicted_bytes.saturating_add(dropped as u64);
+                });
             }
         }
         inner.tick += 1;
@@ -170,7 +191,7 @@ impl FragmentCache {
     pub fn invalidate(&self, name: &str) {
         let mut inner = self.inner.lock();
         if let Some((entry, _)) = inner.entries.remove(name) {
-            inner.held_bytes -= entry.cost_bytes();
+            inner.held_bytes = inner.held_bytes.saturating_sub(entry.cost_bytes());
         }
     }
 
@@ -270,5 +291,22 @@ mod tests {
         assert!(cache.get("x").is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.evictions, s.evicted_bytes), (0, 0));
+    }
+
+    #[test]
+    fn stats_count_evictions_and_bytes() {
+        let cache = FragmentCache::new(100);
+        cache.insert("a", decoded(30, 10)); // 40 bytes
+        cache.insert("b", decoded(30, 10)); // 40 bytes
+        cache.insert("c", decoded(40, 40)); // 80 bytes — evicts a and b
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.evicted_bytes, 80);
+        assert_eq!(cache.held_bytes(), 80);
+        // Explicit invalidation is not an eviction.
+        cache.invalidate("c");
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.held_bytes(), 0);
     }
 }

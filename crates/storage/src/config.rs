@@ -41,6 +41,12 @@ pub struct EngineConfig {
     /// staged, tombstone-protected protocol regardless of this setting —
     /// the knob only covers the plain write hot path.
     pub commit_mode: CommitMode,
+    /// Collect runtime telemetry (span traces, per-operation I/O
+    /// accounting, latency histograms). Off by default: the disabled path
+    /// is a no-op recorder that adds no events and no measurable cost.
+    /// When on, `StorageEngine::telemetry_report()` snapshots the
+    /// aggregated report for export.
+    pub telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +56,7 @@ impl Default for EngineConfig {
             read_parallelism: 0,
             range_fetch: true,
             commit_mode: CommitMode::Staged,
+            telemetry: false,
         }
     }
 }
@@ -89,6 +96,12 @@ impl EngineConfig {
         self.commit_mode = mode;
         self
     }
+
+    /// Builder-style telemetry toggle.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -102,16 +115,19 @@ mod tests {
         assert_eq!(c.read_parallelism, 0);
         assert!(c.range_fetch);
         assert_eq!(c.commit_mode, CommitMode::Staged);
+        assert!(!c.telemetry);
         assert!(c.effective_parallelism() >= 1);
 
         let c = EngineConfig::default()
             .with_cache_capacity(1 << 20)
             .with_read_parallelism(2)
             .with_range_fetch(false)
-            .with_commit_mode(CommitMode::Direct);
+            .with_commit_mode(CommitMode::Direct)
+            .with_telemetry(true);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
         assert_eq!(c.effective_parallelism(), 2);
         assert!(!c.range_fetch);
         assert_eq!(c.commit_mode, CommitMode::Direct);
+        assert!(c.telemetry);
     }
 }

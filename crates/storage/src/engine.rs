@@ -37,8 +37,12 @@ use crate::fragment::{
     decode_fragment, decode_index_section, decode_meta, decode_value_section, encode_fragment,
     FragmentMeta,
 };
+use crate::observe::RecordingBackend;
 use artsparse_core::FormatKind;
-use artsparse_metrics::{OpCounter, PhaseTimer, WriteBreakdown, WritePhase};
+use artsparse_metrics::{
+    charge, NoopRecorder, OpCounter, PhaseTimer, Recorder, Span, SpanKind, TelemetryRecorder,
+    TelemetryReport, WriteBreakdown, WritePhase,
+};
 use artsparse_tensor::value::Element;
 use artsparse_tensor::{CoordBuffer, Region, Shape};
 use std::collections::HashMap;
@@ -106,9 +110,26 @@ const RUN_COALESCE_GAP_BYTES: u64 = 256;
 /// paying per-request latency for every little run.
 const MAX_VALUE_RUNS: usize = 16;
 
+/// What the recovery pass found and fixed, plus the epoch markers alive
+/// on the store — the commit-protocol health counters
+/// [`StorageEngine::stats`] reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch claim markers on the store (including this engine's own
+    /// claim at open).
+    pub epoch_markers: u64,
+    /// Consolidation tombstones whose fragment had committed: their
+    /// recorded deletions were replayed.
+    pub tombstones_replayed: u64,
+    /// Tombstones whose fragment never committed: discarded.
+    pub tombstones_discarded: u64,
+    /// Orphaned staging (`.tmp`) blobs swept.
+    pub orphans_swept: u64,
+}
+
 /// A sparse tensor stored as fragments on a backend.
 pub struct StorageEngine<B: StorageBackend> {
-    backend: B,
+    backend: RecordingBackend<B>,
     kind: FormatKind,
     shape: Shape,
     elem_size: u32,
@@ -130,6 +151,14 @@ pub struct StorageEngine<B: StorageBackend> {
     config: EngineConfig,
     catalog: FragmentCatalog,
     cache: FragmentCache,
+    /// Span/IO sink. [`NoopRecorder`] unless `config.telemetry` was set
+    /// or [`StorageEngine::with_recorder`] installed a custom sink.
+    recorder: Arc<dyn Recorder>,
+    /// The aggregating recorder behind [`StorageEngine::telemetry_report`]
+    /// when `config.telemetry` is on.
+    telemetry: Option<Arc<TelemetryRecorder>>,
+    /// What the most recent recovery pass (open or refresh) found.
+    recovery: parking_lot::Mutex<RecoveryReport>,
 }
 
 /// Outcome of one WRITE call.
@@ -235,11 +264,23 @@ impl<B: StorageBackend> StorageEngine<B> {
         elem_size: u32,
         config: EngineConfig,
     ) -> Result<Self> {
-        recover_store(&backend, None)?;
+        let telemetry = config.telemetry.then(|| Arc::new(TelemetryRecorder::new()));
+        let recorder: Arc<dyn Recorder> = match &telemetry {
+            Some(t) => t.clone(),
+            None => Arc::new(NoopRecorder),
+        };
+        let backend = RecordingBackend::new(backend, recorder.clone());
+
+        let span = Span::enter(&recorder, SpanKind::Recover);
+        let mut recovery = recover_store(&backend, None)?;
         let epoch = claim_epoch(&backend)?;
+        // Count this engine's own claim among the live markers.
+        recovery.epoch_markers += 1;
         let catalog = FragmentCatalog::load(&backend, shape.ndim(), |name| {
             parse_fragment_name(name).is_some()
         })?;
+        drop(span);
+
         let mut max_seq = 0u64;
         for name in catalog.names() {
             if let Some(id) = parse_fragment_name(&name) {
@@ -262,6 +303,9 @@ impl<B: StorageBackend> StorageEngine<B> {
             config,
             catalog,
             cache,
+            recorder,
+            telemetry,
+            recovery: parking_lot::Mutex::new(recovery),
         })
     }
 
@@ -294,7 +338,7 @@ impl<B: StorageBackend> StorageEngine<B> {
 
     /// The backend (e.g. to inspect simulated-disk statistics).
     pub fn backend(&self) -> &B {
-        &self.backend
+        self.backend.inner()
     }
 
     /// The active pipeline configuration.
@@ -317,7 +361,36 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// a different organization — fragments self-describe, so mixed-format
     /// stores read fine).
     pub fn into_backend(self) -> B {
-        self.backend
+        self.backend.into_inner()
+    }
+
+    /// The active span/IO recorder (a [`NoopRecorder`] unless telemetry
+    /// is on or a custom sink was installed).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Install a custom span/IO sink (replacing any recorder installed by
+    /// `config.telemetry`, so [`StorageEngine::telemetry_report`] returns
+    /// `None` afterwards).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.backend.set_recorder(recorder.clone());
+        self.recorder = recorder;
+        self.telemetry = None;
+        self
+    }
+
+    /// Snapshot the aggregated telemetry (spans, histograms, I/O totals,
+    /// per-backend op timings). `None` unless the engine was opened with
+    /// `config.telemetry` on.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        self.telemetry.as_ref().map(|t| t.report())
+    }
+
+    /// What the most recent recovery pass (open or refresh) found on the
+    /// store.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        *self.recovery.lock()
     }
 
     /// Operation counter shared by all builds/reads on this engine.
@@ -357,12 +430,16 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// while sparing staging blobs of commits in flight in this engine.
     /// The id sequence advances past any newly discovered fragments.
     pub fn refresh(&self) -> Result<()> {
+        let span = Span::enter(&self.recorder, SpanKind::Recover);
         let keep = self.inflight.lock().clone();
-        recover_store(&self.backend, Some(&keep))?;
+        // The listing already contains this engine's own epoch marker.
+        let recovery = recover_store(&self.backend, Some(&keep))?;
+        *self.recovery.lock() = recovery;
         self.catalog
             .reload(&self.backend, self.shape.ndim(), |name| {
                 parse_fragment_name(name).is_some()
             })?;
+        drop(span);
         self.cache.clear();
         for name in self.catalog.names() {
             if let Some(id) = parse_fragment_name(&name) {
@@ -395,6 +472,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         values: &[u8],
         consolidation: Option<(FragmentId, &[String])>,
     ) -> Result<WriteReport> {
+        let _span = Span::enter(&self.recorder, SpanKind::Write);
         let mut timer = PhaseTimer::new();
 
         // -- Others: validation and metadata ---------------------------
@@ -412,6 +490,8 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
         let bbox = coords.bounding_box();
         let org = self.kind.create();
+
+        let encode_span = Span::enter(&self.recorder, SpanKind::WriteEncode);
 
         // -- Build: construct the organization -------------------------
         let built = timer.time(WritePhase::Build, || {
@@ -436,6 +516,7 @@ impl<B: StorageBackend> StorageEngine<B> {
             self.index_codec,
             self.value_codec,
         );
+        drop(encode_span);
         let id = match consolidation {
             Some((id, _)) => id,
             None => FragmentId {
@@ -495,19 +576,32 @@ impl<B: StorageBackend> StorageEngine<B> {
         force_staged: bool,
     ) -> Result<()> {
         if self.config.commit_mode == crate::config::CommitMode::Direct && !force_staged {
+            let _commit = Span::enter(&self.recorder, SpanKind::WriteCommit);
             return self.backend.put_atomic(name, frag);
         }
         let staged = staged_name(name);
         self.inflight.lock().insert(staged.clone());
         let commit = (|| -> Result<()> {
-            self.backend.put(&staged, frag)?;
+            {
+                let _stage = Span::enter(&self.recorder, SpanKind::WriteStage);
+                self.backend.put(&staged, frag)?;
+            }
             if let Some(body) = tombstone {
                 // The delete set must be durable *before* the commit:
                 // a crash right after the rename must still delete the
                 // sources, or the store doubles its points.
+                let _tomb = Span::enter(&self.recorder, SpanKind::ConsolidateTombstone);
                 self.backend
                     .put_atomic(&tombstone_name(name), body.as_bytes())?;
             }
+            let _commit = Span::enter(
+                &self.recorder,
+                if force_staged {
+                    SpanKind::ConsolidateCommit
+                } else {
+                    SpanKind::WriteCommit
+                },
+            );
             self.backend.rename(&staged, name)
         })();
         self.inflight.lock().remove(&staged);
@@ -540,6 +634,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         if queries.is_empty() {
             return Ok(result);
         }
+        let _span = Span::enter(&self.recorder, SpanKind::Read);
         let qbbox = queries
             .bounding_box()
             .expect("non-empty queries have a bbox");
@@ -554,24 +649,36 @@ impl<B: StorageBackend> StorageEngine<B> {
         for attempt in 0..=MAX_READ_REPLANS {
             // Plan: in-memory discovery + bbox pruning. Every scanned
             // fragment must describe the same tensor this engine stores.
-            for entry in self.catalog.snapshot() {
-                self.check_entry_shape(&entry)?;
-            }
-            let plan = self.catalog.plan(&qbbox);
+            let plan = {
+                let _plan_span = Span::enter(&self.recorder, SpanKind::ReadPlan);
+                for entry in self.catalog.snapshot() {
+                    self.check_entry_shape(&entry)?;
+                }
+                let plan = self.catalog.plan(&qbbox);
+                charge(|io| {
+                    io.fragments_skipped_bbox += (plan.scanned - plan.fragments.len()) as u64;
+                });
+                plan
+            };
 
             // Fetch → decode → per-fragment read, in parallel; hit
             // batches come back in fragment (write) order, `None` where
             // a fragment vanished under the read.
             let per_fragment = self.execute_plan(&plan.fragments, queries)?;
-            if attempt < MAX_READ_REPLANS && per_fragment.iter().any(|batch| batch.is_none()) {
+            let vanished = per_fragment.iter().filter(|batch| batch.is_none()).count();
+            if vanished > 0 {
+                charge(|io| io.fragments_replanned += vanished as u64);
+            }
+            if attempt < MAX_READ_REPLANS && vanished > 0 {
                 continue;
             }
             result.fragments_scanned = plan.scanned;
             result.fragments_matched = plan.fragments.len();
-            result.hits = per_fragment.into_iter().flatten().flatten().collect();
 
             // Merge: sort by linear address (stable: fragment order on
             // ties).
+            let _merge_span = Span::enter(&self.recorder, SpanKind::ReadMerge);
+            result.hits = per_fragment.into_iter().flatten().flatten().collect();
             result.hits.sort_by_key(|a| a.addr);
             break;
         }
@@ -652,7 +759,12 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// whole-fragment, and section/range fetch paths.
     fn read_fragment(&self, entry: &CatalogEntry, queries: &CoordBuffer) -> Result<Vec<ReadHit>> {
         let name = &entry.name;
-        if let Some(decoded) = self.cache.get(name) {
+        let cached = {
+            let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
+            self.cache.get(name)
+        };
+        if let Some(decoded) = cached {
+            let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
             return self.hits_from_payload(
                 name,
                 &decoded.meta,
@@ -663,7 +775,11 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
         if self.cache.is_enabled() {
             // Decode the whole fragment once so the next read is free.
-            let decoded = self.fetch_decoded(entry)?;
+            let decoded = {
+                let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
+                self.fetch_decoded(entry)?
+            };
+            let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
             return self.hits_from_payload(
                 name,
                 &decoded.meta,
@@ -673,7 +789,11 @@ impl<B: StorageBackend> StorageEngine<B> {
             );
         }
         if !self.config.range_fetch {
-            let bytes = self.backend.get(name)?;
+            let bytes = {
+                let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
+                self.backend.get(name)?
+            };
+            let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
             let (meta, index, values) = decode_fragment(name, &bytes)?;
             return self.hits_from_payload(name, &meta, &index, &values, queries);
         }
@@ -681,14 +801,20 @@ impl<B: StorageBackend> StorageEngine<B> {
         // Range path: header + index section first; values only if slots
         // matched.
         let meta = &entry.meta;
-        let index = self.fetch_validated_index(entry)?;
-        let org = meta.kind.create();
-        let slots = org.read(&index, queries, &self.counter)?;
-        let matched: Vec<(usize, u64)> = slots
-            .into_iter()
-            .enumerate()
-            .filter_map(|(qi, slot)| slot.map(|s| (qi, s)))
-            .collect();
+        let index = {
+            let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
+            self.fetch_validated_index(entry)?
+        };
+        let matched: Vec<(usize, u64)> = {
+            let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
+            let org = meta.kind.create();
+            let slots = org.read(&index, queries, &self.counter)?;
+            slots
+                .into_iter()
+                .enumerate()
+                .filter_map(|(qi, slot)| slot.map(|s| (qi, s)))
+                .collect()
+        };
         if matched.is_empty() {
             return Ok(Vec::new());
         }
@@ -704,7 +830,10 @@ impl<B: StorageBackend> StorageEngine<B> {
                 ));
             }
         }
-        let records = self.fetch_value_records(entry, &matched)?;
+        let records = {
+            let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
+            self.fetch_value_records(entry, &matched)?
+        };
         let mut hits = Vec::with_capacity(matched.len());
         for (qi, slot) in matched {
             let record = records
@@ -770,10 +899,12 @@ impl<B: StorageBackend> StorageEngine<B> {
                 _ => runs.push((lo, hi)),
             }
         }
+        charge(|io| io.ranges_coalesced += (slots.len() - runs.len()) as u64);
         let run_bytes: u64 = runs.iter().map(|(lo, hi)| hi - lo).sum();
         if runs.len() > MAX_VALUE_RUNS || run_bytes * 2 >= meta.value_len {
             // Badly scattered slots: one whole-section request beats
             // paying per-request latency dozens of times.
+            charge(|io| io.whole_section_fallbacks += 1);
             whole_section(&mut records)?;
             return Ok(records);
         }
@@ -933,12 +1064,28 @@ pub struct StoreStats {
     pub index_bytes: u64,
     /// Sum of uncompressed index bytes.
     pub index_raw_bytes: u64,
+    /// Epoch claim markers alive at the last recovery pass (including
+    /// this engine's own claim).
+    pub epoch_markers: u64,
+    /// Consolidation tombstones the last recovery replayed (their
+    /// fragment had committed).
+    pub tombstones_replayed: u64,
+    /// Tombstones the last recovery discarded (commit never happened).
+    pub tombstones_discarded: u64,
+    /// Orphaned `.tmp` staging blobs the last recovery swept.
+    pub orphans_swept: u64,
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
-    /// Summarize the store from the catalog.
+    /// Summarize the store from the catalog, plus the commit-protocol
+    /// artifacts the last recovery pass (open or refresh) observed.
     pub fn stats(&self) -> Result<StoreStats> {
         let mut stats = StoreStats::default();
+        let recovery = *self.recovery.lock();
+        stats.epoch_markers = recovery.epoch_markers;
+        stats.tombstones_replayed = recovery.tombstones_replayed;
+        stats.tombstones_discarded = recovery.tombstones_discarded;
+        stats.orphans_swept = recovery.orphans_swept;
         for entry in self.catalog.snapshot() {
             let meta = &entry.meta;
             stats.fragments += 1;
@@ -1040,10 +1187,12 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// sources), so a fragment written concurrently while the pass ran
     /// keeps precedence over the merged output instead of being shadowed.
     pub fn consolidate(&self) -> Result<ConsolidateReport> {
+        let _span = Span::enter(&self.recorder, SpanKind::Consolidate);
         let _guard = self.consolidate_lock.lock();
         // ONE snapshot drives everything below: the merge input, the new
         // fragment's identity, and the delete set. Fragments written
         // after this point are untouched and outrank the merged output.
+        let snapshot_span = Span::enter(&self.recorder, SpanKind::ConsolidateSnapshot);
         let snapshot = self.catalog.snapshot();
         let before_bytes: u64 = snapshot.iter().map(|e| e.size).sum();
         if snapshot.len() <= 1 {
@@ -1068,7 +1217,9 @@ impl<B: StorageBackend> StorageEngine<B> {
             id.cgen = id.cgen.max(sid.cgen);
         }
         id.cgen += 1;
+        drop(snapshot_span);
 
+        let merge_span = Span::enter(&self.recorder, SpanKind::ConsolidateMerge);
         let merged = self.merged_points_from(&snapshot)?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::with_capacity(merged.len() * self.elem_size as usize);
@@ -1076,7 +1227,11 @@ impl<B: StorageBackend> StorageEngine<B> {
             coords.push(coord)?;
             payload.extend_from_slice(record);
         }
+        drop(merge_span);
+
         let report = self.write_with(&coords, &payload, Some((id, &sources)))?;
+
+        let _sweep_span = Span::enter(&self.recorder, SpanKind::ConsolidateSweep);
         // The commit landed: from here the tombstone guarantees the
         // deletions happen even if this process dies mid-loop. A source
         // already gone (racing deleter, replayed tombstone) is fine.
@@ -1221,9 +1376,14 @@ fn claim_epoch<B: StorageBackend>(backend: &B) -> Result<u64> {
 fn recover_store<B: StorageBackend>(
     backend: &B,
     keep: Option<&std::collections::HashSet<String>>,
-) -> Result<()> {
+) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
     let names = backend.list()?;
     for name in &names {
+        if parse_epoch_marker(name).is_some() {
+            report.epoch_markers += 1;
+            continue;
+        }
         let Some(target) = parse_tombstone_name(name) else {
             continue;
         };
@@ -1240,6 +1400,9 @@ fn recover_store<B: StorageBackend>(
                     _ => {}
                 }
             }
+            report.tombstones_replayed += 1;
+        } else {
+            report.tombstones_discarded += 1;
         }
         // Committed-and-replayed or never-committed: either way the
         // tombstone is spent.
@@ -1256,8 +1419,9 @@ fn recover_store<B: StorageBackend>(
             Err(e) if !e.is_not_found() => return Err(e),
             _ => {}
         }
+        report.orphans_swept += 1;
     }
-    Ok(())
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 fn injected(op: &str, name: &str) -> crate::error::StorageError {
+    artsparse_metrics::charge(|io| io.fault_trips += 1);
     std::io::Error::new(
         std::io::ErrorKind::Interrupted,
         format!("injected crash during {op} of {name}"),
@@ -99,6 +100,10 @@ impl<B: StorageBackend> FailingBackend<B> {
 }
 
 impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
+    fn kind_name(&self) -> &'static str {
+        self.inner.kind_name()
+    }
+
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         match self.take_budget(data.len() as u64) {
             None => self.inner.put(name, data),

@@ -21,7 +21,10 @@
 //!   breakdown, published through a crash-safe staged commit) and READ
 //!   as a layered catalog → plan → fetch → decode → merge pipeline;
 //! * [`faults`] — a failure-injecting backend wrapper for driving the
-//!   commit protocol into its crash windows under test.
+//!   commit protocol into its crash windows under test;
+//! * [`observe`] — a recording backend wrapper that feeds the
+//!   `artsparse-metrics` telemetry subsystem with per-operation timings
+//!   and per-span byte accounting.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod fragment;
+pub mod observe;
 pub mod striped;
 
 pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
@@ -41,7 +45,10 @@ pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
 pub use config::{CommitMode, EngineConfig};
-pub use engine::{ConsolidateReport, ReadHit, ReadResult, StorageEngine, StoreStats, WriteReport};
+pub use engine::{
+    ConsolidateReport, ReadHit, ReadResult, RecoveryReport, StorageEngine, StoreStats, WriteReport,
+};
 pub use error::{Result, StorageError};
 pub use faults::FailingBackend;
+pub use observe::RecordingBackend;
 pub use striped::StripedBackend;

@@ -56,6 +56,10 @@ impl<B: StorageBackend> StripedBackend<B> {
 }
 
 impl<B: StorageBackend> StorageBackend for StripedBackend<B> {
+    fn kind_name(&self) -> &'static str {
+        "striped"
+    }
+
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         let n = self.devices.len();
         let s = self.stripe_size;

@@ -6,10 +6,72 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros — measuring with
 //! plain `Instant` wall clocks. Results print as mean/min/max per
 //! iteration (plus element throughput when configured); there is no
-//! statistical analysis, HTML report, or saved baseline.
+//! statistical analysis or HTML report.
+//!
+//! When the `BENCH_JSON_DIR` environment variable is set, every group
+//! additionally writes a machine-readable summary to
+//! `$BENCH_JSON_DIR/BENCH_<group>.json` so CI can track the perf
+//! trajectory and guard against regressions.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+/// One benchmark's recorded summary, kept for the JSON export.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    samples: usize,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    /// Deterministic work denominator from [`Throughput::Bytes`], when
+    /// set — unlike wall clocks this is stable across machines, so CI
+    /// regression guards prefer it.
+    bytes: Option<u64>,
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one group's records as a `BENCH_<group>.json` document.
+fn render_group_json(group: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"{}\",", escape_json(group));
+    let _ = writeln!(out, "  \"benchmarks\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let bytes = match r.bytes {
+            Some(b) => format!(", \"bytes\": {b}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}{bytes}}}{comma}",
+            escape_json(&r.id),
+            r.samples,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
 
 pub use std::hint::black_box;
 
@@ -117,6 +179,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up: Duration,
     measurement: Duration,
     throughput: Option<Throughput>,
+    records: Vec<BenchRecord>,
     _criterion: &'a mut Criterion,
 }
 
@@ -175,7 +238,7 @@ impl BenchmarkGroup<'_> {
         self.bench_function(id, |b| f(b, input))
     }
 
-    fn report(&self, id: &str, samples: &[Duration]) {
+    fn report(&mut self, id: &str, samples: &[Duration]) {
         let mut line = format!("{}/{id}", self.name);
         if samples.is_empty() {
             println!("{line:<56} (no samples)");
@@ -185,6 +248,17 @@ impl BenchmarkGroup<'_> {
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
         let max = samples.iter().max().copied().unwrap_or_default();
+        self.records.push(BenchRecord {
+            id: id.to_string(),
+            samples: samples.len(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            bytes: match self.throughput {
+                Some(Throughput::Bytes(b)) => Some(b),
+                _ => None,
+            },
+        });
         let _ = write!(
             line,
             "  time: [{} {} {}]  ({} samples)",
@@ -211,8 +285,29 @@ impl BenchmarkGroup<'_> {
         println!("{line}");
     }
 
-    /// Finish the group (prints nothing extra; exists for API parity).
-    pub fn finish(self) {}
+    /// Finish the group; with `BENCH_JSON_DIR` set, write the group's
+    /// machine-readable summary there as `BENCH_<group>.json`.
+    pub fn finish(self) {
+        let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+            return;
+        };
+        if dir.is_empty() || self.records.is_empty() {
+            return;
+        }
+        // Keep file names shell-friendly whatever the group is called.
+        let slug: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+        let body = render_group_json(&self.name, &self.records);
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body)) {
+            eprintln!("criterion: failed to write {}: {e}", path.display());
+        } else {
+            println!("criterion: wrote {}", path.display());
+        }
+    }
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -235,6 +330,7 @@ impl Criterion {
             warm_up: Duration::from_millis(100),
             measurement: Duration::from_secs(2),
             throughput: None,
+            records: Vec::new(),
             _criterion: self,
         }
     }
@@ -297,5 +393,36 @@ mod tests {
         });
         group.finish();
         assert!(count >= 3, "benchmark closure ran {count} times");
+    }
+
+    #[test]
+    fn group_json_renders_valid_records() {
+        let records = vec![
+            BenchRecord {
+                id: "pre-refactor".into(),
+                samples: 30,
+                mean_ns: 1_000_000,
+                min_ns: 900_000,
+                max_ns: 1_200_000,
+                bytes: Some(2_363_392),
+            },
+            BenchRecord {
+                id: "pipe\"line".into(),
+                samples: 5,
+                mean_ns: 10,
+                min_ns: 1,
+                max_ns: 20,
+                bytes: None,
+            },
+        ];
+        let body = render_group_json("read_pipeline", &records);
+        assert!(body.contains("\"group\": \"read_pipeline\""));
+        assert!(body.contains("\"mean_ns\": 1000000"));
+        assert!(body.contains("\"bytes\": 2363392"));
+        assert_eq!(body.matches("\"bytes\"").count(), 1, "None renders no key");
+        assert!(body.contains("pipe\\\"line"));
+        // Two entries, one trailing-comma-free.
+        assert_eq!(body.matches("\"id\"").count(), 2);
+        assert!(!body.contains("}},\n  ]"));
     }
 }

@@ -2,24 +2,37 @@
 //!
 //! Re-exports the vendored `serde` crate's [`Value`]/[`Map`] tree and
 //! provides the construction/rendering entry points artsparse uses:
-//! [`json!`], [`to_value`], [`to_string`], and [`to_string_pretty`].
-//! There is no parser — nothing in the repo deserializes JSON.
+//! [`json!`], [`to_value`], [`to_string`], and [`to_string_pretty`] —
+//! plus [`from_str`], a strict recursive-descent parser back into the
+//! [`Value`] tree (used by the telemetry schema validator).
+
+mod parse;
 
 use std::fmt;
 
+pub use parse::from_str;
 pub use serde::{Map, Value};
 
-/// Error type for serialization entry points.
+/// Error type for (de)serialization entry points.
 ///
-/// Rendering into a [`Value`] tree cannot fail, so this is never
-/// constructed; it exists so `?` conversions and signatures match the
-/// real crate.
+/// Rendering into a [`Value`] tree cannot fail; parsing can, and carries
+/// a message with the byte offset of the problem.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn parse(offset: usize, msg: impl fmt::Display) -> Self {
+        Error {
+            msg: format!("JSON parse error at byte {offset}: {msg}"),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.msg)
     }
 }
 
