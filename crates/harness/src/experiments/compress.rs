@@ -47,7 +47,12 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
         for &format in &cfg.formats {
             let mut sizes = Vec::new();
             for codec in CODECS {
-                let handle = make_backend(cfg)?;
+                let store = format!(
+                    "compress-{}-{}",
+                    crate::telemetry::cell_slug(format.name(), ds.pattern.name(), ds.shape.ndim()),
+                    codec.name()
+                );
+                let handle = make_backend(cfg, &store)?;
                 let engine = StorageEngine::open(handle.backend, format, ds.shape.clone(), 8)?
                     .with_compression(codec, Codec::None);
                 let report = engine.write(&ds.coords, &payload)?;

@@ -44,7 +44,11 @@ pub fn run(cfg: &Config) -> Result<ExperimentOutput> {
 
     let mut cols = Vec::new();
     for &format in &cfg.formats {
-        let handle = make_backend(cfg)?;
+        let store = format!(
+            "table3-{}",
+            crate::telemetry::cell_slug(format.name(), Pattern::Msp.name(), 4)
+        );
+        let handle = make_backend(cfg, &store)?;
         let engine = StorageEngine::open(handle.backend, format, dataset.shape.clone(), 8)?;
         let report = engine.write(&dataset.coords, &payload)?;
         let b = report.breakdown;

@@ -88,8 +88,14 @@ pub struct BackendHandle {
     _tmp: Option<tempfile::TempDir>,
 }
 
-/// Instantiate a fresh backend per the configuration.
-pub fn make_backend(cfg: &Config) -> Result<BackendHandle> {
+/// Instantiate a fresh backend per the configuration. `store` names the
+/// cell being measured: persistent filesystem runs (`fs` with `--out`)
+/// keep each cell's fragments in their own `fragments/<store>`
+/// directory. One shared directory would be wrong twice over — an
+/// engine refuses fragments describing a foreign tensor shape, and
+/// earlier cells' same-shape fragments would silently inflate later
+/// cells' read measurements.
+pub fn make_backend(cfg: &Config, store: &str) -> Result<BackendHandle> {
     Ok(match cfg.backend {
         BackendKind::Mem => BackendHandle {
             backend: Box::new(MemBackend::new()),
@@ -104,7 +110,7 @@ pub fn make_backend(cfg: &Config) -> Result<BackendHandle> {
         },
         BackendKind::Fs => {
             if let Some(dir) = &cfg.out_dir {
-                let root = dir.join("fragments");
+                let root = dir.join("fragments").join(store);
                 BackendHandle {
                     backend: Box::new(FsBackend::new(root)?),
                     _tmp: None,
@@ -140,7 +146,9 @@ pub fn measure_cell_telemetry(
     payload: &[u8],
     queries: &artsparse_tensor::CoordBuffer,
 ) -> Result<(CellMeasurement, Option<TelemetryReport>)> {
-    let handle = make_backend(cfg)?;
+    let store =
+        crate::telemetry::cell_slug(format.name(), dataset.pattern.name(), dataset.shape.ndim());
+    let handle = make_backend(cfg, &store)?;
     let engine = StorageEngine::open_with(
         handle.backend,
         format,

@@ -14,19 +14,25 @@ use artsparse_metrics::TelemetryReport;
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 
-/// File name for one cell's telemetry document.
-pub fn telemetry_file_name(format: &str, pattern: &str, ndim: usize) -> String {
-    // Format names contain '+' (GCSR++); keep names shell-friendly.
+/// `<format>-<pattern>-<ndim>D`, path- and shell-friendly (format names
+/// contain '+': GCSR++ → gcsrpp). Shared by telemetry document names and
+/// per-cell fragment store directories.
+pub fn cell_slug(format: &str, pattern: &str, ndim: usize) -> String {
     let fmt: String = format
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { 'p' })
         .collect();
     format!(
-        "telemetry-{}-{}-{}D.json",
+        "{}-{}-{}D",
         fmt.to_ascii_lowercase(),
         pattern.to_ascii_lowercase(),
         ndim
     )
+}
+
+/// File name for one cell's telemetry document.
+pub fn telemetry_file_name(format: &str, pattern: &str, ndim: usize) -> String {
+    format!("telemetry-{}.json", cell_slug(format, pattern, ndim))
 }
 
 /// Wrap a cell's report with its identity into the exported document.

@@ -15,8 +15,10 @@ use crate::report::Table;
 use crate::span::{IoStats, SpanKind, SpanRecord};
 use serde::Serialize;
 
-/// Schema version stamped into every exported document.
-pub const TELEMETRY_VERSION: u32 = 1;
+/// Schema version stamped into every exported document. Version 2 added
+/// the integrity counters (`retries`, `checksum_failures`,
+/// `fragments_quarantined`) and the `engine.scrub` span kinds.
+pub const TELEMETRY_VERSION: u32 = 2;
 
 /// Aggregated view of one span kind.
 #[derive(Debug, Clone, Serialize)]
@@ -268,7 +270,8 @@ mod tests {
     fn json_document_has_expected_shape() {
         let report = sample_report();
         let v = serde_json::to_value(&report).unwrap();
-        assert_eq!(v["version"].as_u64(), Some(1));
+        assert_eq!(v["version"].as_u64(), Some(u64::from(TELEMETRY_VERSION)));
+        assert_eq!(TELEMETRY_VERSION, 2);
         let spans = v["spans"].as_array().unwrap();
         assert_eq!(spans.len(), 2);
         assert!(spans

@@ -50,6 +50,8 @@ pub enum SpanKind {
     ConsolidateCommit,
     ConsolidateSweep,
     Recover,
+    Scrub,
+    ScrubFragment,
 }
 
 impl SpanKind {
@@ -72,6 +74,8 @@ impl SpanKind {
             SpanKind::ConsolidateCommit => "engine.consolidate.commit",
             SpanKind::ConsolidateSweep => "engine.consolidate.sweep",
             SpanKind::Recover => "engine.recover",
+            SpanKind::Scrub => "engine.scrub",
+            SpanKind::ScrubFragment => "engine.scrub.fragment",
         }
     }
 
@@ -94,6 +98,8 @@ impl SpanKind {
             SpanKind::ConsolidateCommit,
             SpanKind::ConsolidateSweep,
             SpanKind::Recover,
+            SpanKind::Scrub,
+            SpanKind::ScrubFragment,
         ]
     }
 }
@@ -137,6 +143,12 @@ pub struct IoStats {
     pub fragments_replanned: u64,
     /// Errors injected by the fault-testing backend.
     pub fault_trips: u64,
+    /// Backend fetches re-attempted after a transient failure.
+    pub retries: u64,
+    /// Section or header CRC32C verifications that failed.
+    pub checksum_failures: u64,
+    /// Fragments newly quarantined (first observations only).
+    pub fragments_quarantined: u64,
 }
 
 impl IoStats {
@@ -163,6 +175,13 @@ impl IoStats {
             .fragments_replanned
             .saturating_add(other.fragments_replanned);
         self.fault_trips = self.fault_trips.saturating_add(other.fault_trips);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.checksum_failures = self
+            .checksum_failures
+            .saturating_add(other.checksum_failures);
+        self.fragments_quarantined = self
+            .fragments_quarantined
+            .saturating_add(other.fragments_quarantined);
     }
 
     /// Whether every counter is zero.
@@ -382,6 +401,6 @@ mod tests {
             assert!(k.name().starts_with("engine."), "{}", k.name());
             assert!(seen.insert(k.name()), "duplicate name {}", k.name());
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), 18);
     }
 }

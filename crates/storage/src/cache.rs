@@ -223,6 +223,8 @@ mod tests {
                 value_raw_len: value_len as u64,
                 index_codec: crate::codec::Codec::None,
                 value_codec: crate::codec::Codec::None,
+                version: crate::fragment::FRAGMENT_VERSION,
+                checksums: None,
             },
             index: vec![0; index_len],
             values: vec![0; value_len],

@@ -11,6 +11,14 @@
 //!
 //! External mutations of the device (another writer, manual blob edits)
 //! are picked up by [`FragmentCatalog::reload`].
+//!
+//! The catalog is also where fault-tolerant reads park damaged
+//! fragments: [`FragmentCatalog::quarantine`] marks a fragment that
+//! exhausted its retries or failed checksum verification. Quarantined
+//! fragments stay on the device and in the manifest (so accounting and
+//! scrubbing still see them) but are skipped by planning and by
+//! consolidation — degraded reads proceed over the survivors, and
+//! nothing ever deletes the evidence.
 
 use crate::backend::StorageBackend;
 use crate::error::Result;
@@ -40,6 +48,10 @@ pub struct ReadPlan {
     pub scanned: usize,
     /// Fragments whose bounding box overlaps the query, in write order.
     pub fragments: Vec<Arc<CatalogEntry>>,
+    /// Quarantined fragments whose bounding box overlaps the query —
+    /// data the plan *would* have read but cannot trust. A non-empty
+    /// list means any result built from this plan may be incomplete.
+    pub quarantined: Vec<String>,
 }
 
 /// Manifest of fragment metadata, keyed by name (names sort in write
@@ -47,6 +59,11 @@ pub struct ReadPlan {
 #[derive(Debug, Default)]
 pub struct FragmentCatalog {
     entries: RwLock<BTreeMap<String, Arc<CatalogEntry>>>,
+    /// Damaged fragments (name → why), excluded from planning and
+    /// consolidation but never deleted. Kept separate from `entries` so
+    /// a `reload` resyncing the manifest does not forget what was
+    /// already found to be damaged.
+    quarantined: RwLock<BTreeMap<String, String>>,
 }
 
 impl FragmentCatalog {
@@ -100,9 +117,41 @@ impl FragmentCatalog {
             .insert(entry.name.clone(), Arc::new(entry));
     }
 
-    /// Forget a fragment, returning its entry if it was known.
+    /// Forget a fragment, returning its entry if it was known. Also
+    /// clears any quarantine record — the name may be reused by a
+    /// future epoch, which must start with a clean slate.
     pub fn remove(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.quarantined.write().remove(name);
         self.entries.write().remove(name)
+    }
+
+    /// Mark a fragment as damaged: excluded from planning and
+    /// consolidation, never deleted. Returns `true` if the fragment was
+    /// not already quarantined (so callers can count first observations
+    /// exactly once); the first diagnosis wins — re-quarantining keeps
+    /// the original reason. The record survives [`reload`](Self::reload).
+    pub fn quarantine(&self, name: impl Into<String>, reason: impl Into<String>) -> bool {
+        match self.quarantined.write().entry(name.into()) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(reason.into());
+                true
+            }
+        }
+    }
+
+    /// Whether a fragment is quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantined.read().contains_key(name)
+    }
+
+    /// All quarantine records as `(name, reason)`, in name order.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.quarantined
+            .read()
+            .iter()
+            .map(|(n, r)| (n.clone(), r.clone()))
+            .collect()
     }
 
     /// Look up one fragment.
@@ -125,8 +174,21 @@ impl FragmentCatalog {
         self.entries.read().keys().cloned().collect()
     }
 
-    /// All entries in write order.
+    /// All healthy (non-quarantined) entries in write order — what
+    /// consolidation and other bulk readers may safely decode.
     pub fn snapshot(&self) -> Vec<Arc<CatalogEntry>> {
+        let quarantined = self.quarantined.read();
+        self.entries
+            .read()
+            .values()
+            .filter(|e| !quarantined.contains_key(&e.name))
+            .cloned()
+            .collect()
+    }
+
+    /// Every entry in write order, quarantined ones included — what
+    /// accounting and scrubbing walk.
+    pub fn snapshot_all(&self) -> Vec<Arc<CatalogEntry>> {
         self.entries.read().values().cloned().collect()
     }
 
@@ -140,9 +202,11 @@ impl FragmentCatalog {
     /// never match.
     pub fn plan(&self, query_bbox: &Region) -> ReadPlan {
         let entries = self.entries.read();
+        let quarantined = self.quarantined.read();
         let mut plan = ReadPlan {
             scanned: entries.len(),
             fragments: Vec::new(),
+            quarantined: Vec::new(),
         };
         for entry in entries.values() {
             let overlaps = entry
@@ -151,7 +215,11 @@ impl FragmentCatalog {
                 .as_ref()
                 .is_some_and(|b| b.intersects(query_bbox));
             if overlaps {
-                plan.fragments.push(entry.clone());
+                if quarantined.contains_key(&entry.name) {
+                    plan.quarantined.push(entry.name.clone());
+                } else {
+                    plan.fragments.push(entry.clone());
+                }
             }
         }
         plan
@@ -241,6 +309,48 @@ mod tests {
 
         let q = Region::from_corners(&[20, 20], &[30, 30]).unwrap();
         assert!(catalog.plan(&q).fragments.is_empty());
+    }
+
+    #[test]
+    fn quarantine_excludes_from_planning_but_not_accounting() {
+        let backend = MemBackend::new();
+        put_fragment(&backend, "frag-00000001.asf", [0, 0], [3, 3]);
+        put_fragment(&backend, "frag-00000002.asf", [2, 2], [5, 5]);
+        let catalog = FragmentCatalog::load(&backend, 2, |_| true).unwrap();
+        let all_bytes = catalog.total_bytes();
+
+        assert!(catalog.quarantine("frag-00000001.asf", "checksum mismatch"));
+        assert!(
+            !catalog.quarantine("frag-00000001.asf", "again"),
+            "already known"
+        );
+        assert!(catalog.is_quarantined("frag-00000001.asf"));
+
+        // Planning routes the damaged overlap into `quarantined`.
+        let q = Region::from_corners(&[2, 2], &[3, 3]).unwrap();
+        let plan = catalog.plan(&q);
+        assert_eq!(plan.fragments.len(), 1);
+        assert_eq!(plan.fragments[0].name, "frag-00000002.asf");
+        assert_eq!(plan.quarantined, vec!["frag-00000001.asf"]);
+        // A query that misses the damaged bbox reports nothing.
+        let q = Region::from_corners(&[5, 5], &[5, 5]).unwrap();
+        assert!(catalog.plan(&q).quarantined.is_empty());
+
+        // Healthy snapshots shrink; accounting and the full walk do not.
+        assert_eq!(catalog.snapshot().len(), 1);
+        assert_eq!(catalog.snapshot_all().len(), 2);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.total_bytes(), all_bytes);
+
+        // The record survives a reload (the manifest resyncs, the
+        // damage verdict stands)…
+        catalog.reload(&backend, 2, |_| true).unwrap();
+        assert!(catalog.is_quarantined("frag-00000001.asf"));
+        assert_eq!(catalog.quarantined()[0].1, "checksum mismatch");
+
+        // …but removal clears it: the name may be reused.
+        catalog.remove("frag-00000001.asf");
+        assert!(!catalog.is_quarantined("frag-00000001.asf"));
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Tuning knobs for the engine's read pipeline and commit protocol.
+//! Tuning knobs for the engine's read pipeline, commit protocol, and
+//! fault tolerance.
+
+use std::time::Duration;
 
 /// How WRITE publishes a fragment to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -16,11 +19,101 @@ pub enum CommitMode {
     Direct,
 }
 
+/// Bounded exponential backoff for transient read faults.
+///
+/// The engine wraps every backend fetch in this policy: an attempt that
+/// fails with a [transient] error (flaky I/O, or a checksum mismatch —
+/// a torn read re-fetches cleanly) sleeps and retries until the attempt
+/// budget runs out, at which point the last error is surfaced (wrapped
+/// in `RetriesExhausted` for I/O faults, so the cause chain survives).
+///
+/// Jitter is deterministic — derived from the fragment name and attempt
+/// number, not a clock — so fault-injection tests replay exactly.
+///
+/// [transient]: crate::error::StorageError::is_transient
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, the first one included. `1` means
+    /// no retries; `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter as a percentage (`0..=100`): each sleep is shortened by a
+    /// deterministic 0–`jitter_pct`% so concurrent retries decorrelate.
+    pub jitter_pct: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter_pct: 50,
+        }
+    }
+}
+
+/// SplitMix64 — tiny deterministic mixer for jitter (no clocks, no RNG
+/// state to carry).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, surface the error).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Effective attempt budget (at least one).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// How long to sleep before retry number `retry` (0-based: the sleep
+    /// between the first failure and the second attempt is `backoff(0,
+    /// seed)`). Exponential in `retry`, capped at [`max_backoff`], then
+    /// shortened by a deterministic jitter derived from `seed`.
+    ///
+    /// [`max_backoff`]: RetryPolicy::max_backoff
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        let cap = self.max_backoff.as_nanos() as u64;
+        let exp = sat_shl(base, retry).min(cap.max(base));
+        let jitter = self.jitter_pct.min(100) as u64;
+        if exp == 0 || jitter == 0 {
+            return Duration::from_nanos(exp);
+        }
+        let cut = splitmix64(seed ^ ((retry as u64) << 32)) % (jitter + 1);
+        Duration::from_nanos(exp - exp * cut / 100)
+    }
+}
+
+/// `x << rhs`, saturating instead of overflowing.
+fn sat_shl(x: u64, rhs: u32) -> u64 {
+    if x == 0 {
+        0
+    } else if rhs >= x.leading_zeros() {
+        u64::MAX
+    } else {
+        x << rhs
+    }
+}
+
 /// Configuration of the catalog → plan → fetch → decode → merge read
 /// pipeline and of the fragment commit protocol. The default reproduces
 /// Algorithm 3's semantics exactly while fetching only the bytes a query
 /// needs and publishing crash-safely; the knobs trade memory, concurrency,
-/// and commit overhead for latency.
+/// commit overhead, and fault tolerance for latency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Budget (in decoded payload bytes) for the decoded-fragment LRU
@@ -47,6 +140,15 @@ pub struct EngineConfig {
     /// When on, `StorageEngine::telemetry_report()` snapshots the
     /// aggregated report for export.
     pub telemetry: bool,
+    /// Retry policy for backend fetches (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Fail-closed reads (the default): a fragment that exhausts retries
+    /// or fails checksum verification aborts the whole read with the
+    /// typed error. With `false`, such a fragment is quarantined in the
+    /// catalog instead — skipped by this and all future plans, never
+    /// deleted — and the read completes over the survivors, reporting
+    /// `complete == false` plus the quarantined names in its outcome.
+    pub strict_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +159,8 @@ impl Default for EngineConfig {
             range_fetch: true,
             commit_mode: CommitMode::Staged,
             telemetry: false,
+            retry: RetryPolicy::default(),
+            strict_reads: true,
         }
     }
 }
@@ -102,6 +206,18 @@ impl EngineConfig {
         self.telemetry = enabled;
         self
     }
+
+    /// Builder-style retry-policy override.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Builder-style strict-reads toggle.
+    pub fn with_strict_reads(mut self, strict: bool) -> Self {
+        self.strict_reads = strict;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +232,9 @@ mod tests {
         assert!(c.range_fetch);
         assert_eq!(c.commit_mode, CommitMode::Staged);
         assert!(!c.telemetry);
+        assert_eq!(c.retry, RetryPolicy::default());
+        assert_eq!(c.retry.max_attempts, 3);
+        assert!(c.strict_reads);
         assert!(c.effective_parallelism() >= 1);
 
         let c = EngineConfig::default()
@@ -123,11 +242,58 @@ mod tests {
             .with_read_parallelism(2)
             .with_range_fetch(false)
             .with_commit_mode(CommitMode::Direct)
-            .with_telemetry(true);
+            .with_telemetry(true)
+            .with_retry(RetryPolicy::none())
+            .with_strict_reads(false);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
         assert_eq!(c.effective_parallelism(), 2);
         assert!(!c.range_fetch);
         assert_eq!(c.commit_mode, CommitMode::Direct);
         assert!(c.telemetry);
+        assert_eq!(c.retry.attempts(), 1);
+        assert!(!c.strict_reads);
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            jitter_pct: 0,
+        };
+        assert_eq!(p.backoff(0, 7), Duration::from_millis(1));
+        assert_eq!(p.backoff(1, 7), Duration::from_millis(2));
+        assert_eq!(p.backoff(2, 7), Duration::from_millis(4));
+        // Capped thereafter, even at shift-overflow retry counts.
+        assert_eq!(p.backoff(3, 7), Duration::from_millis(4));
+        assert_eq!(p.backoff(200, 7), Duration::from_millis(4));
+
+        let j = RetryPolicy {
+            jitter_pct: 50,
+            ..p
+        };
+        for retry in 0..6 {
+            let a = j.backoff(retry, 42);
+            let b = j.backoff(retry, 42);
+            assert_eq!(a, b, "jitter must be deterministic");
+            let full = p.backoff(retry, 42);
+            assert!(a <= full && a * 2 >= full, "jitter within [50%, 100%]");
+        }
+        // Different seeds should (almost always) jitter differently.
+        let spread: std::collections::HashSet<_> = (0..32u64).map(|s| j.backoff(1, s)).collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn none_policy_never_sleeps_more_than_once() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts(), 1);
+        // Degenerate budgets are clamped, not honored.
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero.attempts(), 1);
     }
 }

@@ -32,10 +32,10 @@ use crate::cache::{DecodedFragment, FragmentCache};
 use crate::catalog::{CatalogEntry, FragmentCatalog};
 use crate::codec::Codec;
 use crate::config::EngineConfig;
-use crate::error::{Result, StorageError};
+use crate::error::{FragmentSection, Result, StorageError};
 use crate::fragment::{
     decode_fragment, decode_index_section, decode_meta, decode_value_section, encode_fragment,
-    FragmentMeta,
+    verify_section_checksum, FragmentMeta,
 };
 use crate::observe::RecordingBackend;
 use artsparse_core::FormatKind;
@@ -193,6 +193,57 @@ pub struct ReadHit {
     pub fragment: String,
 }
 
+/// Whether a READ saw the whole store or had to route around damage.
+///
+/// With `strict_reads` (the default) a read either fails or returns a
+/// complete outcome, so callers that never disable strictness can ignore
+/// this. With `strict_reads = false`, `complete == false` means one or
+/// more overlapping fragments were quarantined (this read or earlier)
+/// and their points are missing from the result — the caller chooses
+/// between using the partial answer and escalating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Whether every fragment the plan wanted was actually readable.
+    pub complete: bool,
+    /// Quarantined fragments whose bounding box overlapped the query
+    /// (sorted, deduplicated) — the data the result may be missing.
+    pub quarantined: Vec<String>,
+}
+
+impl Default for ReadOutcome {
+    fn default() -> Self {
+        ReadOutcome {
+            complete: true,
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+/// Per-fragment outcome inside one read attempt.
+#[derive(Debug)]
+enum FragmentOutcome {
+    /// The fragment was read; here are its matching points.
+    Hits(Vec<ReadHit>),
+    /// A concurrent delete/consolidation removed it — re-plan.
+    Vanished,
+    /// The fragment is damaged and was quarantined (degraded mode).
+    Quarantined(String),
+}
+
+/// Whether a read failure proves the fragment itself is damaged (and so
+/// quarantinable under degraded reads) rather than the engine being
+/// misconfigured or the device being wholly unreachable. Checksum
+/// mismatches and structural corruption are positive evidence of damage;
+/// retry exhaustion means the fragment kept failing past the budget.
+fn quarantines(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::ChecksumMismatch { .. }
+            | StorageError::CorruptFragment { .. }
+            | StorageError::RetriesExhausted { .. }
+    )
+}
+
 /// Outcome of one READ call.
 #[derive(Debug, Clone, Default)]
 pub struct ReadResult {
@@ -202,6 +253,8 @@ pub struct ReadResult {
     pub fragments_scanned: usize,
     /// Fragments whose bounding box overlapped the query.
     pub fragments_matched: usize,
+    /// Completeness of the result under degraded reads.
+    pub outcome: ReadOutcome,
 }
 
 impl ReadResult {
@@ -660,12 +713,33 @@ impl<B: StorageBackend> StorageEngine<B> {
                 });
                 plan
             };
+            // Fail closed: a strict read over a query that touches a
+            // quarantined fragment cannot silently return a partial
+            // answer — the missing points would be indistinguishable
+            // from absent points.
+            if self.config.strict_reads {
+                if let Some(name) = plan.quarantined.first() {
+                    let reason = self
+                        .catalog
+                        .quarantined()
+                        .into_iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, r)| r)
+                        .unwrap_or_default();
+                    return Err(StorageError::corrupt(
+                        name,
+                        format!("fragment is quarantined ({reason})"),
+                    ));
+                }
+            }
 
-            // Fetch → decode → per-fragment read, in parallel; hit
-            // batches come back in fragment (write) order, `None` where
-            // a fragment vanished under the read.
+            // Fetch → decode → per-fragment read, in parallel; outcomes
+            // come back in fragment (write) order.
             let per_fragment = self.execute_plan(&plan.fragments, queries)?;
-            let vanished = per_fragment.iter().filter(|batch| batch.is_none()).count();
+            let vanished = per_fragment
+                .iter()
+                .filter(|o| matches!(o, FragmentOutcome::Vanished))
+                .count();
             if vanished > 0 {
                 charge(|io| io.fragments_replanned += vanished as u64);
             }
@@ -678,7 +752,20 @@ impl<B: StorageBackend> StorageEngine<B> {
             // Merge: sort by linear address (stable: fragment order on
             // ties).
             let _merge_span = Span::enter(&self.recorder, SpanKind::ReadMerge);
-            result.hits = per_fragment.into_iter().flatten().flatten().collect();
+            let mut quarantined = plan.quarantined.clone();
+            for outcome in per_fragment {
+                match outcome {
+                    FragmentOutcome::Hits(batch) => result.hits.extend(batch),
+                    FragmentOutcome::Quarantined(name) => quarantined.push(name),
+                    FragmentOutcome::Vanished => {}
+                }
+            }
+            quarantined.sort_unstable();
+            quarantined.dedup();
+            result.outcome = ReadOutcome {
+                complete: quarantined.is_empty(),
+                quarantined,
+            };
             result.hits.sort_by_key(|a| a.addr);
             break;
         }
@@ -698,15 +785,14 @@ impl<B: StorageBackend> StorageEngine<B> {
     }
 
     /// Run `read_fragment` over the planned fragments, spreading them
-    /// across worker threads, and return each fragment's hits in plan
-    /// (write) order — `None` for a fragment that vanished under the
-    /// read. Errors surface deterministically: the first failed fragment
-    /// in plan order wins regardless of thread timing.
+    /// across worker threads, and return each fragment's outcome in plan
+    /// (write) order. Errors surface deterministically: the first failed
+    /// fragment in plan order wins regardless of thread timing.
     fn execute_plan(
         &self,
         fragments: &[Arc<CatalogEntry>],
         queries: &CoordBuffer,
-    ) -> Result<Vec<Option<Vec<ReadHit>>>> {
+    ) -> Result<Vec<FragmentOutcome>> {
         let threads = self
             .config
             .effective_parallelism()
@@ -719,7 +805,7 @@ impl<B: StorageBackend> StorageEngine<B> {
                 .collect();
         }
         // Per-fragment result slot: None until its worker fills it.
-        type Slot = parking_lot::Mutex<Option<Result<Option<Vec<ReadHit>>>>>;
+        type Slot = parking_lot::Mutex<Option<Result<FragmentOutcome>>>;
         let next = AtomicUsize::new(0);
         let outputs: Vec<Slot> = (0..fragments.len())
             .map(|_| parking_lot::Mutex::new(None))
@@ -739,20 +825,47 @@ impl<B: StorageBackend> StorageEngine<B> {
             .collect()
     }
 
-    /// [`Self::read_fragment`], downgrading a NotFound on a fragment that
-    /// a concurrent delete or consolidation removed from the catalog to
-    /// `Ok(None)` (vanished). A NotFound on a fragment the catalog still
-    /// lists is real store corruption and stays an error.
+    /// [`Self::read_fragment`], downgrading two kinds of failure:
+    ///
+    /// * a NotFound on a fragment that a concurrent delete or
+    ///   consolidation removed from the catalog becomes `Vanished` (the
+    ///   read re-plans); a NotFound on a fragment the catalog still lists
+    ///   is real store corruption and stays an error;
+    /// * with `strict_reads` off, a fragment whose bytes are provably
+    ///   damaged (checksum mismatch, structural corruption) or that kept
+    ///   failing past the retry budget is quarantined and the read
+    ///   proceeds over the survivors, reporting the gap in
+    ///   [`ReadOutcome`].
     fn read_fragment_or_skip(
         &self,
         entry: &CatalogEntry,
         queries: &CoordBuffer,
-    ) -> Result<Option<Vec<ReadHit>>> {
+    ) -> Result<FragmentOutcome> {
         match self.read_fragment(entry, queries) {
-            Ok(hits) => Ok(Some(hits)),
-            Err(e) if e.is_not_found() && self.catalog.get(&entry.name).is_none() => Ok(None),
+            Ok(hits) => Ok(FragmentOutcome::Hits(hits)),
+            Err(e) if e.is_not_found() && self.catalog.get(&entry.name).is_none() => {
+                Ok(FragmentOutcome::Vanished)
+            }
+            Err(e) if !self.config.strict_reads && quarantines(&e) => {
+                self.quarantine_fragment(&entry.name, &e);
+                Ok(FragmentOutcome::Quarantined(entry.name.clone()))
+            }
             Err(e) => Err(e),
         }
+    }
+
+    /// Record a fragment as damaged: catalog quarantine (sticky across
+    /// reloads, excluded from future plans and consolidation), cache
+    /// invalidation, and the telemetry counter — charged only when this
+    /// call is the one that quarantined it. Returns whether it was newly
+    /// quarantined.
+    fn quarantine_fragment(&self, name: &str, error: &StorageError) -> bool {
+        let newly = self.catalog.quarantine(name, error.chain_string());
+        if newly {
+            charge(|io| io.fragments_quarantined += 1);
+        }
+        self.cache.invalidate(name);
+        newly
     }
 
     /// Fetch, decode, and query one fragment. Chooses among the cached,
@@ -789,12 +902,17 @@ impl<B: StorageBackend> StorageEngine<B> {
             );
         }
         if !self.config.range_fetch {
-            let bytes = {
+            // Fetch and decode are one retry unit: a checksum mismatch
+            // may be a torn or flaky transfer, so the re-attempt must
+            // re-fetch the bytes, not re-decode the same buffer.
+            let (meta, index, values) = {
                 let _fetch = Span::enter(&self.recorder, SpanKind::ReadFetch);
-                self.backend.get(name)?
+                self.with_read_retries(name, || {
+                    let bytes = self.backend.get(name)?;
+                    decode_fragment(name, &bytes)
+                })?
             };
             let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
-            let (meta, index, values) = decode_fragment(name, &bytes)?;
             return self.hits_from_payload(name, &meta, &index, &values, queries);
         }
 
@@ -871,10 +989,12 @@ impl<B: StorageBackend> StorageEngine<B> {
         slots.dedup();
 
         let whole_section = |records: &mut HashMap<u64, Vec<u8>>| -> Result<()> {
-            let section =
-                self.backend
-                    .get_range(name, meta.value_offset(), meta.value_len as usize)?;
-            let values = decode_value_section(name, meta, &section)?;
+            let values = self.with_read_retries(name, || {
+                let section =
+                    self.backend
+                        .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+                decode_value_section(name, meta, &section)
+            })?;
             for &slot in &slots {
                 let start = slot as usize * elem;
                 records.insert(slot, values[start..start + elem].to_vec());
@@ -911,18 +1031,21 @@ impl<B: StorageBackend> StorageEngine<B> {
 
         let mut fetched: Vec<(u64, Vec<u8>)> = Vec::with_capacity(runs.len());
         for &(lo, hi) in &runs {
-            let bytes =
-                self.backend
-                    .get_range(name, meta.value_offset() + lo, (hi - lo) as usize)?;
-            if bytes.len() != (hi - lo) as usize {
-                return Err(StorageError::corrupt(
-                    name,
-                    format!(
-                        "value records at {lo}..{hi} truncated ({} bytes returned)",
-                        bytes.len()
-                    ),
-                ));
-            }
+            let bytes = self.with_read_retries(name, || {
+                let bytes =
+                    self.backend
+                        .get_range(name, meta.value_offset() + lo, (hi - lo) as usize)?;
+                if bytes.len() != (hi - lo) as usize {
+                    return Err(StorageError::corrupt(
+                        name,
+                        format!(
+                            "value records at {lo}..{hi} truncated ({} bytes returned)",
+                            bytes.len()
+                        ),
+                    ));
+                }
+                Ok(bytes)
+            })?;
             fetched.push((lo, bytes));
         }
         for &slot in &slots {
@@ -984,18 +1107,20 @@ impl<B: StorageBackend> StorageEngine<B> {
         let name = &entry.name;
         let meta = &entry.meta;
         let head_len = meta.index_offset() + meta.index_len;
-        let head = self.backend.get_range(name, 0, head_len as usize)?;
-        let on_device = decode_meta(name, &head)?;
-        if on_device != *meta {
-            return Err(StorageError::corrupt(
-                name,
-                "header on device no longer matches the catalog",
-            ));
-        }
-        let section = head
-            .get(meta.index_offset() as usize..)
-            .ok_or_else(|| StorageError::corrupt(name, "fragment truncated inside the header"))?;
-        decode_index_section(name, meta, section)
+        self.with_read_retries(name, || {
+            let head = self.backend.get_range(name, 0, head_len as usize)?;
+            let on_device = decode_meta(name, &head)?;
+            if on_device != *meta {
+                return Err(StorageError::corrupt(
+                    name,
+                    "header on device no longer matches the catalog",
+                ));
+            }
+            let section = head.get(meta.index_offset() as usize..).ok_or_else(|| {
+                StorageError::corrupt(name, "fragment truncated inside the header")
+            })?;
+            decode_index_section(name, meta, section)
+        })
     }
 
     /// Fetch and decode a whole fragment through the cache: a hit costs
@@ -1009,17 +1134,22 @@ impl<B: StorageBackend> StorageEngine<B> {
         let decoded = if self.config.range_fetch {
             let meta = &entry.meta;
             let index = self.fetch_validated_index(entry)?;
-            let vsec =
-                self.backend
-                    .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+            let values = self.with_read_retries(name, || {
+                let vsec =
+                    self.backend
+                        .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+                decode_value_section(name, meta, &vsec)
+            })?;
             DecodedFragment {
                 index,
-                values: decode_value_section(name, meta, &vsec)?,
+                values,
                 meta: meta.clone(),
             }
         } else {
-            let bytes = self.backend.get(name)?;
-            let (meta, index, values) = decode_fragment(name, &bytes)?;
+            let (meta, index, values) = self.with_read_retries(name, || {
+                let bytes = self.backend.get(name)?;
+                decode_fragment(name, &bytes)
+            })?;
             DecodedFragment {
                 meta,
                 index,
@@ -1029,6 +1159,45 @@ impl<B: StorageBackend> StorageEngine<B> {
         let decoded = Arc::new(decoded);
         self.cache.insert(name, decoded.clone());
         Ok(decoded)
+    }
+
+    /// Run one fragment-fetch unit under the configured
+    /// [`RetryPolicy`](crate::config::RetryPolicy): transient failures
+    /// (flaky I/O, checksum mismatches — a re-fetch gets fresh bytes)
+    /// are retried with bounded exponential backoff, charging one
+    /// `retries` tick per re-attempt. On exhaustion a checksum mismatch
+    /// surfaces as itself (the caller cares *what* is damaged), while a
+    /// transient I/O error is wrapped in
+    /// [`StorageError::RetriesExhausted`] with the final error as its
+    /// source. Permanent errors (NotFound, corruption, …) return
+    /// immediately, so vanished-fragment detection and fail-fast
+    /// semantics are unchanged.
+    fn with_read_retries<T>(&self, name: &str, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let policy = &self.config.retry;
+        let attempts = policy.attempts();
+        let seed = fnv1a(name.as_bytes());
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < attempts && e.is_transient() => {
+                    charge(|io| io.retries += 1);
+                    let pause = policy.backoff(attempt, seed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+                Err(e @ StorageError::ChecksumMismatch { .. }) => return Err(e),
+                Err(e) if attempt > 0 && e.is_transient() => {
+                    return Err(StorageError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        source: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Every scanned fragment must store the same tensor: same shape
@@ -1074,11 +1243,17 @@ pub struct StoreStats {
     pub tombstones_discarded: u64,
     /// Orphaned `.tmp` staging blobs the last recovery swept.
     pub orphans_swept: u64,
+    /// Fragments currently quarantined (counted in `fragments` and
+    /// `total_bytes` — their blobs are retained for forensics — but
+    /// excluded from reads and consolidation).
+    pub quarantined_fragments: usize,
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
     /// Summarize the store from the catalog, plus the commit-protocol
     /// artifacts the last recovery pass (open or refresh) observed.
+    /// Quarantined fragments are included in the totals — they still
+    /// occupy the device — and counted separately.
     pub fn stats(&self) -> Result<StoreStats> {
         let mut stats = StoreStats::default();
         let recovery = *self.recovery.lock();
@@ -1086,7 +1261,8 @@ impl<B: StorageBackend> StorageEngine<B> {
         stats.tombstones_replayed = recovery.tombstones_replayed;
         stats.tombstones_discarded = recovery.tombstones_discarded;
         stats.orphans_swept = recovery.orphans_swept;
-        for entry in self.catalog.snapshot() {
+        stats.quarantined_fragments = self.catalog.quarantined().len();
+        for entry in self.catalog.snapshot_all() {
             let meta = &entry.meta;
             stats.fragments += 1;
             stats.total_points += meta.n;
@@ -1103,6 +1279,148 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
         Ok(stats)
     }
+
+    /// Fragments currently quarantined, with the reason each was benched
+    /// (sorted by name).
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.catalog.quarantined()
+    }
+
+    /// Verify the integrity of every cataloged fragment's stored bytes —
+    /// headers, sizes, and section checksums — without decoding any
+    /// organization or decompressing any payload (checksums cover the
+    /// *stored* bytes), so a scrub is pure sequential I/O plus CRC.
+    ///
+    /// Damaged fragments are quarantined (regardless of `strict_reads`;
+    /// scrubbing is diagnosis, not serving) and reported as findings.
+    /// Already-quarantined fragments are re-checked too: a finding with
+    /// `newly_quarantined == false` confirms known damage. Transient
+    /// fetch failures retry under the engine's [`RetryPolicy`]
+    /// (crate::config::RetryPolicy) before a fragment is declared
+    /// damaged; fragments that vanish mid-scrub (concurrent delete or
+    /// consolidation) are skipped.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let _span = Span::enter(&self.recorder, SpanKind::Scrub);
+        let mut report = ScrubReport::default();
+        for entry in self.catalog.snapshot_all() {
+            let _frag = Span::enter(&self.recorder, SpanKind::ScrubFragment);
+            match self.scrub_fragment(&entry) {
+                Ok(Some(legacy)) => {
+                    report.fragments_checked += 1;
+                    report.healthy += 1;
+                    report.bytes_verified += entry.size;
+                    if legacy {
+                        report.legacy_unverified += 1;
+                    }
+                }
+                Ok(None) => {} // vanished under the scrub
+                Err(e) => {
+                    report.fragments_checked += 1;
+                    let section = match &e {
+                        StorageError::ChecksumMismatch { section, .. } => Some(*section),
+                        _ => None,
+                    };
+                    let newly = self.quarantine_fragment(&entry.name, &e);
+                    report.findings.push(ScrubFinding {
+                        fragment: entry.name.clone(),
+                        section,
+                        error: e.chain_string(),
+                        newly_quarantined: newly,
+                    });
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Verify one fragment's stored bytes: decode the on-device header
+    /// (v3 headers self-verify their CRC), require it to match the
+    /// catalog, require the blob's exact size, then CRC each section's
+    /// stored bytes in place. `Ok(Some(legacy))` when healthy (`legacy`:
+    /// a pre-checksum v2 fragment whose sections could only be
+    /// length-checked), `Ok(None)` when the fragment vanished mid-scrub.
+    fn scrub_fragment(&self, entry: &CatalogEntry) -> Result<Option<bool>> {
+        let name = &entry.name;
+        let meta = &entry.meta;
+        let outcome = (|| -> Result<bool> {
+            let on_device = self.with_read_retries(name, || {
+                let head = self.backend.get_range(name, 0, meta.own_header_len())?;
+                decode_meta(name, &head)
+            })?;
+            if on_device != *meta {
+                return Err(StorageError::corrupt(
+                    name,
+                    "header on device no longer matches the catalog",
+                ));
+            }
+            let size = self.backend.size(name)?;
+            if size != meta.total_len() {
+                return Err(StorageError::corrupt(
+                    name,
+                    format!(
+                        "fragment is {size} bytes on the device, header says {}",
+                        meta.total_len()
+                    ),
+                ));
+            }
+            self.with_read_retries(name, || {
+                let section =
+                    self.backend
+                        .get_range(name, meta.index_offset(), meta.index_len as usize)?;
+                verify_section_checksum(name, meta, FragmentSection::Index, &section)
+            })?;
+            self.with_read_retries(name, || {
+                let section =
+                    self.backend
+                        .get_range(name, meta.value_offset(), meta.value_len as usize)?;
+                verify_section_checksum(name, meta, FragmentSection::Value, &section)
+            })?;
+            Ok(meta.checksums.is_none())
+        })();
+        match outcome {
+            Ok(legacy) => Ok(Some(legacy)),
+            Err(e) if e.is_not_found() && self.catalog.get(name).is_none() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Outcome of a scrub pass over the whole store.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Fragments examined (healthy + damaged; vanished ones excluded).
+    pub fragments_checked: usize,
+    /// Fragments whose stored bytes verified clean.
+    pub healthy: usize,
+    /// Healthy fragments written before checksums existed (format v2):
+    /// their sections could only be length-checked, not CRC-verified.
+    pub legacy_unverified: usize,
+    /// Stored bytes whose integrity was confirmed.
+    pub bytes_verified: u64,
+    /// The damaged fragments, one finding each.
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// Whether the scrub found no damage at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// One damaged fragment a scrub pass found (and quarantined).
+#[derive(Debug, Clone)]
+pub struct ScrubFinding {
+    /// The fragment's blob name.
+    pub fragment: String,
+    /// Which section's checksum failed, when the damage was a checksum
+    /// mismatch (`None` for structural damage: truncation, a header
+    /// that no longer matches the catalog, an unreadable blob).
+    pub section: Option<FragmentSection>,
+    /// The full error chain, as text.
+    pub error: String,
+    /// Whether this scrub quarantined it (false: it already was).
+    pub newly_quarantined: bool,
 }
 
 /// Outcome of a consolidation pass.
@@ -1270,6 +1588,18 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
         Ok((coords, payload))
     }
+}
+
+/// FNV-1a over the fragment name: a stable per-fragment jitter seed, so
+/// backoff schedules decorrelate across fragments yet replay identically
+/// for the same name (deterministic tests, reproducible chaos runs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn format_fragment_name(id: FragmentId) -> String {
@@ -1583,6 +1913,179 @@ mod tests {
         bytes.truncate(bytes.len() - 3);
         e.backend().put(&name, &bytes).unwrap();
         assert!(e.read(&coords(&[[1, 1]])).is_err());
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_to_success() {
+        use crate::config::RetryPolicy;
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default()
+                .with_telemetry(true)
+                .with_retry(RetryPolicy {
+                    max_attempts: 4,
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::ZERO,
+                    jitter_pct: 0,
+                }),
+        )
+        .unwrap();
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.backend().fail_next_reads(2);
+        let vals = e.read_values::<f64>(&coords(&[[1, 1]])).unwrap();
+        assert_eq!(vals, vec![Some(1.0)]);
+        assert_eq!(e.backend().read_faults_remaining(), 0);
+        // Three attempts total: the two re-attempts are the retries.
+        let report = e.telemetry_report().unwrap();
+        assert_eq!(report.totals.retries, 2);
+        assert_eq!(report.totals.fragments_quarantined, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_with_attempt_count() {
+        use crate::config::RetryPolicy;
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default().with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter_pct: 0,
+            }),
+        )
+        .unwrap();
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.backend().fail_next_reads(10);
+        let err = e.read(&coords(&[[1, 1]])).unwrap_err();
+        assert!(
+            matches!(err, StorageError::RetriesExhausted { attempts: 2, .. }),
+            "{err}"
+        );
+        // The typed payload survives the wrapping.
+        assert!(crate::faults::injected_fault(&err).is_some());
+    }
+
+    #[test]
+    fn bit_flip_fails_strict_read_with_checksum_mismatch() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+            .unwrap();
+        let name = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&name).unwrap();
+        let at = bytes.len() - 1; // value section
+        bytes[at] ^= 0x01;
+        e.backend().put(&name, &bytes).unwrap();
+        let err = e.read(&coords(&[[1, 1]])).unwrap_err();
+        match &err {
+            StorageError::ChecksumMismatch {
+                name: n, section, ..
+            } => {
+                assert_eq!(n, &name);
+                assert_eq!(*section, FragmentSection::Value);
+            }
+            other => panic!("expected a checksum mismatch, got {other}"),
+        }
+        assert!(err.to_string().contains(&name));
+    }
+
+    #[test]
+    fn degraded_read_quarantines_and_reports_the_damaged_fragment() {
+        let e = engine(FormatKind::Linear)
+            .with_config(EngineConfig::default().with_strict_reads(false));
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        let victim = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&victim).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x80;
+        e.backend().put(&victim, &bytes).unwrap();
+
+        let r = e.read(&coords(&[[1, 1], [2, 2]])).unwrap();
+        assert!(!r.outcome.complete);
+        assert_eq!(r.outcome.quarantined, vec![victim.clone()]);
+        assert_eq!(r.to_values::<f64>(2).unwrap(), vec![None, Some(2.0)]);
+
+        // Sticky: the next plan skips it up front and still reports it.
+        let r2 = e.read(&coords(&[[1, 1], [2, 2]])).unwrap();
+        assert!(!r2.outcome.complete);
+        assert_eq!(r2.outcome.quarantined, vec![victim.clone()]);
+
+        // Consolidation refuses it: one healthy fragment left → no-op,
+        // and the damaged blob stays on the device for forensics.
+        let c = e.consolidate().unwrap();
+        assert!(c.fragment.is_none());
+        assert!(e.backend().exists(&victim));
+        assert_eq!(e.stats().unwrap().quarantined_fragments, 1);
+        assert_eq!(e.quarantined().len(), 1);
+    }
+
+    #[test]
+    fn strict_read_fails_closed_on_a_previously_quarantined_fragment() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let name = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&name).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x02;
+        e.backend().put(&name, &bytes).unwrap();
+        e.scrub().unwrap();
+        let err = e.read(&coords(&[[1, 1]])).unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+    }
+
+    #[test]
+    fn scrub_detects_damage_without_decoding_organizations() {
+        let e = engine(FormatKind::Csf);
+        for (i, v) in [1.0, 2.0, 3.0].iter().enumerate() {
+            let p = (i + 1) as u64;
+            e.write_points::<f64>(&coords(&[[p, p]]), &[*v]).unwrap();
+        }
+        let clean = e.scrub().unwrap();
+        assert!(clean.is_clean());
+        assert_eq!((clean.fragments_checked, clean.healthy), (3, 3));
+        assert!(clean.bytes_verified > 0);
+
+        let victim = e.fragments().unwrap()[1].clone();
+        let mut bytes = e.backend().get(&victim).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x04;
+        e.backend().put(&victim, &bytes).unwrap();
+        let ops_before = e.counter().snapshot().total();
+        let report = e.scrub().unwrap();
+        // Scrub never decodes an organization: the op counter is idle.
+        assert_eq!(e.counter().snapshot().total(), ops_before);
+        assert_eq!((report.fragments_checked, report.healthy), (3, 2));
+        assert_eq!(report.findings.len(), 1);
+        let f = &report.findings[0];
+        assert_eq!(f.fragment, victim);
+        assert_eq!(f.section, Some(FragmentSection::Value));
+        assert!(f.newly_quarantined);
+
+        // Re-scrub: still damaged, but no longer *newly* quarantined.
+        let again = e.scrub().unwrap();
+        assert_eq!(again.findings.len(), 1);
+        assert!(!again.findings[0].newly_quarantined);
+    }
+
+    #[test]
+    fn scrub_flags_a_truncated_fragment_as_structural_damage() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let name = e.fragments().unwrap()[0].clone();
+        let mut bytes = e.backend().get(&name).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        e.backend().put(&name, &bytes).unwrap();
+        let report = e.scrub().unwrap();
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].error.contains("bytes"));
     }
 
     #[test]

@@ -4,6 +4,34 @@ use artsparse_core::FormatError;
 use artsparse_tensor::TensorError;
 use std::fmt;
 
+/// Which checksummed region of a fragment a verification failure names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentSection {
+    /// The fixed header (magic through the checksum fields).
+    Header,
+    /// The stored (possibly compressed) index payload.
+    Index,
+    /// The stored (possibly compressed) value payload.
+    Value,
+}
+
+impl FragmentSection {
+    /// Stable lowercase name (used in messages and scrub reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FragmentSection::Header => "header",
+            FragmentSection::Index => "index",
+            FragmentSection::Value => "value",
+        }
+    }
+}
+
+impl fmt::Display for FragmentSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors produced by backends, fragments, and the engine.
 #[derive(Debug)]
 pub enum StorageError {
@@ -20,6 +48,27 @@ pub enum StorageError {
         /// What was wrong.
         reason: String,
     },
+    /// A fragment section's bytes no longer match the CRC32C stamped in
+    /// its header — bit rot, a torn sector, or a device returning garbage.
+    ChecksumMismatch {
+        /// Which fragment.
+        name: String,
+        /// Which section failed verification.
+        section: FragmentSection,
+        /// The checksum the header promised.
+        expected: u32,
+        /// The checksum the fetched bytes actually have.
+        found: u32,
+    },
+    /// A transient fault persisted through every configured retry. The
+    /// final attempt's error is preserved as the source so callers (and
+    /// quarantine records) keep the root cause.
+    RetriesExhausted {
+        /// Total attempts made (including the first).
+        attempts: u32,
+        /// The error the last attempt failed with.
+        source: Box<StorageError>,
+    },
     /// The engine was asked to mix incompatible tensors.
     Mismatch {
         /// Description of the mismatch.
@@ -33,6 +82,21 @@ impl StorageError {
         StorageError::CorruptFragment {
             name: name.into(),
             reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`StorageError::ChecksumMismatch`].
+    pub fn checksum_mismatch(
+        name: impl Into<String>,
+        section: FragmentSection,
+        expected: u32,
+        found: u32,
+    ) -> Self {
+        StorageError::ChecksumMismatch {
+            name: name.into(),
+            section,
+            expected,
+            found,
         }
     }
 
@@ -51,6 +115,57 @@ impl StorageError {
     pub fn is_already_exists(&self) -> bool {
         matches!(self, StorageError::Io(e) if e.kind() == std::io::ErrorKind::AlreadyExists)
     }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient: interrupted/timed-out/reset I/O (a flaky device or
+    /// connection) and checksum mismatches *on fetch* — a torn or raced
+    /// read re-fetches cleanly, and genuine media corruption simply fails
+    /// the same way again, so retrying costs nothing but bounded time.
+    ///
+    /// Permanent: everything else — missing blobs, structural corruption,
+    /// shape mismatches, and [`StorageError::RetriesExhausted`] itself
+    /// (the retry budget is spent; wrapping it again would loop).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            StorageError::ChecksumMismatch { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this error is (or wraps, through retry exhaustion) a
+    /// checksum mismatch — the signature of data corruption as opposed to
+    /// availability problems.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        match self {
+            StorageError::ChecksumMismatch { .. } => true,
+            StorageError::RetriesExhausted { source, .. } => source.is_checksum_mismatch(),
+            _ => false,
+        }
+    }
+
+    /// The full cause chain rendered as one string (outermost first) —
+    /// what quarantine records keep so the root cause survives wrapping.
+    pub fn chain_string(&self) -> String {
+        use std::error::Error;
+        let mut out = self.to_string();
+        let mut cause = self.source();
+        while let Some(e) = cause {
+            out.push_str(": ");
+            out.push_str(&e.to_string());
+            cause = e.source();
+        }
+        out
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -61,6 +176,19 @@ impl fmt::Display for StorageError {
             StorageError::Tensor(e) => write!(f, "tensor error: {e}"),
             StorageError::CorruptFragment { name, reason } => {
                 write!(f, "corrupt fragment {name}: {reason}")
+            }
+            StorageError::ChecksumMismatch {
+                name,
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in {section} section of fragment {name}: \
+                 header says {expected:#010x}, bytes hash to {found:#010x}"
+            ),
+            StorageError::RetriesExhausted { attempts, .. } => {
+                write!(f, "operation still failing after {attempts} attempts")
             }
             StorageError::Mismatch { reason } => write!(f, "mismatch: {reason}"),
         }
@@ -73,6 +201,7 @@ impl std::error::Error for StorageError {
             StorageError::Io(e) => Some(e),
             StorageError::Format(e) => Some(e),
             StorageError::Tensor(e) => Some(e),
+            StorageError::RetriesExhausted { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -122,5 +251,67 @@ mod tests {
         assert!(ae.is_already_exists() && !ae.is_not_found());
         let other = StorageError::corrupt("f", "x");
         assert!(!other.is_not_found() && !other.is_already_exists());
+    }
+
+    #[test]
+    fn checksum_mismatch_names_fragment_and_section() {
+        let e = StorageError::checksum_mismatch("frag-1", FragmentSection::Index, 0xABCD, 0x1234);
+        let msg = e.to_string();
+        assert!(msg.contains("frag-1") && msg.contains("index"), "{msg}");
+        assert!(
+            msg.contains("0x0000abcd") && msg.contains("0x00001234"),
+            "{msg}"
+        );
+        assert!(e.is_checksum_mismatch());
+    }
+
+    #[test]
+    fn transient_classification() {
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::ConnectionReset,
+        ] {
+            let e: StorageError = std::io::Error::new(kind, "flaky").into();
+            assert!(e.is_transient(), "{kind:?}");
+        }
+        let cs = StorageError::checksum_mismatch("f", FragmentSection::Value, 1, 2);
+        assert!(cs.is_transient(), "torn reads re-fetch");
+        for permanent in [
+            StorageError::corrupt("f", "x"),
+            StorageError::Mismatch {
+                reason: "shape".into(),
+            },
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent}");
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_preserves_the_source_chain() {
+        use std::error::Error;
+        let root: StorageError =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "device timeout").into();
+        let wrapped = StorageError::RetriesExhausted {
+            attempts: 3,
+            source: Box::new(root),
+        };
+        assert!(!wrapped.is_transient(), "the budget is spent");
+        let src = wrapped.source().expect("source preserved");
+        assert!(src.to_string().contains("device timeout"));
+        assert!(wrapped.chain_string().contains("device timeout"));
+        // A wrapped checksum failure still classifies as corruption.
+        let wrapped = StorageError::RetriesExhausted {
+            attempts: 2,
+            source: Box::new(StorageError::checksum_mismatch(
+                "f",
+                FragmentSection::Header,
+                1,
+                2,
+            )),
+        };
+        assert!(wrapped.is_checksum_mismatch());
+        assert!(wrapped.chain_string().contains("header"));
     }
 }

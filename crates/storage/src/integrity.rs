@@ -1,0 +1,158 @@
+//! End-to-end data integrity: a table-driven software CRC32C.
+//!
+//! Fragment layout v3 stamps one CRC32C per fragment section (header,
+//! stored index, stored values) so every fetch verifies the bytes it is
+//! about to trust — bit rot, torn sectors, and buggy devices surface as
+//! typed [`StorageError::ChecksumMismatch`](crate::error::StorageError)
+//! instead of silently wrong query answers. Checksums cover the *stored*
+//! (possibly compressed) bytes, so verification never needs to decompress
+//! or decode an organization — which is what lets
+//! [`StorageEngine::scrub`](crate::engine::StorageEngine::scrub) audit a
+//! whole store with pure sequential reads.
+//!
+//! The polynomial is Castagnoli's (CRC32C, reflected `0x82F63B78`) — the
+//! same checksum iSCSI, ext4, and most storage systems use, chosen for
+//! its published error-detection bounds on storage-sized payloads. The
+//! implementation is pure software (the build container has no registry
+//! access, and portability beats peak throughput here): slicing-by-8 over
+//! compile-time tables, ~1–2 GB/s — far faster than the devices being
+//! verified.
+
+/// Reflected CRC32C (Castagnoli) polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Slicing-by-8 lookup tables, built at compile time.
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = make_tables();
+
+/// CRC32C of `data` in one call.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut h = Crc32c::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC32C state, for checksumming streamed or segmented
+/// payloads without concatenating them first.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Fresh state (equivalent to having hashed zero bytes).
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Fold more bytes into the checksum.
+    pub fn update(&mut self, mut data: &[u8]) {
+        let mut crc = self.state;
+        while data.len() >= 8 {
+            let lo = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) ^ crc;
+            let hi = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+            data = &data[8..];
+        }
+        for &b in data {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7143 (iSCSI) CRC32C test vectors.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let whole = crc32c(&data);
+        for split in [0, 1, 7, 8, 9, 500, data.len()] {
+            let mut h = Crc32c::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+        // Byte-at-a-time must agree with slicing-by-8.
+        let mut h = Crc32c::new();
+        for &b in &data {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finalize(), whole);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let data: Vec<u8> = (0..257u32).flat_map(|v| (v * 31).to_le_bytes()).collect();
+        let clean = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //!   breakdown, published through a crash-safe staged commit) and READ
 //!   as a layered catalog → plan → fetch → decode → merge pipeline;
 //! * [`faults`] — a failure-injecting backend wrapper for driving the
-//!   commit protocol into its crash windows under test;
+//!   commit protocol into its crash windows (and reads into transient
+//!   faults, latency, and bit-flip corruption) under test;
+//! * [`integrity`] — the CRC32C checksum primitive behind fragment
+//!   section verification and scrubbing;
 //! * [`observe`] — a recording backend wrapper that feeds the
 //!   `artsparse-metrics` telemetry subsystem with per-operation timings
 //!   and per-span byte accounting.
@@ -37,6 +40,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod fragment;
+pub mod integrity;
 pub mod observe;
 pub mod striped;
 
@@ -44,11 +48,14 @@ pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
 pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
-pub use config::{CommitMode, EngineConfig};
+pub use config::{CommitMode, EngineConfig, RetryPolicy};
 pub use engine::{
-    ConsolidateReport, ReadHit, ReadResult, RecoveryReport, StorageEngine, StoreStats, WriteReport,
+    ConsolidateReport, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding, ScrubReport,
+    StorageEngine, StoreStats, WriteReport,
 };
-pub use error::{Result, StorageError};
-pub use faults::FailingBackend;
+pub use error::{FragmentSection, Result, StorageError};
+pub use faults::{injected_fault, FailingBackend, InjectedFault};
+pub use fragment::FragmentChecksums;
+pub use integrity::{crc32c, Crc32c};
 pub use observe::RecordingBackend;
 pub use striped::StripedBackend;

@@ -1,0 +1,369 @@
+//! Data integrity and fault tolerance, end to end: checksummed
+//! fragments, retried transient faults, quarantine-and-proceed degraded
+//! reads, and the scrub pass — the acceptance scenarios for the
+//! integrity layer, plus seeded chaos (`CHAOS_SEED`) and single-byte
+//! corruption properties.
+
+use artsparse::metrics::OpCounter;
+use artsparse::storage::engine::StorageEngine;
+use artsparse::storage::fragment::{encode_fragment, encode_fragment_versioned};
+use artsparse::storage::{
+    injected_fault, Codec, EngineConfig, FailingBackend, FragmentSection, FsBackend, MemBackend,
+    RetryPolicy, StorageBackend, StorageError,
+};
+use artsparse::{CoordBuffer, FormatKind, Shape};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn shape() -> Shape {
+    Shape::new(vec![16, 16]).unwrap()
+}
+
+fn coords(pts: &[[u64; 2]]) -> CoordBuffer {
+    CoordBuffer::from_points(2, pts).unwrap()
+}
+
+/// A retry policy that never sleeps, for fast deterministic tests.
+fn instant_retries(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter_pct: 0,
+    }
+}
+
+/// Flip one bit near the end of a fragment blob (the value section).
+fn flip_tail_bit<B: StorageBackend>(backend: &B, name: &str) {
+    let mut bytes = backend.get(name).unwrap();
+    let at = bytes.len() - 1;
+    bytes[at] ^= 0x40;
+    backend.put(name, &bytes).unwrap();
+}
+
+#[test]
+fn strict_read_of_bit_flipped_fragment_names_fragment_and_section() {
+    let e = StorageEngine::open_with(
+        MemBackend::new(),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default().with_telemetry(true),
+    )
+    .unwrap();
+    e.write_points::<f64>(&coords(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+        .unwrap();
+    let name = e.fragments().unwrap()[0].clone();
+    flip_tail_bit(e.backend(), &name);
+    let err = e.read(&coords(&[[1, 1]])).unwrap_err();
+    match &err {
+        StorageError::ChecksumMismatch {
+            name: n, section, ..
+        } => {
+            assert_eq!(n, &name);
+            assert_eq!(*section, FragmentSection::Value);
+        }
+        other => panic!("expected a checksum mismatch, got {other}"),
+    }
+    let totals = e.telemetry_report().unwrap().totals;
+    assert!(totals.checksum_failures >= 1);
+}
+
+#[test]
+fn degraded_read_returns_survivors_and_scrub_finds_exactly_the_victim() {
+    let e = StorageEngine::open_with(
+        MemBackend::new(),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default()
+            .with_strict_reads(false)
+            .with_telemetry(true),
+    )
+    .unwrap();
+    e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+    e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+    e.write_points::<f64>(&coords(&[[3, 3]]), &[3.0]).unwrap();
+    let victim = e.fragments().unwrap()[1].clone();
+    flip_tail_bit(e.backend(), &victim);
+
+    // The read routes around the damage: both healthy fragments answer,
+    // the outcome names exactly what is missing.
+    let q = coords(&[[1, 1], [2, 2], [3, 3]]);
+    let r = e.read(&q).unwrap();
+    assert!(!r.outcome.complete);
+    assert_eq!(r.outcome.quarantined, vec![victim.clone()]);
+    assert_eq!(
+        r.to_values::<f64>(3).unwrap(),
+        vec![Some(1.0), None, Some(3.0)]
+    );
+
+    // Scrub confirms the same single finding — already quarantined.
+    let report = e.scrub().unwrap();
+    assert_eq!(report.fragments_checked, 3);
+    assert_eq!(report.healthy, 2);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].fragment, victim);
+    assert!(!report.findings[0].newly_quarantined);
+
+    // Consolidation merges only the healthy survivors; the damaged blob
+    // is never deleted.
+    let c = e.consolidate().unwrap();
+    assert_eq!(c.merged_fragments, 2);
+    assert!(e.backend().exists(&victim));
+    assert_eq!(e.stats().unwrap().quarantined_fragments, 1);
+    assert_eq!(
+        e.telemetry_report().unwrap().totals.fragments_quarantined,
+        1
+    );
+
+    // After consolidation the store still answers (minus the victim).
+    let r2 = e.read(&q).unwrap();
+    assert!(!r2.outcome.complete);
+    assert_eq!(
+        r2.to_values::<f64>(3).unwrap(),
+        vec![Some(1.0), None, Some(3.0)]
+    );
+}
+
+#[test]
+fn scrub_on_a_filesystem_store_never_touches_organizations() {
+    let dir = tempfile::tempdir().unwrap();
+    let e = StorageEngine::open(
+        FsBackend::new(dir.path()).unwrap(),
+        FormatKind::Csf,
+        shape(),
+        8,
+    )
+    .unwrap();
+    e.write_points::<f64>(&coords(&[[1, 2], [3, 4]]), &[1.0, 2.0])
+        .unwrap();
+    e.write_points::<f64>(&coords(&[[5, 6]]), &[3.0]).unwrap();
+    let victim = e.fragments().unwrap()[0].clone();
+    flip_tail_bit(e.backend(), &victim);
+
+    let ops_before = e.counter().snapshot().total();
+    let report = e.scrub().unwrap();
+    // No organization decode: the op counter saw nothing.
+    assert_eq!(e.counter().snapshot().total(), ops_before);
+    assert_eq!(report.fragments_checked, 2);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].fragment, victim);
+    assert_eq!(report.findings[0].section, Some(FragmentSection::Value));
+    assert!(report.findings[0].newly_quarantined);
+}
+
+#[test]
+fn two_transient_faults_then_success_costs_exactly_three_attempts() {
+    let e = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default()
+            .with_telemetry(true)
+            .with_retry(instant_retries(4)),
+    )
+    .unwrap();
+    e.write_points::<f64>(&coords(&[[4, 4]]), &[4.5]).unwrap();
+    e.backend().fail_next_reads(2);
+    let vals = e.read_values::<f64>(&coords(&[[4, 4]])).unwrap();
+    assert_eq!(vals, vec![Some(4.5)]);
+    assert_eq!(e.backend().read_faults_remaining(), 0);
+    // Three attempts total: two charged retries plus the first try.
+    assert_eq!(e.telemetry_report().unwrap().totals.retries, 2);
+}
+
+#[test]
+fn retry_exhaustion_reports_attempts_and_preserves_the_fault_chain() {
+    let e = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default().with_retry(instant_retries(3)),
+    )
+    .unwrap();
+    e.write_points::<f64>(&coords(&[[4, 4]]), &[4.5]).unwrap();
+    e.backend().fail_next_reads(100);
+    let err = e.read(&coords(&[[4, 4]])).unwrap_err();
+    let StorageError::RetriesExhausted { attempts, .. } = &err else {
+        panic!("expected retry exhaustion, got {err}");
+    };
+    assert_eq!(*attempts, 3);
+    // The typed injected-fault payload survives the wrapping, and the
+    // printable chain tells the whole story.
+    let fault = injected_fault(&err).expect("fault payload reachable through the wrapper");
+    assert!(fault.transient);
+    assert!(err.chain_string().contains("injected"));
+}
+
+#[test]
+fn pre_checksum_v2_fragments_still_read_and_scrub_as_legacy() {
+    let shape = shape();
+    let pts = coords(&[[7, 7], [8, 8]]);
+    let counter = OpCounter::new();
+    let built = FormatKind::Linear
+        .create()
+        .build(&pts, &shape, &counter)
+        .unwrap();
+    let values = built.reorganize_values(&[1u8; 16], 8);
+    let v2 = encode_fragment_versioned(
+        2,
+        FormatKind::Linear,
+        &shape,
+        2,
+        8,
+        pts.bounding_box().as_ref(),
+        &built.index,
+        &values,
+        Codec::None,
+        Codec::None,
+    );
+    let backend = MemBackend::new();
+    backend.put("frag-00000001-00000001.asf", &v2).unwrap();
+    let e = StorageEngine::open(backend, FormatKind::Linear, shape, 8).unwrap();
+    let vals = e.read_values::<u64>(&coords(&[[7, 7]])).unwrap();
+    assert_eq!(vals, vec![Some(u64::from_le_bytes([1; 8]))]);
+    let report = e.scrub().unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.healthy, 1);
+    assert_eq!(report.legacy_unverified, 1);
+    // New fragments written next to it carry checksums.
+    e.write_points::<f64>(&coords(&[[9, 9]]), &[9.0]).unwrap();
+    let report = e.scrub().unwrap();
+    assert_eq!(report.healthy, 2);
+    assert_eq!(report.legacy_unverified, 1);
+}
+
+/// Seeded chaos: with every device read corrupting one bit, the engine
+/// must never return a wrong value — damaged fragments are detected and
+/// quarantined instead. Re-opening with faults disarmed fully recovers.
+/// Set `CHAOS_SEED` to vary the corruption schedule (CI runs a matrix).
+#[test]
+fn chaos_corrupted_reads_never_return_wrong_values() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let e = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default()
+            .with_strict_reads(false)
+            .with_retry(instant_retries(2)),
+    )
+    .unwrap();
+    let expected: Vec<([u64; 2], f64)> = (0..8).map(|i| ([i, i], i as f64)).collect();
+    for (p, v) in &expected {
+        e.write_points::<f64>(&coords(&[*p]), &[*v]).unwrap();
+    }
+    e.backend().corrupt_reads(seed);
+
+    let q = coords(&expected.iter().map(|(p, _)| *p).collect::<Vec<_>>()[..]);
+    for _ in 0..4 {
+        let r = e.read(&q).unwrap();
+        let vals = r.to_values::<f64>(expected.len()).unwrap();
+        for (i, got) in vals.iter().enumerate() {
+            // Quarantined fragments go missing; present values must be
+            // exact. A silently flipped value would fail here.
+            if let Some(v) = got {
+                assert_eq!(*v, expected[i].1, "seed {seed}: wrong value survived");
+            }
+        }
+        if !r.outcome.complete {
+            assert!(!r.outcome.quarantined.is_empty());
+        }
+    }
+    // Scrub under chaos must not panic either; findings are expected.
+    let _ = e.scrub().unwrap();
+
+    // Disarm and reopen: the device bytes were never damaged (corruption
+    // happened on the read path), so a fresh engine sees a clean store.
+    let backend = e.into_backend();
+    backend.disarm();
+    let e = StorageEngine::open(backend, FormatKind::Linear, shape(), 8).unwrap();
+    assert!(e.scrub().unwrap().is_clean());
+    let vals = e
+        .read(&q)
+        .unwrap()
+        .to_values::<f64>(expected.len())
+        .unwrap();
+    for (i, got) in vals.iter().enumerate() {
+        assert_eq!(
+            *got,
+            Some(expected[i].1),
+            "seed {seed}: store did not recover"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte corruption anywhere in a v3 fragment is rejected
+    /// by decode — header, index, value, and trailer bytes are all
+    /// covered by a magic/version check or a CRC.
+    #[test]
+    fn any_single_byte_corruption_fails_fragment_decode(
+        at_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+        codec_pick in 0usize..3,
+    ) {
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let pts = CoordBuffer::from_points(2, &[[1u64, 1], [2, 5], [7, 7]]).unwrap();
+        let counter = OpCounter::new();
+        let built = FormatKind::Linear.create().build(&pts, &shape, &counter).unwrap();
+        let values = built.reorganize_values(&[0xAB; 24], 8);
+        let codecs = [Codec::None, Codec::Rle, Codec::DeltaVarint];
+        let bytes = encode_fragment(
+            FormatKind::Linear,
+            &shape,
+            3,
+            8,
+            pts.bounding_box().as_ref(),
+            &built.index,
+            &values,
+            codecs[codec_pick],
+            Codec::None,
+        );
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        let mut bad = bytes.clone();
+        bad[at] ^= mask;
+        prop_assert!(
+            artsparse::storage::fragment::decode_fragment("t", &bad).is_err(),
+            "byte {at} mask {mask:#x} decoded silently"
+        );
+    }
+
+    /// Codec hardening: corrupting one byte of an Rle or DeltaVarint
+    /// stream must never panic, and a successful decompress must still
+    /// produce exactly `raw_len` bytes — corrupted streams may decode to
+    /// different bytes (the fragment CRC layer catches that), but never
+    /// to a wrong-sized buffer.
+    #[test]
+    fn corrupted_codec_streams_never_panic_or_change_length(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        at_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+        rle in any::<bool>(),
+    ) {
+        let codec = if rle { Codec::Rle } else { Codec::DeltaVarint };
+        let stored = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&stored, data.len()).unwrap(), data.clone());
+        let at = ((stored.len() - 1) as f64 * at_frac) as usize;
+        let mut bad = stored.clone();
+        bad[at] ^= mask;
+        if let Ok(out) = codec.decompress(&bad, data.len()) {
+            prop_assert_eq!(out.len(), data.len());
+        }
+        // Truncations must error or keep the length too.
+        for cut in [0, stored.len() / 2, stored.len().saturating_sub(1)] {
+            if let Ok(out) = codec.decompress(&stored[..cut], data.len()) {
+                prop_assert_eq!(out.len(), data.len());
+            }
+        }
+    }
+}
