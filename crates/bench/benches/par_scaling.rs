@@ -1,0 +1,83 @@
+//! Thread-scaling benches for the compute-parallel execution layer.
+//!
+//! Measures the two paths `artsparse_tensor::par` accelerates, at 1, 2,
+//! 4, and 8 worker threads:
+//!
+//! * **build** — the chunked lexicographic sort dominating every sorting
+//!   build (GCSR++ here, the paper's Algorithm 1);
+//! * **read** — the sharded batched point-query scan (LINEAR's full list
+//!   scan, the most compute-bound read path).
+//!
+//! Thread counts are installed with [`par::with`], exactly as the engine
+//! does via `EngineConfig::threads`. Interpreting the numbers: speedup is
+//! only expected when the host actually has that many cores — on a
+//! single-core container every width degenerates to roughly the
+//! sequential time plus spawn overhead (see EXPERIMENTS.md, which records
+//! both this caveat and the measured table).
+
+use artsparse_core::FormatKind;
+use artsparse_metrics::OpCounter;
+use artsparse_patterns::{Dataset, Pattern, PatternParams, Scale};
+use artsparse_tensor::par::{self, Parallelism};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A forced-parallel configuration: cutoff 1 so the chosen width always
+/// applies (the default cutoff would keep smoke-scale inputs sequential,
+/// measuring nothing).
+fn width(threads: usize) -> Parallelism {
+    Parallelism::with_threads(threads).with_cutoff(1)
+}
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let ds = Dataset::for_scale(Pattern::Gsp, 3, Scale::Medium, PatternParams::default());
+    let counter = OpCounter::new();
+    let org = FormatKind::GcsrPP.create();
+    group.throughput(criterion::Throughput::Elements(ds.nnz() as u64));
+    for threads in THREADS {
+        group.bench_function(BenchmarkId::new("gcsr_sort", threads), |b| {
+            b.iter(|| {
+                par::with(width(threads), || {
+                    org.build(&ds.coords, &ds.shape, &counter).unwrap()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_read");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let ds = Dataset::for_scale(Pattern::Gsp, 3, Scale::Medium, PatternParams::default());
+    let queries = ds.read_region().to_coords();
+    let counter = OpCounter::new();
+    let org = FormatKind::Linear.create();
+    let built = par::with(Parallelism::sequential(), || {
+        org.build(&ds.coords, &ds.shape, &counter).unwrap()
+    });
+    group.throughput(criterion::Throughput::Elements(queries.len() as u64));
+    for threads in THREADS {
+        group.bench_function(BenchmarkId::new("linear_scan", threads), |b| {
+            b.iter(|| {
+                par::with(width(threads), || {
+                    org.read(&built.index, &queries, &counter).unwrap()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build, bench_parallel_read);
+criterion_main!(benches);

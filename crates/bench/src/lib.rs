@@ -1,5 +1,18 @@
 //! # artsparse-benches
 //!
-//! Shared helpers for the Criterion benchmarks in `benches/`. The actual
-//! figure/table regeneration logic lives in `artsparse-harness`; this crate
-//! only hosts the `cargo bench` targets and small setup utilities.
+//! Hosts the `cargo bench` targets; the figure/table regeneration logic
+//! lives in `artsparse-harness`. Bench groups under `benches/`:
+//!
+//! * `write_time`, `read_time`, `file_size` — the paper's Fig. 3/5/4
+//!   metrics per organization;
+//! * `complexity` — Table I cost-model scaling checks;
+//! * `ablation` — encoding ablations (delta/varint/prefix toggles);
+//! * `read_pipeline` — fragment read path (cache, batching, retries);
+//! * `par_scaling` — build and batched-read throughput at 1/2/4/8
+//!   compute threads through `artsparse_tensor::par` (see
+//!   EXPERIMENTS.md for the recorded table and the single-core caveat).
+//!
+//! Set `BENCH_JSON_DIR` to make the vendored Criterion shim write one
+//! `BENCH_<group>.json` summary per group.
+
+#![warn(missing_docs)]

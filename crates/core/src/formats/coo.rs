@@ -11,6 +11,7 @@ use crate::codec::{IndexDecoder, IndexEncoder};
 use crate::error::Result;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::{CoordBuffer, Shape};
 
 /// The COO organization.
@@ -67,23 +68,22 @@ impl Organization for Coo {
         dec.expect_end()?;
 
         // Every query performs a full linear scan (no sorting, §II.A),
-        // stopping at the first match.
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                let mut compares = 0u64;
-                let mut found = None;
-                for (j, p) in flat.chunks_exact(d).enumerate() {
-                    compares += 1;
-                    if p == q {
-                        found = Some(j as u64);
-                        break;
-                    }
+        // stopping at the first match. Queries shard across threads; shard
+        // order preserves input order in the output.
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            let mut compares = 0u64;
+            let mut found = None;
+            for (j, p) in flat.chunks_exact(d).enumerate() {
+                compares += 1;
+                if p == q {
+                    found = Some(j as u64);
+                    break;
                 }
-                counter.add(OpKind::Compare, compares);
-                found
-            })
-            .collect();
+            }
+            counter.add(OpKind::Compare, compares);
+            found
+        });
         Ok(out)
     }
 

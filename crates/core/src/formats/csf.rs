@@ -19,6 +19,7 @@ use crate::codec::{IndexDecoder, IndexEncoder};
 use crate::error::{FormatError, Result};
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::sort::sort_lexicographic;
 use artsparse_tensor::{CoordBuffer, Shape};
 
@@ -239,7 +240,8 @@ impl Organization for Csf {
         counter.add(
             OpKind::SortCompare,
             // Lexicographic sort comparisons ≈ n log2 n (counted
-            // analytically: the comparator lives inside rayon's sort).
+            // analytically: the comparator lives inside the parallel
+            // sort in `artsparse_tensor::par`).
             approx_sort_compares(n),
         );
         // Lines 8–18: build the tree level by level.
@@ -269,19 +271,17 @@ impl Organization for Csf {
             }
             .into());
         }
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                if !tree.shape.contains(q) {
-                    counter.inc(OpKind::Compare);
-                    return None;
-                }
-                // Permute the query into tree-level order (one transform).
-                counter.inc(OpKind::Transform);
-                let qp: Vec<u64> = tree.order.iter().map(|&k| q[k]).collect();
-                tree.lookup(&qp, counter)
-            })
-            .collect();
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            if !tree.shape.contains(q) {
+                counter.inc(OpKind::Compare);
+                return None;
+            }
+            // Permute the query into tree-level order (one transform).
+            counter.inc(OpKind::Transform);
+            let qp: Vec<u64> = tree.order.iter().map(|&k| q[k]).collect();
+            tree.lookup(&qp, counter)
+        });
         Ok(out)
     }
 

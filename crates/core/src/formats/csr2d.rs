@@ -1,4 +1,4 @@
-//! Classic 2D CSR/CSC packaging (Templates book [24]) shared by
+//! Classic 2D CSR/CSC packaging (Templates book \[24\]) shared by
 //! GCSR++ and GCSC++.
 //!
 //! Both generalized formats remap a high-dimensional point to a cell of a
@@ -107,7 +107,7 @@ pub fn scan_bucket(ind: &[u64], ptr: &[u64], bucket: u64, target: u64) -> (Optio
     (None, compares)
 }
 
-/// A classic standalone CSR matrix (Templates book [24]) with typed
+/// A classic standalone CSR matrix (Templates book \[24\]) with typed
 /// values — the 2D structure GCSR++ generalizes. Useful on its own for
 /// the SpMV-style workloads that motivate sparse storage, and as the
 /// reference implementation the generalized formats are tested against.

@@ -23,9 +23,9 @@ use crate::error::{FormatError, Result};
 use crate::formats::csr2d::validate_ptr;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::permute::invert_permutation;
 use artsparse_tensor::{BlockGrid, CoordBuffer, Shape};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fixed block side: small enough that any ≤8-D block's bitmap stays
@@ -91,18 +91,15 @@ impl Organization for Adaptive {
         let d = shape.ndim();
         let grid = grid_for(shape)?;
 
-        let addrs: Vec<(u64, u64)> = coords
-            .par_iter()
-            .map(|p| {
-                let a = grid.address(p).expect("validated");
-                (a.block, a.local)
-            })
-            .collect();
+        let parallelism = Parallelism::current();
+        let addrs: Vec<(u64, u64)> = par::par_map(n, parallelism, |i| {
+            let a = grid.address(coords.point(i)).expect("validated");
+            (a.block, a.local)
+        });
         counter.add(OpKind::Transform, n as u64);
 
         let sort_compares = AtomicU64::new(0);
-        let mut perm: Vec<usize> = (0..n).collect();
-        perm.par_sort_by(|&a, &b| {
+        let perm = par::sort_indices_by(n, parallelism, |a, b| {
             sort_compares.fetch_add(1, Ordering::Relaxed);
             addrs[a].cmp(&addrs[b]).then_with(|| a.cmp(&b))
         });
@@ -193,28 +190,26 @@ impl Organization for Adaptive {
             }
             .into());
         }
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                if !decoded.shape.contains(q) {
-                    counter.inc(OpKind::Compare);
-                    return None;
-                }
-                let addr = decoded.grid.address(q).expect("contained");
-                counter.inc(OpKind::Transform);
-                let mut compares = (usize::BITS - decoded.block_ids.len().leading_zeros()) as u64;
-                let bi = decoded.block_ids.partition_point(|&b| b < addr.block);
-                let found = if bi < decoded.block_ids.len() && decoded.block_ids[bi] == addr.block {
-                    let (slot, extra) = decoded.lookup_in_block(bi, addr.local);
-                    compares += extra;
-                    slot
-                } else {
-                    None
-                };
-                counter.add(OpKind::Compare, compares);
-                found
-            })
-            .collect();
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            if !decoded.shape.contains(q) {
+                counter.inc(OpKind::Compare);
+                return None;
+            }
+            let addr = decoded.grid.address(q).expect("contained");
+            counter.inc(OpKind::Transform);
+            let mut compares = (usize::BITS - decoded.block_ids.len().leading_zeros()) as u64;
+            let bi = decoded.block_ids.partition_point(|&b| b < addr.block);
+            let found = if bi < decoded.block_ids.len() && decoded.block_ids[bi] == addr.block {
+                let (slot, extra) = decoded.lookup_in_block(bi, addr.local);
+                compares += extra;
+                slot
+            } else {
+                None
+            };
+            counter.add(OpKind::Compare, compares);
+            found
+        });
         Ok(out)
     }
 

@@ -19,9 +19,9 @@ use crate::codec::{IndexDecoder, IndexEncoder};
 use crate::error::{FormatError, Result};
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::permute::invert_permutation;
 use artsparse_tensor::{BlockGrid, CoordBuffer, Shape};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// LINEAR over a block grid.
@@ -78,8 +78,7 @@ impl BlockedLinear {
         counter.add(OpKind::Transform, n as u64);
 
         let sort_compares = AtomicU64::new(0);
-        let mut perm: Vec<usize> = (0..n).collect();
-        perm.par_sort_by(|&a, &b| {
+        let perm = par::sort_indices_by(n, Parallelism::current(), |a, b| {
             sort_compares.fetch_add(1, Ordering::Relaxed);
             pairs[a].cmp(&pairs[b]).then_with(|| a.cmp(&b))
         });
@@ -135,40 +134,38 @@ impl BlockedLinear {
             return Err(FormatError::corrupt("blocked-LINEAR pairs not sorted"));
         }
 
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                let addr = match grid.address(q) {
-                    Ok(a) => a,
-                    Err(_) => {
-                        counter.inc(OpKind::Compare);
-                        return None;
-                    }
-                };
-                counter.inc(OpKind::Transform);
-                let target = (addr.block, addr.local);
-                let mut lo = 0usize;
-                let mut hi = n;
-                let mut compares = 0u64;
-                while lo < hi {
-                    let mid = lo + (hi - lo) / 2;
-                    compares += 1;
-                    if pair_at(mid) < target {
-                        lo = mid + 1;
-                    } else {
-                        hi = mid;
-                    }
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            let addr = match grid.address(q) {
+                Ok(a) => a,
+                Err(_) => {
+                    counter.inc(OpKind::Compare);
+                    return None;
                 }
-                let found = if lo < n {
-                    compares += 1;
-                    (pair_at(lo) == target).then_some(lo as u64)
+            };
+            counter.inc(OpKind::Transform);
+            let target = (addr.block, addr.local);
+            let mut lo = 0usize;
+            let mut hi = n;
+            let mut compares = 0u64;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                compares += 1;
+                if pair_at(mid) < target {
+                    lo = mid + 1;
                 } else {
-                    None
-                };
-                counter.add(OpKind::Compare, compares);
-                found
-            })
-            .collect();
+                    hi = mid;
+                }
+            }
+            let found = if lo < n {
+                compares += 1;
+                (pair_at(lo) == target).then_some(lo as u64)
+            } else {
+                None
+            };
+            counter.add(OpKind::Compare, compares);
+            found
+        });
         Ok(out)
     }
 }

@@ -1,4 +1,4 @@
-//! HiCOO-style block-compressed COO (after Li, Sun & Vuduc [21]).
+//! HiCOO-style block-compressed COO (after Li, Sun & Vuduc \[21\]).
 //!
 //! The paper cites HiCOO as the hierarchical COO variant it scopes out
 //! ("optimized to accelerate specific applications"); this extension
@@ -18,9 +18,9 @@ use crate::error::{FormatError, Result};
 use crate::formats::csr2d::validate_ptr;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::permute::invert_permutation;
 use artsparse_tensor::{BlockGrid, CoordBuffer, Shape};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The HiCOO-style organization.
@@ -100,19 +100,16 @@ impl Organization for HiCoo {
         let grid = self.grid_for(shape)?;
 
         // Two-level addresses for every point.
-        let addrs: Vec<(u64, u64)> = coords
-            .par_iter()
-            .map(|p| {
-                let a = grid.address(p).expect("validated above");
-                (a.block, a.local)
-            })
-            .collect();
+        let parallelism = Parallelism::current();
+        let addrs: Vec<(u64, u64)> = par::par_map(n, parallelism, |i| {
+            let a = grid.address(coords.point(i)).expect("validated above");
+            (a.block, a.local)
+        });
         counter.add(OpKind::Transform, n as u64);
 
         // Sort points by (block, local) — the HiCOO grouping.
         let sort_compares = AtomicU64::new(0);
-        let mut perm: Vec<usize> = (0..n).collect();
-        perm.par_sort_by(|&a, &b| {
+        let perm = par::sort_indices_by(n, parallelism, |a, b| {
             sort_compares.fetch_add(1, Ordering::Relaxed);
             addrs[a].cmp(&addrs[b]).then_with(|| a.cmp(&b))
         });
@@ -191,33 +188,31 @@ impl Organization for HiCoo {
         let grid = HiCoo { block_side: side }.grid_for(&shape)?;
         let block_dims = grid.block_dims().to_vec();
 
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                if !shape.contains(q) {
-                    counter.inc(OpKind::Compare);
-                    return None;
-                }
-                let addr = grid.address(q).expect("contained");
-                counter.inc(OpKind::Transform);
-                // Binary-search the block, then scan its run.
-                let bi = block_ids.partition_point(|&b| b < addr.block);
-                let mut compares = (usize::BITS - block_ids.len().leading_zeros()) as u64;
-                let mut found = None;
-                if bi < nblocks && block_ids[bi] == addr.block {
-                    let target: Vec<u8> = (0..d).map(|k| (q[k] % block_dims[k]) as u8).collect();
-                    for j in bptr[bi] as usize..bptr[bi + 1] as usize {
-                        compares += 1;
-                        if locals[j * d..(j + 1) * d] == target[..] {
-                            found = Some(j as u64);
-                            break;
-                        }
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            if !shape.contains(q) {
+                counter.inc(OpKind::Compare);
+                return None;
+            }
+            let addr = grid.address(q).expect("contained");
+            counter.inc(OpKind::Transform);
+            // Binary-search the block, then scan its run.
+            let bi = block_ids.partition_point(|&b| b < addr.block);
+            let mut compares = (usize::BITS - block_ids.len().leading_zeros()) as u64;
+            let mut found = None;
+            if bi < nblocks && block_ids[bi] == addr.block {
+                let target: Vec<u8> = (0..d).map(|k| (q[k] % block_dims[k]) as u8).collect();
+                for j in bptr[bi] as usize..bptr[bi + 1] as usize {
+                    compares += 1;
+                    if locals[j * d..(j + 1) * d] == target[..] {
+                        found = Some(j as u64);
+                        break;
                     }
                 }
-                counter.add(OpKind::Compare, compares);
-                found
-            })
-            .collect();
+            }
+            counter.add(OpKind::Compare, compares);
+            found
+        });
         Ok(out)
     }
 

@@ -11,9 +11,9 @@ use crate::codec::{IndexDecoder, IndexEncoder};
 use crate::error::{FormatError, Result};
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::permute::invert_permutation;
 use artsparse_tensor::{CoordBuffer, Shape};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// COO sorted by row-major linear address.
@@ -36,8 +36,7 @@ impl Organization for SortedCoo {
         counter.add(OpKind::Transform, n as u64);
 
         let sort_compares = AtomicU64::new(0);
-        let mut perm: Vec<usize> = (0..n).collect();
-        perm.par_sort_by(|&a, &b| {
+        let perm = par::sort_indices_by(n, Parallelism::current(), |a, b| {
             sort_compares.fetch_add(1, Ordering::Relaxed);
             addrs[a].cmp(&addrs[b]).then_with(|| a.cmp(&b))
         });
@@ -74,28 +73,26 @@ impl Organization for SortedCoo {
             }
             .into());
         }
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                if !shape.contains(q) {
-                    counter.inc(OpKind::Compare);
-                    return None;
-                }
-                let target = shape.linearize_unchecked(q);
-                counter.inc(OpKind::Transform);
-                let pos = addrs.partition_point(|&a| a < target);
-                // log2(n)+1 comparisons for the search plus the verify.
-                counter.add(
-                    OpKind::Compare,
-                    (usize::BITS - addrs.len().leading_zeros()) as u64 + 1,
-                );
-                if pos < addrs.len() && addrs[pos] == target {
-                    Some(pos as u64)
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            if !shape.contains(q) {
+                counter.inc(OpKind::Compare);
+                return None;
+            }
+            let target = shape.linearize_unchecked(q);
+            counter.inc(OpKind::Transform);
+            let pos = addrs.partition_point(|&a| a < target);
+            // log2(n)+1 comparisons for the search plus the verify.
+            counter.add(
+                OpKind::Compare,
+                (usize::BITS - addrs.len().leading_zeros()) as u64 + 1,
+            );
+            if pos < addrs.len() && addrs[pos] == target {
+                Some(pos as u64)
+            } else {
+                None
+            }
+        });
         Ok(out)
     }
 

@@ -17,9 +17,9 @@ use crate::error::Result;
 use crate::formats::csr2d::{build_ptr, scan_bucket, validate_ptr, Remap2D};
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::permute::{gather, invert_permutation};
 use artsparse_tensor::{CoordBuffer, Shape};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The GCSR++ organization.
@@ -51,20 +51,19 @@ pub(crate) fn build_generalized(
 
     // Lines 7–11: transform each point to (bucket, ind) through its linear
     // address. Two transforms per point — the `2×n` term of Table I.
-    let pairs: Vec<(u64, u64)> = coords
-        .par_iter()
-        .map(|p| {
-            let l = s_l.linearize_unchecked(p);
-            let (row, col) = remap.decode(l);
-            split(row, col)
-        })
-        .collect();
+    let parallelism = Parallelism::current();
+    let pairs: Vec<(u64, u64)> = par::par_map(n, parallelism, |i| {
+        let l = s_l.linearize_unchecked(coords.point(i));
+        let (row, col) = remap.decode(l);
+        split(row, col)
+    });
     counter.add(OpKind::Transform, 2 * n as u64);
 
-    // Line 12: stable sort by bucket, recording the provenance map.
+    // Line 12: stable sort by bucket, recording the provenance map. The
+    // index tie-break makes the comparator a total order, so the chunked
+    // parallel sort reproduces the sequential permutation exactly.
     let sort_compares = AtomicU64::new(0);
-    let mut perm: Vec<usize> = (0..n).collect();
-    perm.par_sort_by(|&a, &b| {
+    let perm = par::sort_indices_by(n, parallelism, |a, b| {
         sort_compares.fetch_add(1, Ordering::Relaxed);
         pairs[a].0.cmp(&pairs[b].0).then_with(|| a.cmp(&b))
     });
@@ -128,23 +127,23 @@ pub(crate) fn read_generalized(
     }
 
     // Lines 6–13: transform each query the same way and scan one bucket.
-    let out: Vec<Option<u64>> = queries
-        .par_iter()
-        .map(|q| {
-            // Outside the local boundary ⇒ cannot be present.
-            if !s_l.contains(q) {
-                counter.inc(OpKind::Compare);
-                return None;
-            }
-            let l = s_l.linearize_unchecked(q);
-            let (row, col) = remap.decode(l);
-            let (bucket, target) = split(row, col);
-            counter.inc(OpKind::Transform);
-            let (slot, compares) = scan_bucket(&ind, &ptr, bucket, target);
-            counter.add(OpKind::Compare, compares);
-            slot
-        })
-        .collect();
+    // Queries shard across threads; concatenation in shard order keeps
+    // the output in input order.
+    let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+        let q = queries.point(qi);
+        // Outside the local boundary ⇒ cannot be present.
+        if !s_l.contains(q) {
+            counter.inc(OpKind::Compare);
+            return None;
+        }
+        let l = s_l.linearize_unchecked(q);
+        let (row, col) = remap.decode(l);
+        let (bucket, target) = split(row, col);
+        counter.inc(OpKind::Transform);
+        let (slot, compares) = scan_bucket(&ind, &ptr, bucket, target);
+        counter.add(OpKind::Compare, compares);
+        slot
+    });
     Ok(out)
 }
 

@@ -12,6 +12,7 @@ use crate::codec::{IndexDecoder, IndexEncoder};
 use crate::error::Result;
 use crate::traits::{BuildOutput, FormatKind, Organization};
 use artsparse_metrics::{OpCounter, OpKind};
+use artsparse_tensor::par::{self, Parallelism};
 use artsparse_tensor::{CoordBuffer, Shape};
 
 /// The LINEAR organization.
@@ -63,29 +64,27 @@ impl Organization for Linear {
             .into());
         }
 
-        let out: Vec<Option<u64>> = queries
-            .par_iter()
-            .map(|q| {
-                // A query outside the build shape cannot be stored.
-                if !shape.contains(q) {
-                    counter.inc(OpKind::Compare);
-                    return None;
+        let out: Vec<Option<u64>> = par::par_map(queries.len(), Parallelism::current(), |qi| {
+            let q = queries.point(qi);
+            // A query outside the build shape cannot be stored.
+            if !shape.contains(q) {
+                counter.inc(OpKind::Compare);
+                return None;
+            }
+            let target = shape.linearize_unchecked(q);
+            counter.inc(OpKind::Transform);
+            let mut compares = 0u64;
+            let mut found = None;
+            for (j, &a) in addrs.iter().enumerate() {
+                compares += 1;
+                if a == target {
+                    found = Some(j as u64);
+                    break;
                 }
-                let target = shape.linearize_unchecked(q);
-                counter.inc(OpKind::Transform);
-                let mut compares = 0u64;
-                let mut found = None;
-                for (j, &a) in addrs.iter().enumerate() {
-                    compares += 1;
-                    if a == target {
-                        found = Some(j as u64);
-                        break;
-                    }
-                }
-                counter.add(OpKind::Compare, compares);
-                found
-            })
-            .collect();
+            }
+            counter.add(OpKind::Compare, compares);
+            found
+        });
         Ok(out)
     }
 

@@ -16,6 +16,10 @@
 //! ([`formats::ext`]) and its stated future work, the automatic
 //! organization [`advisor`].
 //!
+//! Sorting builds and batched reads route their hot loops through
+//! `artsparse_tensor::par` — sequential below the configured cutoff,
+//! chunk-sorted/sharded above it, bit-identical either way.
+//!
 //! Quick start:
 //!
 //! ```

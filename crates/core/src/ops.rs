@@ -2,8 +2,8 @@
 //!
 //! The paper motivates sparse storage with the workloads that consume it —
 //! SpMV on adjacency/stencil matrices, tensor-times-vector contractions in
-//! factorizations (SPLATT [14,15], the origin of CSF). These kernels run
-//! directly against any encoded index via [`Organization::enumerate`], so
+//! factorizations (SPLATT \[14,15\], the origin of CSF). These kernels run
+//! directly against any encoded index via [`Organization::enumerate`](crate::Organization::enumerate), so
 //! a fragment can be *used*, not just queried, without first re-expanding
 //! it into COO by hand.
 

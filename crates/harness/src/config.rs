@@ -71,6 +71,12 @@ pub struct Config {
     /// (`telemetry-<format>-<pattern>-<ndim>D.json`). Setting it implies
     /// `telemetry`.
     pub telemetry_out: Option<PathBuf>,
+    /// Compute threads for format builds and batched reads (`--threads`):
+    /// `0` (the default) uses the host's available parallelism, `1`
+    /// forces the sequential reference path. An explicit value also pins
+    /// the engine's per-fragment read parallelism so `--threads 1` is
+    /// fully sequential end to end.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -88,6 +94,7 @@ impl Default for Config {
             direct_commit: false,
             telemetry: false,
             telemetry_out: None,
+            threads: 0,
         }
     }
 }
@@ -105,6 +112,19 @@ impl Config {
     /// Whether telemetry should be collected (either flag).
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry || self.telemetry_out.is_some()
+    }
+
+    /// The engine configuration a matrix cell runs under: commit mode,
+    /// telemetry, and the `--threads` parallelism knobs.
+    pub fn engine_config(&self) -> artsparse_storage::EngineConfig {
+        let mut ec = artsparse_storage::EngineConfig::default()
+            .with_commit_mode(self.commit_mode())
+            .with_telemetry(self.telemetry_enabled())
+            .with_threads(self.threads);
+        if self.threads > 0 {
+            ec = ec.with_read_parallelism(self.threads);
+        }
+        ec
     }
 
     /// A fast configuration for tests: smoke scale, in-memory backend.

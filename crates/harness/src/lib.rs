@@ -7,6 +7,7 @@
 //! |------------|----------------|--------|
 //! | `table1` | Table I complexity validation | [`experiments::table1`] |
 //! | `table2` | Table II dataset densities | [`experiments::table2`] |
+//! | `fig1` | Fig. 1 worked-example structures | [`experiments::fig1`] |
 //! | `fig2` | Fig. 2 pattern renders | [`experiments::fig2`] |
 //! | `fig3` | Fig. 3 write time | [`experiments::fig3`] |
 //! | `table3` | Table III write breakdown | [`experiments::table3`] |
@@ -14,6 +15,14 @@
 //! | `fig5` | Fig. 5 read time | [`experiments::fig5`] |
 //! | `table4` | Table IV overall scores | [`experiments::table4`] |
 //! | `ablate` | extensions + advisor (beyond the paper) | [`experiments::ablate`] |
+//! | `compress` | index-codec orthogonality (beyond the paper) | [`experiments::compress`] |
+//! | `sweep` | density sweep (beyond the paper) | [`experiments::sweep`] |
+//! | `io` | device study: mem / simulated OST / striping | [`experiments::io`] |
+//!
+//! Shared plumbing: [`config::Config`] (scale, backend, formats,
+//! `--threads` compute width), [`matrix`] (the measurement grid Fig.
+//! 3/4/5 and Tables III/IV reuse), and [`telemetry`] (per-cell JSON
+//! documents + schema validation).
 
 #![warn(missing_docs)]
 

@@ -42,7 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
          [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..] \
-         [--commit-mode staged|direct] [--telemetry] [--telemetry-out DIR]\n\
+         [--commit-mode staged|direct] [--telemetry] [--telemetry-out DIR] \
+         [--threads N]\n\
          experiments: {} all\n\
          or: artsparse-bench validate-telemetry <file>... [--schema PATH]\n\
          or: artsparse-bench scrub <dir>",
@@ -246,6 +247,10 @@ fn parse_args() -> (Vec<String>, Config) {
                 };
             }
             "--telemetry" => cfg.telemetry = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.threads = v.parse().unwrap_or_else(|_| usage());
+            }
             "--telemetry-out" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cfg.telemetry_out = Some(PathBuf::from(v));

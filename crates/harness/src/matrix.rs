@@ -7,9 +7,7 @@ use crate::Result;
 use artsparse_core::FormatKind;
 use artsparse_metrics::{time_it, Measurement, TelemetryReport, WriteBreakdown};
 use artsparse_patterns::{Dataset, Pattern, Scale};
-use artsparse_storage::{
-    EngineConfig, FsBackend, MemBackend, SimulatedDisk, StorageBackend, StorageEngine,
-};
+use artsparse_storage::{FsBackend, MemBackend, SimulatedDisk, StorageBackend, StorageEngine};
 use artsparse_tensor::value::pack;
 use serde::{Deserialize, Serialize};
 
@@ -154,9 +152,7 @@ pub fn measure_cell_telemetry(
         format,
         dataset.shape.clone(),
         8,
-        EngineConfig::default()
-            .with_commit_mode(cfg.commit_mode())
-            .with_telemetry(cfg.telemetry_enabled()),
+        cfg.engine_config(),
     )?;
 
     let report = engine.write(&dataset.coords, payload)?;

@@ -17,8 +17,10 @@ use serde::Serialize;
 
 /// Schema version stamped into every exported document. Version 2 added
 /// the integrity counters (`retries`, `checksum_failures`,
-/// `fragments_quarantined`) and the `engine.scrub` span kinds.
-pub const TELEMETRY_VERSION: u32 = 2;
+/// `fragments_quarantined`) and the `engine.scrub` span kinds. Version 3
+/// added the `par_tasks_spawned` counter and the `engine.par.shard` span
+/// kind emitted by the compute-parallel execution layer.
+pub const TELEMETRY_VERSION: u32 = 3;
 
 /// Aggregated view of one span kind.
 #[derive(Debug, Clone, Serialize)]
@@ -271,7 +273,7 @@ mod tests {
         let report = sample_report();
         let v = serde_json::to_value(&report).unwrap();
         assert_eq!(v["version"].as_u64(), Some(u64::from(TELEMETRY_VERSION)));
-        assert_eq!(TELEMETRY_VERSION, 2);
+        assert_eq!(TELEMETRY_VERSION, 3);
         let spans = v["spans"].as_array().unwrap();
         assert_eq!(spans.len(), 2);
         assert!(spans

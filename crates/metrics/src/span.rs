@@ -6,7 +6,7 @@
 //! thread-local stack — no allocation, no locking, no recorder call until
 //! the span closes. On drop the span pops its frame, stamps it with a
 //! monotonic start/duration, and hands the finished [`SpanRecord`] to the
-//! [`Recorder`](crate::Recorder).
+//! [`Recorder`].
 //!
 //! Two properties keep the accounting honest:
 //!
@@ -52,6 +52,9 @@ pub enum SpanKind {
     Recover,
     Scrub,
     ScrubFragment,
+    /// One shard of compute-parallel format work (chunked sort or batched
+    /// query scan), synthesized by the engine from per-shard timings.
+    ParShard,
 }
 
 impl SpanKind {
@@ -76,6 +79,7 @@ impl SpanKind {
             SpanKind::Recover => "engine.recover",
             SpanKind::Scrub => "engine.scrub",
             SpanKind::ScrubFragment => "engine.scrub.fragment",
+            SpanKind::ParShard => "engine.par.shard",
         }
     }
 
@@ -100,6 +104,7 @@ impl SpanKind {
             SpanKind::Recover,
             SpanKind::Scrub,
             SpanKind::ScrubFragment,
+            SpanKind::ParShard,
         ]
     }
 }
@@ -149,6 +154,9 @@ pub struct IoStats {
     pub checksum_failures: u64,
     /// Fragments newly quarantined (first observations only).
     pub fragments_quarantined: u64,
+    /// Worker threads spawned for compute-parallel format work (sorts,
+    /// batched query scans). Zero on sequential paths.
+    pub par_tasks_spawned: u64,
 }
 
 impl IoStats {
@@ -182,6 +190,9 @@ impl IoStats {
         self.fragments_quarantined = self
             .fragments_quarantined
             .saturating_add(other.fragments_quarantined);
+        self.par_tasks_spawned = self
+            .par_tasks_spawned
+            .saturating_add(other.par_tasks_spawned);
     }
 
     /// Whether every counter is zero.
@@ -401,6 +412,6 @@ mod tests {
             assert!(k.name().starts_with("engine."), "{}", k.name());
             assert!(seen.insert(k.name()), "duplicate name {}", k.name());
         }
-        assert_eq!(seen.len(), 18);
+        assert_eq!(seen.len(), 19);
     }
 }

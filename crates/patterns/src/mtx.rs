@@ -1,7 +1,7 @@
 //! MatrixMarket (`.mtx`) coordinate I/O.
 //!
 //! The paper surveys real sparse data through the SuiteSparse collection
-//! [25], which distributes matrices in the MatrixMarket exchange format.
+//! \[25\], which distributes matrices in the MatrixMarket exchange format.
 //! This module reads and writes the `matrix coordinate` flavor so real
 //! datasets can be pulled into the benchmark alongside the synthetic
 //! patterns.

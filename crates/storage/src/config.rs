@@ -140,6 +140,22 @@ pub struct EngineConfig {
     /// When on, `StorageEngine::telemetry_report()` snapshots the
     /// aggregated report for export.
     pub telemetry: bool,
+    /// Worker threads for compute-parallel format work: the chunked
+    /// lexicographic sorts inside sorting builds and the sharded batched
+    /// point-query scans. Zero (the default) uses the host's available
+    /// parallelism; one forces the sequential reference path. Independent
+    /// of [`read_parallelism`], which governs per-*fragment* pipeline
+    /// concurrency.
+    ///
+    /// [`read_parallelism`]: EngineConfig::read_parallelism
+    pub threads: usize,
+    /// Minimum element count (points to sort, queries to execute) before
+    /// format work fans out across [`threads`]. Below this the sequential
+    /// path always runs — parallelism never pays for tiny inputs. The
+    /// default is [`artsparse_tensor::par::DEFAULT_CUTOFF`].
+    ///
+    /// [`threads`]: EngineConfig::threads
+    pub parallel_cutoff: usize,
     /// Retry policy for backend fetches (see [`RetryPolicy`]).
     pub retry: RetryPolicy,
     /// Fail-closed reads (the default): a fragment that exhausts retries
@@ -159,6 +175,8 @@ impl Default for EngineConfig {
             range_fetch: true,
             commit_mode: CommitMode::Staged,
             telemetry: false,
+            threads: 0,
+            parallel_cutoff: artsparse_tensor::par::DEFAULT_CUTOFF,
             retry: RetryPolicy::default(),
             strict_reads: true,
         }
@@ -207,6 +225,30 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style compute-thread override (`0` = auto, `1` =
+    /// sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style parallel-cutoff override.
+    pub fn with_parallel_cutoff(mut self, cutoff: usize) -> Self {
+        self.parallel_cutoff = cutoff;
+        self
+    }
+
+    /// The [`Parallelism`] the engine installs around format builds and
+    /// batched reads, derived from [`threads`] and [`parallel_cutoff`].
+    ///
+    /// [`Parallelism`]: artsparse_tensor::par::Parallelism
+    /// [`threads`]: EngineConfig::threads
+    /// [`parallel_cutoff`]: EngineConfig::parallel_cutoff
+    pub fn parallelism(&self) -> artsparse_tensor::par::Parallelism {
+        artsparse_tensor::par::Parallelism::with_threads(self.threads)
+            .with_cutoff(self.parallel_cutoff)
+    }
+
     /// Builder-style retry-policy override.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
@@ -232,6 +274,8 @@ mod tests {
         assert!(c.range_fetch);
         assert_eq!(c.commit_mode, CommitMode::Staged);
         assert!(!c.telemetry);
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.parallel_cutoff, artsparse_tensor::par::DEFAULT_CUTOFF);
         assert_eq!(c.retry, RetryPolicy::default());
         assert_eq!(c.retry.max_attempts, 3);
         assert!(c.strict_reads);
@@ -243,6 +287,8 @@ mod tests {
             .with_range_fetch(false)
             .with_commit_mode(CommitMode::Direct)
             .with_telemetry(true)
+            .with_threads(3)
+            .with_parallel_cutoff(128)
             .with_retry(RetryPolicy::none())
             .with_strict_reads(false);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
@@ -252,6 +298,9 @@ mod tests {
         assert!(c.telemetry);
         assert_eq!(c.retry.attempts(), 1);
         assert!(!c.strict_reads);
+        let p = c.parallelism();
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.cutoff, 128);
     }
 
     #[test]

@@ -40,9 +40,10 @@ use crate::fragment::{
 use crate::observe::RecordingBackend;
 use artsparse_core::FormatKind;
 use artsparse_metrics::{
-    charge, NoopRecorder, OpCounter, PhaseTimer, Recorder, Span, SpanKind, TelemetryRecorder,
-    TelemetryReport, WriteBreakdown, WritePhase,
+    charge, now_ns, IoStats, NoopRecorder, OpCounter, PhaseTimer, Recorder, Span, SpanKind,
+    SpanRecord, TelemetryRecorder, TelemetryReport, WriteBreakdown, WritePhase,
 };
+use artsparse_tensor::par;
 use artsparse_tensor::value::Element;
 use artsparse_tensor::{CoordBuffer, Region, Shape};
 use std::collections::HashMap;
@@ -502,12 +503,40 @@ impl<B: StorageBackend> StorageEngine<B> {
         Ok(())
     }
 
+    /// Run `f` under the configured compute [`Parallelism`], then feed the
+    /// observation back into telemetry: spawned worker counts are charged
+    /// to the innermost open span and each worker shard becomes one
+    /// synthesized `engine.par.shard` span. Sequential runs (threads = 1,
+    /// or inputs below the cutoff) observe nothing and record nothing.
+    ///
+    /// [`Parallelism`]: artsparse_tensor::par::Parallelism
+    fn observed_parallel<R>(&self, f: impl FnOnce() -> R) -> R {
+        let op_start = now_ns();
+        let (out, report) = par::observed(self.config.parallelism(), f);
+        if report.tasks_spawned > 0 {
+            charge(|io| io.par_tasks_spawned += report.tasks_spawned);
+        }
+        if self.recorder.enabled() {
+            for shard in &report.shards {
+                self.recorder.record_span(&SpanRecord {
+                    kind: SpanKind::ParShard,
+                    start_ns: op_start + shard.start_offset_ns,
+                    dur_ns: shard.dur_ns,
+                    depth: 0,
+                    io: IoStats::default(),
+                });
+            }
+        }
+        out
+    }
+
     /// Algorithm 3 WRITE: package `coords`/`values` into a new fragment.
     ///
     /// `values` is an opaque payload of `elem_size`-byte records, one per
     /// point, in the same order as `coords`.
     ///
-    /// Publication is crash-safe under the configured [`CommitMode`]:
+    /// Publication is crash-safe under the configured
+    /// [`CommitMode`](crate::config::CommitMode):
     /// with the default staged mode a fragment either commits whole (one
     /// rename) or leaves only an invisible staging blob that recovery
     /// sweeps — readers, catalog reloads, and concurrent engines never
@@ -548,7 +577,7 @@ impl<B: StorageBackend> StorageEngine<B> {
 
         // -- Build: construct the organization -------------------------
         let built = timer.time(WritePhase::Build, || {
-            org.build(coords, &self.shape, &self.counter)
+            self.observed_parallel(|| org.build(coords, &self.shape, &self.counter))
         })?;
 
         // -- Reorg: permute values by the map ---------------------------
@@ -926,7 +955,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         let matched: Vec<(usize, u64)> = {
             let _decode = Span::enter(&self.recorder, SpanKind::ReadDecode);
             let org = meta.kind.create();
-            let slots = org.read(&index, queries, &self.counter)?;
+            let slots = self.observed_parallel(|| org.read(&index, queries, &self.counter))?;
             slots
                 .into_iter()
                 .enumerate()
@@ -1073,7 +1102,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         queries: &CoordBuffer,
     ) -> Result<Vec<ReadHit>> {
         let org = meta.kind.create();
-        let slots = org.read(index, queries, &self.counter)?;
+        let slots = self.observed_parallel(|| org.read(index, queries, &self.counter))?;
         let elem = meta.elem_size as usize;
         let mut hits = Vec::new();
         for (qi, slot) in slots.into_iter().enumerate() {
@@ -1295,7 +1324,8 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// scrubbing is diagnosis, not serving) and reported as findings.
     /// Already-quarantined fragments are re-checked too: a finding with
     /// `newly_quarantined == false` confirms known damage. Transient
-    /// fetch failures retry under the engine's [`RetryPolicy`]
+    /// fetch failures retry under the engine's
+    /// [`RetryPolicy`](crate::config::RetryPolicy)
     /// (crate::config::RetryPolicy) before a fragment is declared
     /// damaged; fragments that vanish mid-scrub (concurrent delete or
     /// consolidation) are skipped.

@@ -16,7 +16,9 @@
 //! * [`cache`] — a bytes-bounded LRU of decoded fragments for
 //!   repeat-read workloads;
 //! * [`config`] — tuning knobs for the read pipeline (cache budget,
-//!   parallelism, range fetch) and the fragment commit protocol;
+//!   per-fragment parallelism, range fetch), the compute-parallel layer
+//!   (`threads`, `parallel_cutoff` — DESIGN.md §12), and the fragment
+//!   commit protocol;
 //! * [`engine`] — Algorithm 3's WRITE (with the Table III phase
 //!   breakdown, published through a crash-safe staged commit) and READ
 //!   as a layered catalog → plan → fetch → decode → merge pipeline;

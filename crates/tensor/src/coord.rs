@@ -9,7 +9,6 @@
 use crate::error::{Result, TensorError};
 use crate::region::Region;
 use crate::shape::Shape;
-use rayon::prelude::*;
 
 /// An unsorted buffer of `n` points × `ndim` coordinates, interleaved.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -110,11 +109,6 @@ impl CoordBuffer {
         self.data.chunks_exact(self.ndim)
     }
 
-    /// Rayon parallel iterator over points.
-    pub fn par_iter(&self) -> impl IndexedParallelIterator<Item = &[u64]> + '_ {
-        self.data.par_chunks_exact(self.ndim)
-    }
-
     /// Validate that every point lies inside `shape`.
     pub fn check_against(&self, shape: &Shape) -> Result<()> {
         if shape.ndim() != self.ndim {
@@ -162,13 +156,15 @@ impl CoordBuffer {
 
     /// Linearize every point against `shape` (row-major), in parallel.
     ///
-    /// This is the bulk transform behind the LINEAR build (`O(n·d)`).
+    /// This is the bulk transform behind the LINEAR build (`O(n·d)`);
+    /// width and cutoff come from [`Parallelism::current`](crate::par::Parallelism::current).
     pub fn linearize_all(&self, shape: &Shape) -> Result<Vec<u64>> {
         self.check_against(shape)?;
-        Ok(self
-            .par_iter()
-            .map(|p| shape.linearize_unchecked(p))
-            .collect())
+        Ok(crate::par::par_map(
+            self.len(),
+            crate::par::Parallelism::current(),
+            |i| shape.linearize_unchecked(self.point(i)),
+        ))
     }
 
     /// Reorder points so that output point `j` is input point `perm[j]`.
@@ -195,8 +191,8 @@ impl CoordBuffer {
         let ndim = self.ndim;
         let data: Vec<u64> = self
             .data
-            .par_chunks_exact(ndim)
-            .flat_map_iter(|p| order.iter().map(move |&k| p[k]))
+            .chunks_exact(ndim)
+            .flat_map(|p| order.iter().map(move |&k| p[k]))
             .collect();
         Ok(CoordBuffer { ndim, data })
     }

@@ -12,20 +12,23 @@
 //!
 //! They are inverses of each other.
 
-use rayon::prelude::*;
+use crate::par::{self, Parallelism};
 use std::cmp::Ordering;
 
 /// Stable argsort of `0..n` under a comparator, in parallel.
 ///
 /// Returns the gather permutation: `perm[j]` is the input index that sorts
-/// into position `j`.
+/// into position `j`. Appending an index tie-break makes the comparator a
+/// total order, so the parallel chunked sort in [`par`] produces exactly
+/// the sequential (stable) permutation at every thread count. Width and
+/// cutoff come from [`Parallelism::current`].
 pub fn argsort_by<F>(n: usize, cmp: F) -> Vec<usize>
 where
     F: Fn(usize, usize) -> Ordering + Sync,
 {
-    let mut perm: Vec<usize> = (0..n).collect();
-    perm.par_sort_by(|&a, &b| cmp(a, b).then_with(|| a.cmp(&b)));
-    perm
+    par::sort_indices_by(n, Parallelism::current(), |a, b| {
+        cmp(a, b).then_with(|| a.cmp(&b))
+    })
 }
 
 /// Stable argsort of `0..n` by a key function, in parallel.
@@ -34,9 +37,7 @@ where
     K: Ord + Send,
     F: Fn(usize) -> K + Sync,
 {
-    let mut perm: Vec<usize> = (0..n).collect();
-    perm.par_sort_by_key(|&i| (key(i), i));
-    perm
+    argsort_by(n, |a, b| key(a).cmp(&key(b)))
 }
 
 /// Invert a permutation: if `perm[j] = i` then `inv[i] = j`.
@@ -65,7 +66,7 @@ pub fn is_permutation(p: &[usize]) -> bool {
 
 /// Gather fixed-size elements: output slot `j` = input element `perm[j]`.
 pub fn gather<T: Copy + Send + Sync>(items: &[T], perm: &[usize]) -> Vec<T> {
-    perm.par_iter().map(|&i| items[i]).collect()
+    perm.iter().map(|&i| items[i]).collect()
 }
 
 /// Scatter fixed-size elements by the paper's `map`: input element `i`
@@ -97,8 +98,8 @@ pub fn scatter_bytes(bytes: &[u8], elem_size: usize, map: &[usize]) -> Vec<u8> {
 pub fn gather_bytes(bytes: &[u8], elem_size: usize, perm: &[usize]) -> Vec<u8> {
     assert_eq!(bytes.len(), perm.len() * elem_size);
     let mut out = vec![0u8; bytes.len()];
-    out.par_chunks_exact_mut(elem_size)
-        .zip(perm.par_iter())
+    out.chunks_exact_mut(elem_size)
+        .zip(perm.iter())
         .for_each(|(dst, &i)| {
             dst.copy_from_slice(&bytes[i * elem_size..(i + 1) * elem_size]);
         });

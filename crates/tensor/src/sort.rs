@@ -3,7 +3,9 @@
 //! All sorting builds in the paper (GCSR++ line 12, CSF line 7) both sort
 //! the coordinate buffer *and* return a `map` recording where each original
 //! point went, so values can be reorganized to match. These helpers provide
-//! that pattern over [`CoordBuffer`] with rayon-parallel sorts.
+//! that pattern over [`CoordBuffer`]; the sorts run through the scoped
+//! parallel layer in [`crate::par`] and fall back to a sequential stable
+//! sort below the configured cutoff.
 
 use crate::coord::CoordBuffer;
 use crate::permute::{argsort_by, argsort_by_key, invert_permutation};

@@ -14,8 +14,14 @@
 //! * [`core`] — the organizations, the Table I cost model, the advisor;
 //! * [`storage`] — fragments, backends (fs / mem / simulated disk), engine;
 //! * [`patterns`] — TSP/GSP/MSP generators and evaluation scales;
-//! * [`metrics`] — op counters, phase timers, the Table IV score;
+//! * [`metrics`] — op counters, phase timers, telemetry, the Table IV score;
 //! * [`harness`] — the per-table/per-figure experiment runners.
+//!
+//! Format builds and batched point reads run through a dependency-free
+//! compute-parallel layer ([`tensor::par`]); thread count and the
+//! sequential-fallback cutoff are engine knobs
+//! ([`storage::EngineConfig::with_threads`]), and parallel execution is
+//! bit-identical to the sequential reference (see `DESIGN.md` §12).
 //!
 //! ## Quick start
 //!
@@ -51,6 +57,31 @@
 //! assert_eq!(vals, vec![Some(10.0), Some(20.0)]);
 //! # Ok::<(), artsparse::storage::StorageError>(())
 //! ```
+//!
+//! ## Reading the telemetry digest
+//!
+//! ```
+//! use artsparse::storage::{EngineConfig, MemBackend, StorageEngine};
+//! use artsparse::{CoordBuffer, FormatKind, Shape};
+//!
+//! let engine = StorageEngine::open_with(
+//!     MemBackend::new(),
+//!     FormatKind::Linear,
+//!     Shape::new(vec![32, 32]).unwrap(),
+//!     8,
+//!     EngineConfig::default().with_telemetry(true),
+//! )?;
+//! let coords = CoordBuffer::from_points(2, &[[0u64, 1], [5, 6]]).unwrap();
+//! engine.write_points::<f64>(&coords, &[1.0, 2.0])?;
+//! engine.read_values::<f64>(&coords)?;
+//!
+//! let report = engine.telemetry_report().expect("telemetry was enabled");
+//! assert!(report.spans.iter().any(|s| s.count > 0));
+//! println!("{}", report.to_ascii()); // per-span latencies, I/O totals
+//! # Ok::<(), artsparse::storage::StorageError>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub use artsparse_core as core;
 pub use artsparse_harness as harness;

@@ -1,6 +1,6 @@
 //! Offline stand-in for `proptest`.
 //!
-//! Supplies the subset artsparse's property tests use: the [`Strategy`]
+//! Supplies the subset artsparse's property tests use: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
 //! `prop::collection::vec`, `any::<T>()`, and the [`proptest!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are generated
