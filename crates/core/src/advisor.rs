@@ -9,7 +9,8 @@
 //! predicted cost, normalize exactly like the paper's Table IV score, and
 //! recommend the argmin.
 
-use crate::complexity::{predicted_build_ops, predicted_read_ops, predicted_space_words};
+use crate::complexity::{lg, predicted_build_ops, predicted_read_ops, predicted_space_words};
+use crate::stats::SparsityStats;
 use crate::traits::FormatKind;
 use artsparse_tensor::Shape;
 use serde::{Deserialize, Serialize};
@@ -116,7 +117,18 @@ pub fn recommend(
         .map(|&k| predicted_space_words(k, n, shape))
         .collect();
 
-    // Table IV-style normalization: each metric divided by its max.
+    rank(candidates, &writes, &reads, &spaces, profile)
+}
+
+/// Table IV-style scoring: normalize each metric by its max, weight by the
+/// profile, sort ascending.
+fn rank(
+    candidates: Vec<FormatKind>,
+    writes: &[f64],
+    reads: &[f64],
+    spaces: &[f64],
+    profile: &AccessProfile,
+) -> Recommendation {
     let norm = |v: &[f64]| -> Vec<f64> {
         let max = v
             .iter()
@@ -125,7 +137,7 @@ pub fn recommend(
             .max(f64::MIN_POSITIVE);
         v.iter().map(|x| x / max).collect()
     };
-    let (wn, rn, sn) = (norm(&writes), norm(&reads), norm(&spaces));
+    let (wn, rn, sn) = (norm(writes), norm(reads), norm(spaces));
     let wsum = profile.write_weight + profile.read_weight + profile.space_weight;
 
     let mut ranking: Vec<Candidate> = candidates
@@ -142,6 +154,119 @@ pub fn recommend(
         .collect();
     ranking.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
     Recommendation { ranking }
+}
+
+/// Rank `candidates` from *measured* sparsity characteristics instead of
+/// shape-only predictions — the live entry point the storage engine's
+/// consolidation path calls with stats gathered during its merge scan.
+///
+/// Build costs still come from the Table I model (building is about the
+/// incoming point count, which the stats report exactly); read and space
+/// costs are refined by what was measured:
+///
+/// * GCSR++/GCSC++ per-query scans divide by the *occupied* bucket count,
+///   not the nominal `min mᵢ`;
+/// * CSF descent cost sums the measured per-level branching logs, and its
+///   footprint is the measured node counts rather than the `O(d·n)` worst
+///   case;
+/// * block formats (HiCOO, ADAPTIVE) are charged for the blocks actually
+///   occupied, so clustered data (high occupancy) scores far better than
+///   scatter at equal `n`.
+pub fn recommend_from_stats(
+    stats: &SparsityStats,
+    profile: &AccessProfile,
+    candidates: &[FormatKind],
+) -> Recommendation {
+    let candidates: Vec<FormatKind> = if candidates.is_empty() {
+        FormatKind::PAPER_FIVE.to_vec()
+    } else {
+        candidates.to_vec()
+    };
+    let shape = &stats.shape;
+    let n = stats.n.max(1);
+    let n_read = ((n as f64 * profile.reads_per_point).ceil() as u64).max(1);
+
+    let writes: Vec<f64> = candidates
+        .iter()
+        .map(|&k| predicted_build_ops(k, n, shape))
+        .collect();
+    let reads: Vec<f64> = candidates
+        .iter()
+        .map(|&k| measured_read_ops(k, stats, n, n_read))
+        .collect();
+    let spaces: Vec<f64> = candidates
+        .iter()
+        .map(|&k| measured_space_words(k, stats, n))
+        .collect();
+
+    rank(candidates, &writes, &reads, &spaces, profile)
+}
+
+/// Measured-characteristics read cost (abstract ops).
+fn measured_read_ops(kind: FormatKind, stats: &SparsityStats, n: u64, n_read: u64) -> f64 {
+    let nf = n as f64;
+    let rf = n_read as f64;
+    match kind {
+        // Scans don't care about structure: the model is already exact.
+        FormatKind::Coo | FormatKind::Linear => nf * rf,
+        // One bucket scanned per query — measured mean occupancy.
+        FormatKind::GcsrPP | FormatKind::GcscPP => {
+            rf * (nf / stats.gcsr_rows_occupied.max(1) as f64) + nf
+        }
+        // Tree descent: one binary search per level, each over the
+        // measured branching factor of that level.
+        FormatKind::Csf => {
+            let mut per_query = 0.0;
+            let mut parent = 1.0f64;
+            for &nodes in &stats.nnz_per_level {
+                let branching = (nodes as f64 / parent.max(1.0)).max(2.0);
+                per_query += branching.log2();
+                parent = nodes as f64;
+            }
+            rf * per_query.max(1.0)
+        }
+        FormatKind::SortedCoo | FormatKind::BlockedLinear => rf * lg(n),
+        // Block binary search plus the measured mean intra-block scan.
+        FormatKind::HiCoo => {
+            rf * (lg(stats.occupied_blocks.max(1)) + nf / stats.occupied_blocks.max(1) as f64)
+        }
+        // Bitmap rank (dense blocks) or short list search (sparse) — both
+        // O(1)-ish after the block search.
+        FormatKind::Adaptive => rf * (lg(stats.occupied_blocks.max(1)) + 4.0),
+    }
+}
+
+/// Measured-characteristics space cost (words).
+fn measured_space_words(kind: FormatKind, stats: &SparsityStats, n: u64) -> f64 {
+    let nf = n as f64;
+    let d = stats.shape.ndim() as f64;
+    match kind {
+        FormatKind::Coo => nf * d,
+        FormatKind::Linear | FormatKind::SortedCoo => nf,
+        FormatKind::BlockedLinear => 2.0 * nf,
+        FormatKind::GcsrPP | FormatKind::GcscPP => nf + stats.shape.min_dim() as f64 + 1.0,
+        // Exact tree footprint: fids (one word per node) + fptr (one word
+        // per internal node + level) + the order/nfibs headers.
+        FormatKind::Csf => {
+            let nodes: u64 = stats.nnz_per_level.iter().sum();
+            let internal: u64 = stats
+                .nnz_per_level
+                .iter()
+                .take(stats.nnz_per_level.len().saturating_sub(1))
+                .sum();
+            (nodes + internal) as f64 + 3.0 * d
+        }
+        // Byte-packed offsets + per-block id and pointer bookkeeping.
+        FormatKind::HiCoo => nf * d / 8.0 + 2.0 * stats.occupied_blocks as f64 + 2.0,
+        // Per block the encoder picks min(bitmap, offset list); charge
+        // the aggregate minimum plus bookkeeping.
+        FormatKind::Adaptive => {
+            let blocks = stats.occupied_blocks.max(1) as f64;
+            let bitmap_words = (stats.block_volume as f64 / 64.0).ceil();
+            let list_words = (nf / blocks) * (d / 8.0).max(0.125);
+            blocks * bitmap_words.min(list_words.max(0.125)) + 3.0 * blocks
+        }
+    }
 }
 
 #[cfg(test)]

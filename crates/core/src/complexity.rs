@@ -15,7 +15,7 @@ use crate::traits::FormatKind;
 use artsparse_tensor::Shape;
 
 /// `log2(max(n, 2))` as f64 — the comparison factor of an `O(n log n)` sort.
-fn lg(n: u64) -> f64 {
+pub fn lg(n: u64) -> f64 {
     (n.max(2) as f64).log2()
 }
 

@@ -45,8 +45,10 @@ pub struct CsfTree {
 
 impl CsfTree {
     /// Construct the tree from lexicographically sorted, dimension-permuted
-    /// points (Algorithm 2 lines 8–18).
-    fn from_sorted(shape: &Shape, order: Vec<usize>, sorted: &CoordBuffer) -> CsfTree {
+    /// points (Algorithm 2 lines 8–18). Crate-visible so the direct
+    /// conversion layer ([`crate::convert`]) can assemble a tree from an
+    /// already-sorted stream without re-sorting.
+    pub(crate) fn from_sorted(shape: &Shape, order: Vec<usize>, sorted: &CoordBuffer) -> CsfTree {
         let d = shape.ndim();
         let n = sorted.len();
         let mut fids: Vec<Vec<u64>> = vec![Vec::new(); d];
@@ -88,7 +90,7 @@ impl CsfTree {
     }
 
     /// Serialize (Algorithm 2 line 19: concatenate `nfibs + fids + fptr`).
-    fn encode(&self, n: u64) -> Vec<u8> {
+    pub(crate) fn encode(&self, n: u64) -> Vec<u8> {
         let mut enc = IndexEncoder::new(FormatKind::Csf.id(), &self.shape, n);
         enc.put_section(&self.order.iter().map(|&o| o as u64).collect::<Vec<_>>());
         enc.put_section(&self.nfibs);
@@ -214,6 +216,44 @@ fn binary_search_counted(seg: &[u64], target: u64) -> (Option<usize>, u64) {
         }
     }
     (None, compares)
+}
+
+/// Build CSF from points already lexicographically sorted in *original*
+/// dimension order — the direct-conversion entry used by
+/// [`crate::convert`].
+///
+/// Valid only when the local boundary's ascending-size dimension order is
+/// the identity, i.e. [`Csf::build`] would not permute dimensions and its
+/// sort would be the identity; returns `Ok(None)` otherwise so the caller
+/// falls back to the sorting build. On the `Some` path the output is
+/// byte-identical to [`Csf::build`] (`map` omitted: it would be the
+/// identity).
+pub(crate) fn build_csf_presorted(
+    coords: &CoordBuffer,
+    shape: &Shape,
+    counter: &OpCounter,
+) -> Result<Option<BuildOutput>> {
+    coords.check_against(shape)?;
+    let n = coords.len();
+    let s_l = coords
+        .local_boundary_shape()
+        .unwrap_or_else(|| shape.clone());
+    let order = s_l.ascending_dim_order();
+    if order.iter().enumerate().any(|(i, &o)| i != o) {
+        return Ok(None);
+    }
+    debug_assert!(
+        (1..n).all(|j| coords.point(j - 1) <= coords.point(j)),
+        "input not lexicographically sorted"
+    );
+    let tree = CsfTree::from_sorted(&s_l, order, coords);
+    counter.add(OpKind::Transform, (n * s_l.ndim()) as u64);
+    counter.add(OpKind::Emit, tree.payload_words());
+    Ok(Some(BuildOutput {
+        index: tree.encode(n as u64),
+        map: None,
+        n_points: n,
+    }))
 }
 
 impl Organization for Csf {

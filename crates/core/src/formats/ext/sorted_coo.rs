@@ -20,6 +20,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SortedCoo;
 
+/// Build sorted COO from points already in nondecreasing linear-address
+/// order — the direct-conversion entry used by [`crate::convert`]. The
+/// sort would be the identity, so it is skipped; byte-identical to
+/// [`SortedCoo::build`] (`map` omitted: it would be the identity).
+pub(crate) fn build_sorted_coo_presorted(
+    coords: &CoordBuffer,
+    shape: &Shape,
+    counter: &OpCounter,
+) -> Result<BuildOutput> {
+    let n = coords.len();
+    let addrs = coords.linearize_all(shape)?;
+    counter.add(OpKind::Transform, n as u64);
+    debug_assert!(
+        addrs.windows(2).all(|w| w[0] <= w[1]),
+        "input not address-sorted"
+    );
+    counter.add(OpKind::Emit, n as u64);
+    let mut enc = IndexEncoder::new(FormatKind::SortedCoo.id(), shape, n as u64);
+    enc.put_section(&addrs);
+    Ok(BuildOutput {
+        index: enc.finish(),
+        map: None,
+        n_points: n,
+    })
+}
+
 impl Organization for SortedCoo {
     fn kind(&self) -> FormatKind {
         FormatKind::SortedCoo

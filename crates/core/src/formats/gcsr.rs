@@ -87,6 +87,52 @@ pub(crate) fn build_generalized(
     })
 }
 
+/// Build GCSR++ from points already in nondecreasing linear-address
+/// (equivalently: lexicographic) order — the direct-conversion entry used
+/// by [`crate::convert`].
+///
+/// Algorithm 1's sort key, the remapped 2D row `⌊l / cols⌋`, is monotone
+/// in the linear address, so for address-sorted input the stable sort is
+/// the identity permutation and is skipped entirely. The output is
+/// byte-identical to [`GcsrPP::build`] on the same points; `map` is
+/// omitted because it would be the identity.
+pub(crate) fn build_gcsr_presorted(
+    coords: &CoordBuffer,
+    shape: &Shape,
+    counter: &OpCounter,
+) -> Result<BuildOutput> {
+    coords.check_against(shape)?;
+    let n = coords.len();
+    let s_l = coords
+        .local_boundary_shape()
+        .unwrap_or_else(|| shape.clone());
+    let remap = Remap2D::for_gcsr(&s_l);
+    let nb = remap.rows as usize;
+
+    let pairs: Vec<(u64, u64)> = par::par_map(n, Parallelism::current(), |i| {
+        let l = s_l.linearize_unchecked(coords.point(i));
+        remap.decode(l)
+    });
+    counter.add(OpKind::Transform, 2 * n as u64);
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+        "input not address-sorted"
+    );
+
+    let ptr = build_ptr(pairs.iter().map(|&(b, _)| b), nb);
+    let ind: Vec<u64> = pairs.iter().map(|&(_, c)| c).collect();
+    counter.add(OpKind::Emit, (ptr.len() + ind.len()) as u64);
+
+    let mut enc = IndexEncoder::new(FormatKind::GcsrPP.id(), &s_l, n as u64);
+    enc.put_section(&ptr);
+    enc.put_section(&ind);
+    Ok(BuildOutput {
+        index: enc.finish(),
+        map: None,
+        n_points: n,
+    })
+}
+
 /// Shared read logic for GCSR++ and GCSC++.
 pub(crate) fn read_generalized(
     format: FormatKind,

@@ -39,12 +39,16 @@ pub mod advisor;
 pub mod advisor_calibrated;
 pub mod codec;
 pub mod complexity;
+pub mod convert;
 pub mod error;
 pub mod formats;
 pub mod ops;
+pub mod stats;
 pub mod tensor;
 pub mod traits;
 
+pub use convert::{build_from_address_sorted, convert, Conversion};
 pub use error::{FormatError, Result};
+pub use stats::{SparsityStats, SparsityStatsBuilder};
 pub use tensor::{EncodedTensor, SparseTensor};
 pub use traits::{BuildOutput, FormatKind, Organization};

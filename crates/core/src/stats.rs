@@ -1,0 +1,285 @@
+//! Sparsity characterization — measured inputs for the advisor.
+//!
+//! §VI's future work asks for organization selection "based on the
+//! characterization of sparsity in their data". The static
+//! [`crate::advisor`] predicts costs from `n` and the shape alone; this
+//! module measures the quantities those predictions guess at — density,
+//! fiber-length distribution, per-level prefix sharing (CSF's `nfibs`),
+//! GCSR++ bucket occupancy, and block occupancy — from the actual point
+//! stream. The storage engine gathers these for free during a
+//! consolidation merge scan and feeds them to
+//! [`crate::advisor::recommend_from_stats`].
+
+use artsparse_tensor::{CoordBuffer, Shape};
+use std::collections::{HashMap, HashSet};
+
+/// Block side used for occupancy characterization — matches the fixed
+/// side of the ADAPTIVE organization so the measured occupancy predicts
+/// its per-block encoding choice.
+pub const STATS_BLOCK_SIDE: u64 = 8;
+
+/// Measured sparsity characteristics of one point set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStats {
+    /// Points observed (duplicates counted).
+    pub n: u64,
+    /// Distinct linear addresses (duplicates collapsed).
+    pub distinct_points: u64,
+    /// The global tensor shape the points live in.
+    pub shape: Shape,
+    /// `distinct_points / volume`.
+    pub density: f64,
+    /// Distinct coordinate prefixes per level, in original dimension
+    /// order: `nnz_per_level[k]` counts distinct `(c_0, …, c_k)` tuples.
+    /// The last entry equals [`SparsityStats::distinct_points`]; the
+    /// whole vector is the node count a CSF tree built *without* the
+    /// ascending-dimension permutation would have.
+    pub nnz_per_level: Vec<u64>,
+    /// Distinct fibers (runs sharing all but the last coordinate).
+    pub fiber_count: u64,
+    /// Mean points per non-empty fiber.
+    pub mean_fiber_len: f64,
+    /// Longest fiber.
+    pub max_fiber_len: u64,
+    /// Occupied rows of the GCSR++ 2D remap (`rows = min mᵢ`) — the
+    /// measured divisor of its per-query bucket scan.
+    pub gcsr_rows_occupied: u64,
+    /// Occupied blocks of side [`STATS_BLOCK_SIDE`].
+    pub occupied_blocks: u64,
+    /// Cells per (full) block.
+    pub block_volume: u64,
+    /// `n / (occupied_blocks · block_volume)` — mean fill of the blocks
+    /// that hold at least one point.
+    pub block_occupancy: f64,
+}
+
+impl SparsityStats {
+    /// Characterize a coordinate buffer in one pass (any point order).
+    pub fn from_coords(coords: &CoordBuffer, shape: &Shape) -> SparsityStats {
+        let mut b = SparsityStatsBuilder::new(shape.clone());
+        for p in coords.iter() {
+            b.push(p);
+        }
+        b.finish()
+    }
+}
+
+/// Incremental characterizer: feed points one at a time (any order),
+/// then [`SparsityStatsBuilder::finish`]. Point coordinates must lie
+/// inside the shape handed to [`SparsityStatsBuilder::new`].
+#[derive(Debug)]
+pub struct SparsityStatsBuilder {
+    shape: Shape,
+    n: u64,
+    /// One set of linearized prefixes per level.
+    prefixes: Vec<HashSet<u64>>,
+    /// Points per fiber, keyed by the linearized `(d-1)`-prefix.
+    fibers: HashMap<u64, u64>,
+    rows: HashSet<u64>,
+    /// GCSR++ remap divisor (`cols` of the 2D matrix over the shape).
+    gcsr_cols: u64,
+    blocks: HashSet<u64>,
+    grid_dims: Vec<u64>,
+    block_volume: u64,
+}
+
+impl SparsityStatsBuilder {
+    /// Start characterizing points of a tensor of `shape`.
+    pub fn new(shape: Shape) -> SparsityStatsBuilder {
+        let d = shape.ndim();
+        let rows = shape.min_dim();
+        let gcsr_cols = (shape.volume() / rows).max(1);
+        let grid_dims: Vec<u64> = shape
+            .dims()
+            .iter()
+            .map(|&m| m.div_ceil(STATS_BLOCK_SIDE).max(1))
+            .collect();
+        let block_volume = shape
+            .dims()
+            .iter()
+            .map(|&m| m.min(STATS_BLOCK_SIDE))
+            .product();
+        SparsityStatsBuilder {
+            shape,
+            n: 0,
+            prefixes: vec![HashSet::new(); d],
+            fibers: HashMap::new(),
+            rows: HashSet::new(),
+            gcsr_cols,
+            blocks: HashSet::new(),
+            grid_dims,
+            block_volume,
+        }
+    }
+
+    /// Observe one point. Coordinates must be in bounds (checked in debug
+    /// builds; the engine feeds points already validated at write time).
+    pub fn push(&mut self, p: &[u64]) {
+        let d = self.shape.ndim();
+        debug_assert_eq!(p.len(), d);
+        debug_assert!(self.shape.contains(p));
+        self.n += 1;
+        // One accumulation walk yields every per-level prefix address and
+        // ends at the point's full linear address.
+        let mut addr = 0u64;
+        let mut block = 0u64;
+        for (k, &c) in p.iter().enumerate() {
+            addr = addr * self.shape.dim(k) + c;
+            block = block * self.grid_dims[k] + c / STATS_BLOCK_SIDE;
+            self.prefixes[k].insert(addr);
+        }
+        let fiber = if d >= 2 {
+            addr / self.shape.dim(d - 1)
+        } else {
+            0
+        };
+        *self.fibers.entry(fiber).or_insert(0) += 1;
+        self.rows.insert(addr / self.gcsr_cols);
+        self.blocks.insert(block);
+    }
+
+    /// Finalize the measurement.
+    pub fn finish(self) -> SparsityStats {
+        let d = self.shape.ndim();
+        let nnz_per_level: Vec<u64> = self.prefixes.iter().map(|s| s.len() as u64).collect();
+        let distinct_points = nnz_per_level.get(d - 1).copied().unwrap_or(0);
+        let fiber_count = self.fibers.len() as u64;
+        let max_fiber_len = self.fibers.values().copied().max().unwrap_or(0);
+        let mean_fiber_len = if fiber_count == 0 {
+            0.0
+        } else {
+            self.n as f64 / fiber_count as f64
+        };
+        let occupied_blocks = self.blocks.len() as u64;
+        let block_occupancy = if occupied_blocks == 0 {
+            0.0
+        } else {
+            self.n as f64 / (occupied_blocks * self.block_volume) as f64
+        };
+        SparsityStats {
+            n: self.n,
+            distinct_points,
+            density: distinct_points as f64 / self.shape.volume() as f64,
+            shape: self.shape,
+            nnz_per_level,
+            fiber_count,
+            mean_fiber_len,
+            max_fiber_len,
+            gcsr_rows_occupied: self.rows.len() as u64,
+            occupied_blocks,
+            block_volume: self.block_volume,
+            block_occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(shape: &[u64], pts: &[&[u64]]) -> SparsityStats {
+        let shape = Shape::new(shape.to_vec()).unwrap();
+        let mut b = SparsityStatsBuilder::new(shape);
+        for p in pts {
+            b.push(p);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = stats_of(&[4, 4], &[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.distinct_points, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.nnz_per_level, vec![0, 0]);
+        assert_eq!(s.fiber_count, 0);
+        assert_eq!(s.occupied_blocks, 0);
+    }
+
+    #[test]
+    fn fig1_characteristics() {
+        // The Fig. 1 tensor: 3×3×3 with points (0,0,1) (0,1,1) (0,1,2)
+        // (2,2,1) (2,2,2).
+        let s = stats_of(
+            &[3, 3, 3],
+            &[&[0, 0, 1], &[0, 1, 1], &[0, 1, 2], &[2, 2, 1], &[2, 2, 2]],
+        );
+        assert_eq!(s.n, 5);
+        assert_eq!(s.distinct_points, 5);
+        // Distinct prefixes: {0,2}, {(0,0),(0,1),(2,2)}, all 5 points —
+        // exactly the paper's CSF nfibs for this tensor (order happens to
+        // be identity for a cube).
+        assert_eq!(s.nnz_per_level, vec![2, 3, 5]);
+        assert_eq!(s.fiber_count, 3);
+        assert_eq!(s.max_fiber_len, 2);
+        assert!((s.mean_fiber_len - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.density - 5.0 / 27.0).abs() < 1e-12);
+        // All points fall inside the single 3×3×3 ≤ 8³ block.
+        assert_eq!(s.occupied_blocks, 1);
+        assert_eq!(s.block_volume, 27);
+    }
+
+    #[test]
+    fn duplicates_collapse_in_distinct_counts_only() {
+        let s = stats_of(&[4, 4], &[&[1, 1], &[1, 1], &[1, 2]]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.distinct_points, 2);
+        assert_eq!(s.nnz_per_level, vec![1, 2]);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = stats_of(&[8, 8], &[&[0, 0], &[7, 7], &[3, 4]]);
+        let b = stats_of(&[8, 8], &[&[3, 4], &[0, 0], &[7, 7]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_occupancy_separates_dense_from_scattered() {
+        // A full 8×8 block vs 64 scattered points.
+        let dense: Vec<Vec<u64>> = (0..8)
+            .flat_map(|i| (0..8).map(move |j| vec![i, j]))
+            .collect();
+        let dense_refs: Vec<&[u64]> = dense.iter().map(|v| v.as_slice()).collect();
+        let d = stats_of(&[64, 64], &dense_refs);
+        assert_eq!(d.occupied_blocks, 1);
+        assert_eq!(d.block_occupancy, 1.0);
+
+        let scat: Vec<Vec<u64>> = (0..8).map(|i| vec![i * 8, i * 8]).collect();
+        let scat_refs: Vec<&[u64]> = scat.iter().map(|v| v.as_slice()).collect();
+        let s = stats_of(&[64, 64], &scat_refs);
+        assert_eq!(s.occupied_blocks, 8);
+        assert!(s.block_occupancy < 0.05);
+    }
+
+    #[test]
+    fn gcsr_rows_track_min_dimension_buckets() {
+        // Shape (16, 4): min dim is 4 ⇒ the remap has 4 rows of 16
+        // columns; addresses bucket by `addr / 16`... with rows = 4,
+        // cols = 64/4 = 16.
+        let s = stats_of(&[16, 4], &[&[0, 0], &[0, 3], &[15, 3]]);
+        // Addresses 0, 3, 63 → rows 0, 0, 3.
+        assert_eq!(s.gcsr_rows_occupied, 2);
+    }
+
+    #[test]
+    fn one_dimensional_fibers_collapse_to_one() {
+        let s = stats_of(&[32], &[&[3], &[17], &[9]]);
+        assert_eq!(s.fiber_count, 1);
+        assert_eq!(s.max_fiber_len, 3);
+        assert_eq!(s.nnz_per_level, vec![3]);
+    }
+
+    #[test]
+    fn from_coords_matches_builder() {
+        let shape = Shape::new(vec![6, 6]).unwrap();
+        let coords = CoordBuffer::from_points(2, &[[0u64, 1], [5, 5], [2, 3], [0, 1]]).unwrap();
+        let via_buf = SparsityStats::from_coords(&coords, &shape);
+        let mut b = SparsityStatsBuilder::new(shape);
+        for p in coords.iter() {
+            b.push(p);
+        }
+        assert_eq!(via_buf, b.finish());
+    }
+}

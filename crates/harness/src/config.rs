@@ -77,6 +77,14 @@ pub struct Config {
     /// the engine's per-fragment read parallelism so `--threads 1` is
     /// fully sequential end to end.
     pub threads: usize,
+    /// Enable live adaptive re-organization (`--adaptive`): consolidation
+    /// characterizes the merged region, consults the advisor under
+    /// [`profile`](Config::profile), and re-encodes in the winning
+    /// organization.
+    pub adaptive: bool,
+    /// Advisor weight preset for adaptive re-organization and the
+    /// `advise` subcommand (`--profile balanced|write-heavy|read-heavy`).
+    pub profile: artsparse_storage::ReorgProfile,
 }
 
 impl Default for Config {
@@ -95,6 +103,8 @@ impl Default for Config {
             telemetry: false,
             telemetry_out: None,
             threads: 0,
+            adaptive: false,
+            profile: artsparse_storage::ReorgProfile::Balanced,
         }
     }
 }
@@ -123,6 +133,10 @@ impl Config {
             .with_threads(self.threads);
         if self.threads > 0 {
             ec = ec.with_read_parallelism(self.threads);
+        }
+        if self.adaptive {
+            ec = ec
+                .with_adaptive_reorg(artsparse_storage::AdaptiveReorg::with_profile(self.profile));
         }
         ec
     }
@@ -167,6 +181,20 @@ mod tests {
             ..Config::default()
         };
         assert_eq!(direct.commit_mode(), artsparse_storage::CommitMode::Direct);
+    }
+
+    #[test]
+    fn adaptive_flag_wires_engine_policy() {
+        let c = Config::default();
+        assert!(c.engine_config().adaptive_reorg.is_none());
+        let c = Config {
+            adaptive: true,
+            profile: artsparse_storage::ReorgProfile::ReadHeavy,
+            ..Config::default()
+        };
+        let ad = c.engine_config().adaptive_reorg.unwrap();
+        assert_eq!(ad.profile, artsparse_storage::ReorgProfile::ReadHeavy);
+        assert!(ad.pin.is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One module per regenerated table/figure of the paper.
 
 pub mod ablate;
+pub mod adaptive;
 pub mod compress;
 pub mod fig1;
 pub mod fig2;

@@ -4,7 +4,7 @@
 //! artsparse-bench <experiment>... [options]
 //!
 //! experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 ablate
-//!              compress sweep all
+//!              compress sweep adaptive all
 //! options:
 //!   --scale paper|medium|smoke   tensor sizes        (default: medium)
 //!   --backend mem|fs|sim         storage device      (default: sim)
@@ -14,6 +14,10 @@
 //!   --commit-mode staged|direct  fragment publish    (default: staged)
 //!   --telemetry                  collect + print per-cell telemetry
 //!   --telemetry-out DIR          write per-cell telemetry JSON documents
+//!   --adaptive                   advisor-driven re-organization at
+//!                                consolidation time
+//!   --profile balanced|write-heavy|read-heavy
+//!                                advisor weights     (default: balanced)
 //!
 //! validate-telemetry <file>... [--schema PATH]
 //!   validate telemetry documents against schemas/telemetry.schema.json
@@ -22,20 +26,24 @@
 //!   verify every fragment in a filesystem store — or in a directory of
 //!   stores, one per matrix cell — by header, size, and section
 //!   checksums, without decoding; damaged fragments exit nonzero
+//!
+//! advise <dir> [--profile P]
+//!   characterize an existing filesystem store's sparsity and print the
+//!   advisor's cost-model ranking plus calibrated wall-clock predictions
 //! ```
 
 use artsparse_core::FormatKind;
 use artsparse_harness::experiments::{
-    ablate, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3, table4,
-    ExperimentOutput,
+    ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3,
+    table4, ExperimentOutput,
 };
 use artsparse_harness::{run_matrix_with_telemetry, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "ablate",
-    "compress", "sweep", "io",
+    "compress", "sweep", "io", "adaptive",
 ];
 
 fn usage() -> ! {
@@ -43,10 +51,11 @@ fn usage() -> ! {
         "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
          [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..] \
          [--commit-mode staged|direct] [--telemetry] [--telemetry-out DIR] \
-         [--threads N]\n\
+         [--threads N] [--adaptive] [--profile balanced|write-heavy|read-heavy]\n\
          experiments: {} all\n\
          or: artsparse-bench validate-telemetry <file>... [--schema PATH]\n\
-         or: artsparse-bench scrub <dir>",
+         or: artsparse-bench scrub <dir>\n\
+         or: artsparse-bench advise <dir> [--profile balanced|write-heavy|read-heavy]",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -113,8 +122,14 @@ fn dir_has_fragments(dir: &std::path::Path) -> bool {
     })
 }
 
-/// Scrub one store directory, printing its findings.
-fn scrub_store(dir: &std::path::Path) -> Result<artsparse_storage::ScrubReport> {
+/// Open an existing filesystem store by peeking its fragment headers. A
+/// store self-describes: the catalog's header peek is sized by the
+/// engine's dimensionality, so open with the widest fragment's geometry.
+/// A header too damaged to peek surfaces at open (or in a scrub report),
+/// naming the fragment.
+fn open_store(
+    dir: &std::path::Path,
+) -> Result<artsparse_storage::StorageEngine<artsparse_storage::FsBackend>> {
     use artsparse_storage::{FsBackend, StorageBackend, StorageEngine};
     let backend = FsBackend::new(dir)?;
     let mut names: Vec<String> = backend
@@ -123,12 +138,6 @@ fn scrub_store(dir: &std::path::Path) -> Result<artsparse_storage::ScrubReport> 
         .filter(|n| n.starts_with("frag-") && n.ends_with(".asf"))
         .collect();
     names.sort();
-    // A store self-describes: peek fragment headers for the tensor
-    // geometry the engine needs. Scrubbing verifies stored bytes, not
-    // tensor semantics, so even a hand-mixed directory is fine — the
-    // catalog's header peek is sized by the engine's dimensionality, so
-    // open with the widest fragment's geometry. A header too damaged to
-    // peek surfaces at open or in the report, naming the fragment.
     let mut meta: Option<artsparse_storage::fragment::FragmentMeta> = None;
     for name in &names {
         let head = backend.get_prefix(name, 4096)?;
@@ -150,7 +159,17 @@ fn scrub_store(dir: &std::path::Path) -> Result<artsparse_storage::ScrubReport> 
         )
         .into());
     };
-    let engine = StorageEngine::open(backend, meta.kind, meta.shape.clone(), meta.elem_size)?;
+    Ok(StorageEngine::open(
+        backend,
+        meta.kind,
+        meta.shape.clone(),
+        meta.elem_size,
+    )?)
+}
+
+/// Scrub one store directory, printing its findings.
+fn scrub_store(dir: &std::path::Path) -> Result<artsparse_storage::ScrubReport> {
+    let engine = open_store(dir)?;
     let report = engine.scrub()?;
     for f in &report.findings {
         let section = f
@@ -165,6 +184,105 @@ fn scrub_store(dir: &std::path::Path) -> Result<artsparse_storage::ScrubReport> 
         );
     }
     Ok(report)
+}
+
+/// `advise <dir> [--profile P]`: characterize an existing store's
+/// sparsity (the same measured statistics consolidation gathers) and
+/// print the advisor's cost-model ranking under the chosen access
+/// profile, the store's current organization mix, and calibrated
+/// wall-clock predictions from a quick on-machine microbenchmark.
+fn advise(args: &[String]) -> Result<()> {
+    use artsparse_core::advisor::recommend_from_stats;
+    use artsparse_core::advisor_calibrated::Calibration;
+    use artsparse_core::stats::SparsityStats;
+    use artsparse_storage::ReorgProfile;
+
+    let mut profile = ReorgProfile::Balanced;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                profile = ReorgProfile::parse(v).unwrap_or_else(|| usage());
+            }
+            other if other.starts_with('-') => usage(),
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+    let [dir] = &dirs[..] else { usage() };
+
+    let engine = open_store(dir)?;
+    let store = engine.stats()?;
+    let (coords, _values) = engine.export()?;
+    let shape = engine.shape().clone();
+    let stats = SparsityStats::from_coords(&coords, &shape);
+
+    println!("advise: {} (profile {})", dir.display(), profile.name());
+    let mix = store
+        .by_format
+        .iter()
+        .map(|(k, v)| format!("{v}×{k}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "  store: {} fragment(s) [{mix}], {} point(s), {} bytes",
+        store.fragments, store.total_points, store.total_bytes
+    );
+    println!(
+        "  measured: n={} distinct={} density={:.3e} fibers={} (mean len {:.2}, max {}) \
+         block occupancy {:.3} nnz/level {:?}",
+        stats.n,
+        stats.distinct_points,
+        stats.density,
+        stats.fiber_count,
+        stats.mean_fiber_len,
+        stats.max_fiber_len,
+        stats.block_occupancy,
+        stats.nnz_per_level
+    );
+
+    let rec = recommend_from_stats(&stats, &profile.access_profile(), &[]);
+    println!("  cost-model ranking (lower score is better):");
+    for (i, c) in rec.ranking.iter().enumerate() {
+        println!(
+            "    {}. {:<14} score {:.4}  (write {:.4}, read {:.4}, space {:.4})",
+            i + 1,
+            c.kind.name(),
+            c.score,
+            c.components.0,
+            c.components.1,
+            c.components.2
+        );
+    }
+
+    // Calibrated wall-clock predictions: per-op costs measured on this
+    // machine, scaled to the store's size and the profile's read volume.
+    let cal = Calibration::measure(&artsparse_core::FormatKind::PAPER_FIVE, 4096)?;
+    let n_read = (stats.n as f64 * profile.access_profile().reads_per_point).ceil() as u64;
+    let predictions = cal.recommend(
+        &artsparse_core::FormatKind::PAPER_FIVE,
+        stats.n,
+        n_read,
+        &shape,
+        2048.0 * (1u64 << 20) as f64,
+    );
+    println!("  calibrated wall-clock (n_read={n_read}, 2 GiB/s device):");
+    for p in &predictions {
+        println!(
+            "    {:<14} total {:.4}s  (build {:.4}s, device {:.4}s, read {:.4}s)",
+            p.kind.name(),
+            p.total_secs,
+            p.build_secs,
+            p.device_secs,
+            p.read_secs
+        );
+    }
+    println!(
+        "  recommendation: {} (store currently [{mix}])",
+        rec.best().name()
+    );
+    Ok(())
 }
 
 /// `validate-telemetry <file>... [--schema PATH]`: exit nonzero listing
@@ -247,6 +365,11 @@ fn parse_args() -> (Vec<String>, Config) {
                 };
             }
             "--telemetry" => cfg.telemetry = true,
+            "--adaptive" => cfg.adaptive = true,
+            "--profile" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.profile = artsparse_storage::ReorgProfile::parse(&v).unwrap_or_else(|| usage());
+            }
             "--threads" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cfg.threads = v.parse().unwrap_or_else(|_| usage());
@@ -284,6 +407,9 @@ fn main() -> Result<()> {
     }
     if raw.first().map(String::as_str) == Some("scrub") {
         return scrub(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("advise") {
+        return advise(&raw[1..]);
     }
 
     let (wanted, cfg) = parse_args();
@@ -344,6 +470,9 @@ fn main() -> Result<()> {
     }
     if wants("io") {
         emit(&cfg, io::run(&cfg)?)?;
+    }
+    if wants("adaptive") {
+        emit(&cfg, adaptive::run(&cfg)?)?;
     }
     Ok(())
 }

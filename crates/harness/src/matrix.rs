@@ -38,6 +38,10 @@ pub struct CellMeasurement {
     pub file_bytes: u64,
     /// Encoded index bytes within the fragment.
     pub index_bytes: u64,
+    /// Fragments per organization after the write — under `--adaptive`
+    /// the store may hold a different organization than the one the cell
+    /// requested for ingest.
+    pub org_mix: std::collections::BTreeMap<String, usize>,
 }
 
 /// The full evaluation grid.
@@ -159,6 +163,7 @@ pub fn measure_cell_telemetry(
     let (read_dur, read) = time_it(|| engine.read(queries));
     let read = read?;
     let telemetry = engine.telemetry_report();
+    let org_mix = engine.stats()?.by_format;
 
     let cell = CellMeasurement {
         format: format.name().to_string(),
@@ -173,6 +178,7 @@ pub fn measure_cell_telemetry(
         read_secs: read_dur.as_secs_f64(),
         file_bytes: report.total_bytes as u64,
         index_bytes: report.index_bytes as u64,
+        org_mix,
     };
     Ok((cell, telemetry))
 }
@@ -224,6 +230,13 @@ pub fn run_matrix_with_telemetry(cfg: &Config) -> Result<(Matrix, Vec<CellTeleme
                         )?;
                         eprintln!("[matrix]   telemetry -> {}", path.display());
                     } else if cfg.telemetry {
+                        let mix = cell
+                            .org_mix
+                            .iter()
+                            .map(|(k, v)| format!("{v}×{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        eprintln!("[matrix]   org mix: {mix}");
                         eprintln!("{}", report.to_ascii());
                     }
                     reports.push((cell.format.clone(), cell.pattern.clone(), cell.ndim, report));

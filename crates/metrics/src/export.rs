@@ -19,8 +19,11 @@ use serde::Serialize;
 /// the integrity counters (`retries`, `checksum_failures`,
 /// `fragments_quarantined`) and the `engine.scrub` span kinds. Version 3
 /// added the `par_tasks_spawned` counter and the `engine.par.shard` span
-/// kind emitted by the compute-parallel execution layer.
-pub const TELEMETRY_VERSION: u32 = 3;
+/// kind emitted by the compute-parallel execution layer. Version 4 added
+/// the adaptive re-organization span kinds (`engine.consolidate.advise`,
+/// `engine.consolidate.convert`) and migration counters
+/// (`fragments_migrated`, `conversions_direct`, `conversions_fallback`).
+pub const TELEMETRY_VERSION: u32 = 4;
 
 /// Aggregated view of one span kind.
 #[derive(Debug, Clone, Serialize)]
@@ -273,7 +276,7 @@ mod tests {
         let report = sample_report();
         let v = serde_json::to_value(&report).unwrap();
         assert_eq!(v["version"].as_u64(), Some(u64::from(TELEMETRY_VERSION)));
-        assert_eq!(TELEMETRY_VERSION, 3);
+        assert_eq!(TELEMETRY_VERSION, 4);
         let spans = v["spans"].as_array().unwrap();
         assert_eq!(spans.len(), 2);
         assert!(spans

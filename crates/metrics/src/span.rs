@@ -46,6 +46,12 @@ pub enum SpanKind {
     Consolidate,
     ConsolidateSnapshot,
     ConsolidateMerge,
+    /// Adaptive re-organization: characterize the merged region and run
+    /// the advisor's cost model to pick the output organization.
+    ConsolidateAdvise,
+    /// Adaptive re-organization: re-encode the merged region (or a single
+    /// migrating fragment) in the advised organization.
+    ConsolidateConvert,
     ConsolidateTombstone,
     ConsolidateCommit,
     ConsolidateSweep,
@@ -73,6 +79,8 @@ impl SpanKind {
             SpanKind::Consolidate => "engine.consolidate",
             SpanKind::ConsolidateSnapshot => "engine.consolidate.snapshot",
             SpanKind::ConsolidateMerge => "engine.consolidate.merge",
+            SpanKind::ConsolidateAdvise => "engine.consolidate.advise",
+            SpanKind::ConsolidateConvert => "engine.consolidate.convert",
             SpanKind::ConsolidateTombstone => "engine.consolidate.tombstone",
             SpanKind::ConsolidateCommit => "engine.consolidate.commit",
             SpanKind::ConsolidateSweep => "engine.consolidate.sweep",
@@ -98,6 +106,8 @@ impl SpanKind {
             SpanKind::Consolidate,
             SpanKind::ConsolidateSnapshot,
             SpanKind::ConsolidateMerge,
+            SpanKind::ConsolidateAdvise,
+            SpanKind::ConsolidateConvert,
             SpanKind::ConsolidateTombstone,
             SpanKind::ConsolidateCommit,
             SpanKind::ConsolidateSweep,
@@ -157,6 +167,15 @@ pub struct IoStats {
     /// Worker threads spawned for compute-parallel format work (sorts,
     /// batched query scans). Zero on sequential paths.
     pub par_tasks_spawned: u64,
+    /// Source fragments whose organization differed from the adaptive
+    /// consolidation's output organization (i.e. fragments migrated to a
+    /// new format).
+    pub fragments_migrated: u64,
+    /// Format re-encodings that took a direct (sort-elided or
+    /// sort-narrowed) conversion routine.
+    pub conversions_direct: u64,
+    /// Format re-encodings that fell back to decode-to-COO-and-rebuild.
+    pub conversions_fallback: u64,
 }
 
 impl IoStats {
@@ -193,6 +212,15 @@ impl IoStats {
         self.par_tasks_spawned = self
             .par_tasks_spawned
             .saturating_add(other.par_tasks_spawned);
+        self.fragments_migrated = self
+            .fragments_migrated
+            .saturating_add(other.fragments_migrated);
+        self.conversions_direct = self
+            .conversions_direct
+            .saturating_add(other.conversions_direct);
+        self.conversions_fallback = self
+            .conversions_fallback
+            .saturating_add(other.conversions_fallback);
     }
 
     /// Whether every counter is zero.
@@ -412,6 +440,6 @@ mod tests {
             assert!(k.name().starts_with("engine."), "{}", k.name());
             assert!(seen.insert(k.name()), "duplicate name {}", k.name());
         }
-        assert_eq!(seen.len(), 19);
+        assert_eq!(seen.len(), 21);
     }
 }

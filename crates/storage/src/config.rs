@@ -1,6 +1,9 @@
 //! Tuning knobs for the engine's read pipeline, commit protocol, and
 //! fault tolerance.
 
+use artsparse_core::advisor::AccessProfile;
+use artsparse_core::FormatKind;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How WRITE publishes a fragment to the device.
@@ -109,6 +112,93 @@ fn sat_shl(x: u64, rhs: u32) -> u64 {
     }
 }
 
+/// Named access-pattern presets for adaptive re-organization.
+///
+/// These are the advisor's Table-IV weight profiles reduced to an
+/// enumerable knob: the engine configuration derives `Eq`, so it carries
+/// this name rather than raw floating-point weights. Each variant maps to
+/// the corresponding [`AccessProfile`] constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReorgProfile {
+    /// Equal weight on build, read, and space cost (the default).
+    #[default]
+    Balanced,
+    /// Ingest-dominated: build cost dominates the score.
+    WriteHeavy,
+    /// Query-dominated: read cost dominates the score.
+    ReadHeavy,
+}
+
+impl ReorgProfile {
+    /// Parse a profile name as accepted by the bench harness
+    /// (`balanced`, `write-heavy`, `read-heavy`).
+    pub fn parse(s: &str) -> Option<ReorgProfile> {
+        match s.to_ascii_lowercase().as_str() {
+            "balanced" => Some(ReorgProfile::Balanced),
+            "write-heavy" | "write_heavy" => Some(ReorgProfile::WriteHeavy),
+            "read-heavy" | "read_heavy" => Some(ReorgProfile::ReadHeavy),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (the form [`parse`](ReorgProfile::parse)
+    /// accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReorgProfile::Balanced => "balanced",
+            ReorgProfile::WriteHeavy => "write-heavy",
+            ReorgProfile::ReadHeavy => "read-heavy",
+        }
+    }
+
+    /// The advisor weight profile this preset names.
+    pub fn access_profile(self) -> AccessProfile {
+        match self {
+            ReorgProfile::Balanced => AccessProfile::balanced(),
+            ReorgProfile::WriteHeavy => AccessProfile::write_heavy(),
+            ReorgProfile::ReadHeavy => AccessProfile::read_heavy(),
+        }
+    }
+}
+
+/// Adaptive re-organization policy for consolidation.
+///
+/// When set on [`EngineConfig::adaptive_reorg`], every consolidation
+/// characterizes the merged region's sparsity during its existing merge
+/// scan, runs the advisor's cost model over the measured statistics, and
+/// re-encodes the output fragment in the winning organization — instead
+/// of freezing the store's configured write format forever.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdaptiveReorg {
+    /// Which access pattern the advisor should optimize for.
+    pub profile: ReorgProfile,
+    /// Escape hatch: skip the advisor entirely and always re-encode
+    /// consolidation output in this organization. For operators who know
+    /// better than the cost model (and for deterministic tests).
+    pub pin: Option<FormatKind>,
+    /// Organizations the advisor may choose from. Empty (the default)
+    /// means the paper's five ([`FormatKind::PAPER_FIVE`]).
+    pub candidates: Vec<FormatKind>,
+}
+
+impl AdaptiveReorg {
+    /// Policy with the given profile, no pin, default candidates.
+    pub fn with_profile(profile: ReorgProfile) -> Self {
+        AdaptiveReorg {
+            profile,
+            ..Default::default()
+        }
+    }
+
+    /// Policy pinned to one organization (advisor bypassed).
+    pub fn pinned(kind: FormatKind) -> Self {
+        AdaptiveReorg {
+            pin: Some(kind),
+            ..Default::default()
+        }
+    }
+}
+
 /// Configuration of the catalog → plan → fetch → decode → merge read
 /// pipeline and of the fragment commit protocol. The default reproduces
 /// Algorithm 3's semantics exactly while fetching only the bytes a query
@@ -165,6 +255,10 @@ pub struct EngineConfig {
     /// deleted — and the read completes over the survivors, reporting
     /// `complete == false` plus the quarantined names in its outcome.
     pub strict_reads: bool,
+    /// Live adaptive re-organization (see [`AdaptiveReorg`]). `None` (the
+    /// default) keeps the legacy behavior: consolidation re-encodes in the
+    /// store's configured write format.
+    pub adaptive_reorg: Option<AdaptiveReorg>,
 }
 
 impl Default for EngineConfig {
@@ -179,6 +273,7 @@ impl Default for EngineConfig {
             parallel_cutoff: artsparse_tensor::par::DEFAULT_CUTOFF,
             retry: RetryPolicy::default(),
             strict_reads: true,
+            adaptive_reorg: None,
         }
     }
 }
@@ -260,6 +355,12 @@ impl EngineConfig {
         self.strict_reads = strict;
         self
     }
+
+    /// Builder-style adaptive re-organization policy.
+    pub fn with_adaptive_reorg(mut self, policy: AdaptiveReorg) -> Self {
+        self.adaptive_reorg = Some(policy);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +380,7 @@ mod tests {
         assert_eq!(c.retry, RetryPolicy::default());
         assert_eq!(c.retry.max_attempts, 3);
         assert!(c.strict_reads);
+        assert!(c.adaptive_reorg.is_none());
         assert!(c.effective_parallelism() >= 1);
 
         let c = EngineConfig::default()
@@ -332,6 +434,33 @@ mod tests {
         // Different seeds should (almost always) jitter differently.
         let spread: std::collections::HashSet<_> = (0..32u64).map(|s| j.backoff(1, s)).collect();
         assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn reorg_profile_parses_and_maps() {
+        for p in [
+            ReorgProfile::Balanced,
+            ReorgProfile::WriteHeavy,
+            ReorgProfile::ReadHeavy,
+        ] {
+            assert_eq!(ReorgProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            ReorgProfile::parse("WRITE_HEAVY"),
+            Some(ReorgProfile::WriteHeavy)
+        );
+        assert_eq!(ReorgProfile::parse("fastest"), None);
+        assert!(ReorgProfile::ReadHeavy.access_profile().read_weight > 1.0);
+
+        let c = EngineConfig::default()
+            .with_adaptive_reorg(AdaptiveReorg::with_profile(ReorgProfile::ReadHeavy));
+        let ad = c.adaptive_reorg.unwrap();
+        assert_eq!(ad.profile, ReorgProfile::ReadHeavy);
+        assert!(ad.pin.is_none() && ad.candidates.is_empty());
+        assert_eq!(
+            AdaptiveReorg::pinned(FormatKind::Csf).pin,
+            Some(FormatKind::Csf)
+        );
     }
 
     #[test]

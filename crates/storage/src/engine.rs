@@ -38,7 +38,9 @@ use crate::fragment::{
     verify_section_checksum, FragmentMeta,
 };
 use crate::observe::RecordingBackend;
-use artsparse_core::FormatKind;
+use artsparse_core::advisor::recommend_from_stats;
+use artsparse_core::stats::SparsityStatsBuilder;
+use artsparse_core::{convert, FormatKind};
 use artsparse_metrics::{
     charge, now_ns, IoStats, NoopRecorder, OpCounter, PhaseTimer, Recorder, Span, SpanKind,
     SpanRecord, TelemetryRecorder, TelemetryReport, WriteBreakdown, WritePhase,
@@ -542,17 +544,25 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// sweeps — readers, catalog reloads, and concurrent engines never
     /// observe a torn fragment.
     pub fn write(&self, coords: &CoordBuffer, values: &[u8]) -> Result<WriteReport> {
-        self.write_with(coords, values, None)
+        self.write_with(self.kind, coords, values, None, false)
     }
 
-    /// WRITE, optionally on behalf of a consolidation pass: `consolidation`
-    /// carries the precomputed fragment identity and the source fragments
-    /// the new one replaces (recorded in a tombstone before commit).
+    /// WRITE, optionally on behalf of a consolidation pass: `kind` is the
+    /// organization to encode (the engine's configured format for plain
+    /// writes; adaptive consolidation passes the advised one),
+    /// `consolidation` carries the precomputed fragment identity and the
+    /// source fragments the new one replaces (recorded in a tombstone
+    /// before commit), and `presorted` promises the coordinates arrive in
+    /// nondecreasing linear-address order — the order the consolidation
+    /// merge scan emits — so sorting builds route through
+    /// [`convert::build_from_address_sorted`] and elide their sort.
     fn write_with(
         &self,
+        kind: FormatKind,
         coords: &CoordBuffer,
         values: &[u8],
         consolidation: Option<(FragmentId, &[String])>,
+        presorted: bool,
     ) -> Result<WriteReport> {
         let _span = Span::enter(&self.recorder, SpanKind::Write);
         let mut timer = PhaseTimer::new();
@@ -571,13 +581,31 @@ impl<B: StorageBackend> StorageEngine<B> {
             });
         }
         let bbox = coords.bounding_box();
-        let org = self.kind.create();
 
         let encode_span = Span::enter(&self.recorder, SpanKind::WriteEncode);
 
         // -- Build: construct the organization -------------------------
         let built = timer.time(WritePhase::Build, || {
-            self.observed_parallel(|| org.build(coords, &self.shape, &self.counter))
+            self.observed_parallel(|| {
+                if presorted {
+                    let (built, direct) = convert::build_from_address_sorted(
+                        kind,
+                        coords,
+                        &self.shape,
+                        &self.counter,
+                    )?;
+                    charge(|io| {
+                        if direct {
+                            io.conversions_direct += 1;
+                        } else {
+                            io.conversions_fallback += 1;
+                        }
+                    });
+                    Ok(built)
+                } else {
+                    kind.create().build(coords, &self.shape, &self.counter)
+                }
+            })
         })?;
 
         // -- Reorg: permute values by the map ---------------------------
@@ -588,7 +616,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         // -- Others: concatenate (and optionally compress) b_frag -------
         timer.enter(WritePhase::Others);
         let frag = encode_fragment(
-            self.kind,
+            kind,
             &self.shape,
             coords.len() as u64,
             self.elem_size,
@@ -1524,6 +1552,16 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// engine's current organization and codecs; the source fragments are
     /// deleted (and their cache entries invalidated).
     ///
+    /// With [`EngineConfig::adaptive_reorg`](crate::config::EngineConfig)
+    /// set, the pass additionally characterizes the merged region's
+    /// sparsity during that same scan (no extra pass over the points),
+    /// runs the advisor's cost model over the measured statistics, and
+    /// encodes the output in the winning organization instead of the
+    /// engine's configured one — and a store already consolidated down to
+    /// a single fragment is *migrated* in place when the advisor (or the
+    /// policy's pin) disagrees with its current organization, converging
+    /// to a no-op once they agree.
+    ///
     /// The pass is transactional: one catalog snapshot drives both the
     /// merge and the delete set; the delete set is recorded in a tombstone
     /// that commits (atomically) before the consolidated fragment does, so
@@ -1544,6 +1582,12 @@ impl<B: StorageBackend> StorageEngine<B> {
         let snapshot = self.catalog.snapshot();
         let before_bytes: u64 = snapshot.iter().map(|e| e.size).sum();
         if snapshot.len() <= 1 {
+            drop(snapshot_span);
+            if let (Some(ad), [entry]) = (self.config.adaptive_reorg.as_ref(), &snapshot[..]) {
+                if let Some(report) = self.migrate_single(entry, ad, before_bytes)? {
+                    return Ok(report);
+                }
+            }
             return Ok(ConsolidateReport {
                 merged_fragments: snapshot.len(),
                 n_points: 0,
@@ -1571,13 +1615,50 @@ impl<B: StorageBackend> StorageEngine<B> {
         let merged = self.merged_points_from(&snapshot)?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::with_capacity(merged.len() * self.elem_size as usize);
+        // Characterization rides the merge scan: the stats accumulate on
+        // the points the loop already visits, so adaptive mode adds no
+        // extra pass over the data.
+        let mut characterize = self
+            .config
+            .adaptive_reorg
+            .as_ref()
+            .map(|_| SparsityStatsBuilder::new(self.shape.clone()));
         for (coord, record) in merged.values() {
             coords.push(coord)?;
             payload.extend_from_slice(record);
+            if let Some(builder) = characterize.as_mut() {
+                builder.push(coord);
+            }
         }
         drop(merge_span);
 
-        let report = self.write_with(&coords, &payload, Some((id, &sources)))?;
+        let target = match (self.config.adaptive_reorg.as_ref(), characterize) {
+            (Some(ad), Some(builder)) => {
+                let _advise = Span::enter(&self.recorder, SpanKind::ConsolidateAdvise);
+                let target = ad.pin.unwrap_or_else(|| {
+                    recommend_from_stats(
+                        &builder.finish(),
+                        &ad.profile.access_profile(),
+                        &ad.candidates,
+                    )
+                    .best()
+                });
+                let migrating = snapshot.iter().filter(|e| e.meta.kind != target).count() as u64;
+                charge(|io| io.fragments_migrated += migrating);
+                target
+            }
+            _ => self.kind,
+        };
+
+        // The merged scan is in linear-address order, so the re-encode
+        // goes through the direct-conversion builders (sorts elided).
+        let convert_span = self
+            .config
+            .adaptive_reorg
+            .as_ref()
+            .map(|_| Span::enter(&self.recorder, SpanKind::ConsolidateConvert));
+        let report = self.write_with(target, &coords, &payload, Some((id, &sources)), true)?;
+        drop(convert_span);
 
         let _sweep_span = Span::enter(&self.recorder, SpanKind::ConsolidateSweep);
         // The commit landed: from here the tombstone guarantees the
@@ -1603,6 +1684,135 @@ impl<B: StorageBackend> StorageEngine<B> {
             after_bytes: self.catalog.total_bytes(),
             fragment: Some(report.fragment),
         })
+    }
+
+    /// Adaptive re-organization of a store already consolidated down to
+    /// one fragment: characterize it, ask the advisor (or honor the
+    /// policy's pin), and when the verdict differs from the fragment's
+    /// current organization, re-encode it through the direct conversion
+    /// layer — under the same staged, tombstone-protected commit protocol
+    /// as a full consolidation, so a crash in any window leaves the store
+    /// readable in the old organization. Returns `None` when the fragment
+    /// already has the advised organization: repeated passes converge to
+    /// a no-op.
+    fn migrate_single(
+        &self,
+        entry: &CatalogEntry,
+        ad: &crate::config::AdaptiveReorg,
+        before_bytes: u64,
+    ) -> Result<Option<ConsolidateReport>> {
+        self.check_entry_shape(entry)?;
+        if entry.meta.elem_size != self.elem_size {
+            return Err(StorageError::Mismatch {
+                reason: format!(
+                    "fragment {} stores {}-byte records, engine {}",
+                    entry.name, entry.meta.elem_size, self.elem_size
+                ),
+            });
+        }
+        let decoded = self.fetch_decoded(entry)?;
+
+        let advise_span = Span::enter(&self.recorder, SpanKind::ConsolidateAdvise);
+        let target = match ad.pin {
+            Some(pin) => pin,
+            None => {
+                let coords = decoded
+                    .meta
+                    .kind
+                    .create()
+                    .enumerate(&decoded.index, &self.counter)?;
+                let mut builder = SparsityStatsBuilder::new(self.shape.clone());
+                for p in coords.iter() {
+                    builder.push(p);
+                }
+                recommend_from_stats(
+                    &builder.finish(),
+                    &ad.profile.access_profile(),
+                    &ad.candidates,
+                )
+                .best()
+            }
+        };
+        drop(advise_span);
+        if target == decoded.meta.kind {
+            return Ok(None);
+        }
+
+        let sid = parse_fragment_name(&entry.name)
+            .ok_or_else(|| StorageError::corrupt(&entry.name, "cataloged name does not parse"))?;
+        // Same identity rule as a full pass: keep the source's sequence
+        // number (the data is no newer than that), bump the
+        // consolidation generation to outrank it.
+        let id = FragmentId {
+            seq: sid.seq,
+            epoch: self.epoch,
+            cgen: sid.cgen + 1,
+        };
+        let name = format_fragment_name(id);
+
+        let convert_span = Span::enter(&self.recorder, SpanKind::ConsolidateConvert);
+        let conv = self.observed_parallel(|| {
+            convert::convert(
+                decoded.meta.kind,
+                &decoded.index,
+                target,
+                &self.shape,
+                &self.counter,
+            )
+        })?;
+        let values = match &conv.map {
+            Some(map) => artsparse_tensor::permute::scatter_bytes(
+                &decoded.values,
+                self.elem_size as usize,
+                map,
+            ),
+            None => decoded.values.clone(),
+        };
+        charge(|io| {
+            io.fragments_migrated += 1;
+            if conv.direct {
+                io.conversions_direct += 1;
+            } else {
+                io.conversions_fallback += 1;
+            }
+        });
+        let frag = encode_fragment(
+            target,
+            &self.shape,
+            conv.n_points as u64,
+            self.elem_size,
+            decoded.meta.bbox.as_ref(),
+            &conv.index,
+            &values,
+            self.index_codec,
+            self.value_codec,
+        );
+        drop(convert_span);
+
+        let tombstone = format!("{}\n", entry.name);
+        self.commit_fragment(&name, &frag, Some(&tombstone), true)?;
+        let meta = decode_meta(&name, &frag)?;
+        self.catalog.insert(CatalogEntry {
+            name: name.clone(),
+            meta,
+            size: frag.len() as u64,
+        });
+
+        let _sweep = Span::enter(&self.recorder, SpanKind::ConsolidateSweep);
+        self.catalog.remove(&entry.name);
+        self.cache.invalidate(&entry.name);
+        match self.backend.delete(&entry.name) {
+            Err(e) if !e.is_not_found() => return Err(e),
+            _ => {}
+        }
+        let _ = self.backend.delete(&tombstone_name(&name));
+        Ok(Some(ConsolidateReport {
+            merged_fragments: 1,
+            n_points: conv.n_points,
+            before_bytes,
+            after_bytes: self.catalog.total_bytes(),
+            fragment: Some(name),
+        }))
     }
 
     /// Enumerate every stored point across all fragments (post-dedup), in

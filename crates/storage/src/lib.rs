@@ -50,7 +50,7 @@ pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
 pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
-pub use config::{CommitMode, EngineConfig, RetryPolicy};
+pub use config::{AdaptiveReorg, CommitMode, EngineConfig, ReorgProfile, RetryPolicy};
 pub use engine::{
     ConsolidateReport, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding, ScrubReport,
     StorageEngine, StoreStats, WriteReport,

@@ -8,8 +8,8 @@
 //! collisions between concurrent engines.
 
 use artsparse::storage::{
-    CommitMode, EngineConfig, FailingBackend, FsBackend, MemBackend, SimulatedDisk, StorageBackend,
-    StorageEngine, StripedBackend,
+    AdaptiveReorg, CommitMode, EngineConfig, FailingBackend, FsBackend, MemBackend, SimulatedDisk,
+    StorageBackend, StorageEngine, StripedBackend,
 };
 use artsparse::{CoordBuffer, FormatKind, Shape};
 use std::sync::Arc;
@@ -185,6 +185,101 @@ fn consolidation_crash_after_commit_replays_deletions() {
         engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
         vec![Some(3.0), Some(2.0)]
     );
+}
+
+/// An adaptive re-organization killed between the advise step and the
+/// rename-commit must change nothing: after restart the store is still
+/// readable in its old organization, with no staged blob or tombstone
+/// left behind. The pin forces a migration (LINEAR→CSF) so the crash
+/// window is guaranteed to open.
+#[test]
+fn adaptive_migration_crash_before_commit_keeps_old_organization() {
+    let engine = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default().with_adaptive_reorg(AdaptiveReorg::pinned(FormatKind::Csf)),
+    )
+    .unwrap();
+    engine
+        .write_points::<f64>(&pts(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+        .unwrap();
+
+    // One fragment → consolidation takes the single-fragment migration
+    // path (advise → convert → commit). Kill the rename-commit, and kill
+    // deletes so the abort cleanup cannot tidy up either.
+    engine.backend().fail_renames(true);
+    engine.backend().fail_deletes(true);
+    assert!(engine.consolidate().is_err());
+
+    // "Restart" without the adaptive policy: recovery discards the
+    // staged output and the uncommitted tombstone; the store reads back
+    // in the organization it had before the advise.
+    let backend = engine.into_backend();
+    backend.disarm();
+    let engine = open(backend);
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.fragments, 1);
+    assert_eq!(
+        stats.by_format.keys().collect::<Vec<_>>(),
+        vec!["LINEAR"],
+        "interrupted migration must leave the old organization"
+    );
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| !n.ends_with(".tmp") && !n.ends_with(".tsn")));
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+        vec![Some(1.0), Some(2.0)]
+    );
+}
+
+/// The happy path of live re-organization: consolidation migrates the
+/// store to the advisor's pick, reads are byte-identical across the
+/// migration, and a further consolidation is a no-op (convergence).
+#[test]
+fn adaptive_consolidation_converges_and_preserves_reads() {
+    let engine = StorageEngine::open_with(
+        MemBackend::new(),
+        FormatKind::Coo,
+        shape(),
+        8,
+        EngineConfig::default().with_adaptive_reorg(AdaptiveReorg::default()),
+    )
+    .unwrap();
+    let coords: Vec<[u64; 2]> = (0..32u64).map(|i| [i, (i * 3) % 64]).collect();
+    let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.5).collect();
+    let queries = CoordBuffer::from_points(2, &coords).unwrap();
+    engine.write_points::<f64>(&queries, &vals[..]).unwrap();
+    let before = engine.read_values::<f64>(&queries).unwrap();
+
+    engine.consolidate().unwrap();
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.fragments, 1);
+    assert_eq!(stats.by_format.len(), 1);
+    let organization = stats.by_format.keys().next().unwrap().clone();
+
+    // The store landed on what an offline advisor pass recommends.
+    let (all, _) = engine.export().unwrap();
+    let sparsity = artsparse::core::SparsityStats::from_coords(&all, &shape());
+    let offline = artsparse::core::advisor::recommend_from_stats(
+        &sparsity,
+        &artsparse::core::advisor::AccessProfile::balanced(),
+        &[],
+    )
+    .best();
+    assert_eq!(organization, offline.name());
+
+    // Byte-identical reads across the migration; converged thereafter.
+    assert_eq!(engine.read_values::<f64>(&queries).unwrap(), before);
+    engine.consolidate().unwrap();
+    let again = engine.stats().unwrap();
+    assert_eq!(again.fragments, 1);
+    assert_eq!(again.by_format.keys().next().unwrap(), &organization);
 }
 
 /// Two engines over one store claim distinct epochs, so their fragment
