@@ -85,6 +85,12 @@ pub struct Config {
     /// Advisor weight preset for adaptive re-organization and the
     /// `advise` subcommand (`--profile balanced|write-heavy|read-heavy`).
     pub profile: artsparse_storage::ReorgProfile,
+    /// Points per streaming-ingest batch in the `ingest` experiment
+    /// (`--ingest-batch`).
+    pub ingest_batch: usize,
+    /// Group-commit flush threshold in points for the `ingest` experiment
+    /// (`--ingest-flush-points`).
+    pub ingest_flush_points: usize,
 }
 
 impl Default for Config {
@@ -105,6 +111,8 @@ impl Default for Config {
             threads: 0,
             adaptive: false,
             profile: artsparse_storage::ReorgProfile::Balanced,
+            ingest_batch: 64,
+            ingest_flush_points: 1024,
         }
     }
 }
@@ -122,6 +130,19 @@ impl Config {
     /// Whether telemetry should be collected (either flag).
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry || self.telemetry_out.is_some()
+    }
+
+    /// The streaming-ingest knobs the `ingest` experiment runs under:
+    /// WAL-protected batches, the `--ingest-flush-points` group-commit
+    /// threshold, and the size/time thresholds pushed out of the way so
+    /// the point threshold is the only self-flush trigger.
+    pub fn ingest_config(&self) -> artsparse_storage::IngestConfig {
+        artsparse_storage::IngestConfig {
+            flush_points: self.ingest_flush_points.max(1),
+            flush_bytes: usize::MAX,
+            flush_interval_ms: 1,
+            wal: true,
+        }
     }
 
     /// The engine configuration a matrix cell runs under: commit mode,
@@ -195,6 +216,20 @@ mod tests {
         let ad = c.engine_config().adaptive_reorg.unwrap();
         assert_eq!(ad.profile, artsparse_storage::ReorgProfile::ReadHeavy);
         assert!(ad.pin.is_none());
+    }
+
+    #[test]
+    fn ingest_knobs_reach_the_engine_config() {
+        let c = Config::default();
+        assert_eq!(c.ingest_batch, 64);
+        let ic = c.ingest_config();
+        assert_eq!(ic.flush_points, 1024);
+        assert!(ic.wal);
+        let c = Config {
+            ingest_flush_points: 0,
+            ..Config::default()
+        };
+        assert_eq!(c.ingest_config().flush_points, 1, "zero is clamped");
     }
 
     #[test]

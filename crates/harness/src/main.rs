@@ -4,7 +4,7 @@
 //! artsparse-bench <experiment>... [options]
 //!
 //! experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 ablate
-//!              compress sweep adaptive all
+//!              compress sweep adaptive ingest all
 //! options:
 //!   --scale paper|medium|smoke   tensor sizes        (default: medium)
 //!   --backend mem|fs|sim         storage device      (default: sim)
@@ -18,6 +18,10 @@
 //!                                consolidation time
 //!   --profile balanced|write-heavy|read-heavy
 //!                                advisor weights     (default: balanced)
+//!   --ingest-batch N             points per streaming-ingest batch
+//!                                                    (default: 64)
+//!   --ingest-flush-points N      group-commit flush threshold
+//!                                                    (default: 1024)
 //!
 //! validate-telemetry <file>... [--schema PATH]
 //!   validate telemetry documents against schemas/telemetry.schema.json
@@ -34,16 +38,16 @@
 
 use artsparse_core::FormatKind;
 use artsparse_harness::experiments::{
-    ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, io, sweep, table1, table2, table3,
-    table4, ExperimentOutput,
+    ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, ingest, io, sweep, table1, table2,
+    table3, table4, ExperimentOutput,
 };
 use artsparse_harness::{run_matrix_with_telemetry, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "ablate",
-    "compress", "sweep", "io", "adaptive",
+    "compress", "sweep", "io", "adaptive", "ingest",
 ];
 
 fn usage() -> ! {
@@ -51,7 +55,8 @@ fn usage() -> ! {
         "usage: artsparse-bench <experiment>... [--scale paper|medium|smoke] \
          [--backend mem|fs|sim] [--seed N] [--out DIR] [--formats A,B,..] \
          [--commit-mode staged|direct] [--telemetry] [--telemetry-out DIR] \
-         [--threads N] [--adaptive] [--profile balanced|write-heavy|read-heavy]\n\
+         [--threads N] [--adaptive] [--profile balanced|write-heavy|read-heavy] \
+         [--ingest-batch N] [--ingest-flush-points N]\n\
          experiments: {} all\n\
          or: artsparse-bench validate-telemetry <file>... [--schema PATH]\n\
          or: artsparse-bench scrub <dir>\n\
@@ -366,6 +371,14 @@ fn parse_args() -> (Vec<String>, Config) {
             }
             "--telemetry" => cfg.telemetry = true,
             "--adaptive" => cfg.adaptive = true,
+            "--ingest-batch" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.ingest_batch = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--ingest-flush-points" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.ingest_flush_points = v.parse().unwrap_or_else(|_| usage());
+            }
             "--profile" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cfg.profile = artsparse_storage::ReorgProfile::parse(&v).unwrap_or_else(|| usage());
@@ -473,6 +486,9 @@ fn main() -> Result<()> {
     }
     if wants("adaptive") {
         emit(&cfg, adaptive::run(&cfg)?)?;
+    }
+    if wants("ingest") {
+        emit(&cfg, ingest::run(&cfg)?)?;
     }
     Ok(())
 }

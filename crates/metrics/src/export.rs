@@ -23,7 +23,11 @@ use serde::Serialize;
 /// the adaptive re-organization span kinds (`engine.consolidate.advise`,
 /// `engine.consolidate.convert`) and migration counters
 /// (`fragments_migrated`, `conversions_direct`, `conversions_fallback`).
-pub const TELEMETRY_VERSION: u32 = 4;
+/// Version 5 added the streaming-ingest span kinds (`engine.ingest`,
+/// `engine.ingest.wal`, `engine.ingest.flush`, `engine.ingest.replay`,
+/// `engine.scheduler.run`) and the ingest counters (`wal_bytes`,
+/// `group_commits`, `scheduler_runs`).
+pub const TELEMETRY_VERSION: u32 = 5;
 
 /// Aggregated view of one span kind.
 #[derive(Debug, Clone, Serialize)]
@@ -276,7 +280,7 @@ mod tests {
         let report = sample_report();
         let v = serde_json::to_value(&report).unwrap();
         assert_eq!(v["version"].as_u64(), Some(u64::from(TELEMETRY_VERSION)));
-        assert_eq!(TELEMETRY_VERSION, 4);
+        assert_eq!(TELEMETRY_VERSION, 5);
         let spans = v["spans"].as_array().unwrap();
         assert_eq!(spans.len(), 2);
         assert!(spans

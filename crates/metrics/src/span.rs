@@ -61,6 +61,19 @@ pub enum SpanKind {
     /// One shard of compute-parallel format work (chunked sort or batched
     /// query scan), synthesized by the engine from per-shard timings.
     ParShard,
+    /// One streaming-ingest append: validate, WAL, buffer (and possibly a
+    /// threshold-triggered group commit).
+    Ingest,
+    /// The durable write-ahead-log record of one ingest batch.
+    IngestWal,
+    /// One group commit: the write buffer flushed into a fragment and its
+    /// covering WAL records retired.
+    IngestFlush,
+    /// Replay of surviving WAL records into a fragment at engine open.
+    IngestReplay,
+    /// One background-scheduler pass (time-threshold flush check plus the
+    /// size-tiered consolidation trigger).
+    SchedulerRun,
 }
 
 impl SpanKind {
@@ -88,6 +101,11 @@ impl SpanKind {
             SpanKind::Scrub => "engine.scrub",
             SpanKind::ScrubFragment => "engine.scrub.fragment",
             SpanKind::ParShard => "engine.par.shard",
+            SpanKind::Ingest => "engine.ingest",
+            SpanKind::IngestWal => "engine.ingest.wal",
+            SpanKind::IngestFlush => "engine.ingest.flush",
+            SpanKind::IngestReplay => "engine.ingest.replay",
+            SpanKind::SchedulerRun => "engine.scheduler.run",
         }
     }
 
@@ -115,6 +133,11 @@ impl SpanKind {
             SpanKind::Scrub,
             SpanKind::ScrubFragment,
             SpanKind::ParShard,
+            SpanKind::Ingest,
+            SpanKind::IngestWal,
+            SpanKind::IngestFlush,
+            SpanKind::IngestReplay,
+            SpanKind::SchedulerRun,
         ]
     }
 }
@@ -176,6 +199,12 @@ pub struct IoStats {
     pub conversions_direct: u64,
     /// Format re-encodings that fell back to decode-to-COO-and-rebuild.
     pub conversions_fallback: u64,
+    /// Bytes written to the streaming-ingest write-ahead log.
+    pub wal_bytes: u64,
+    /// Group commits: write-buffer flushes that produced a fragment.
+    pub group_commits: u64,
+    /// Background consolidation-scheduler passes executed.
+    pub scheduler_runs: u64,
 }
 
 impl IoStats {
@@ -221,6 +250,9 @@ impl IoStats {
         self.conversions_fallback = self
             .conversions_fallback
             .saturating_add(other.conversions_fallback);
+        self.wal_bytes = self.wal_bytes.saturating_add(other.wal_bytes);
+        self.group_commits = self.group_commits.saturating_add(other.group_commits);
+        self.scheduler_runs = self.scheduler_runs.saturating_add(other.scheduler_runs);
     }
 
     /// Whether every counter is zero.
@@ -440,6 +472,6 @@ mod tests {
             assert!(k.name().starts_with("engine."), "{}", k.name());
             assert!(seen.insert(k.name()), "duplicate name {}", k.name());
         }
-        assert_eq!(seen.len(), 21);
+        assert_eq!(seen.len(), 26);
     }
 }

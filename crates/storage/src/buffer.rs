@@ -1,0 +1,308 @@
+//! In-memory write buffer for streaming ingest.
+//!
+//! Acked ingest batches land here (after their WAL record is durable)
+//! and stay readable — merged over fragment hits with last-write-wins
+//! precedence — until a group commit flushes them into one ordinary
+//! fragment. The buffer keeps batches in append order under a mutex and
+//! exposes reads through an atomically swappable [`BufferSnapshot`]: an
+//! `Arc`'d address-ordered view rebuilt lazily after appends, so readers
+//! never hold the append lock while they merge (the double-buffer idiom —
+//! writers mutate the live side, readers clone an immutable snapshot).
+//!
+//! Draining is batch-aligned: a flush captures a snapshot, encodes it as
+//! a fragment, and then retires exactly the batches the snapshot covered
+//! (returning their WAL names for deletion) — batches acked during the
+//! flush stay buffered for the next group commit.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One acked ingest batch held in the buffer.
+#[derive(Debug)]
+struct Batch {
+    /// Linear addresses, one per point (precomputed by the engine, which
+    /// knows the tensor shape).
+    addrs: Vec<u64>,
+    /// Flattened coordinates, `ndim` per point.
+    coords: Vec<u64>,
+    /// Raw value records, `elem_size` bytes per point.
+    values: Vec<u8>,
+    /// The WAL blob covering this batch, if ingest was WAL-protected.
+    wal: Option<String>,
+}
+
+/// Address-ordered, deduplicated view of the buffered points at one
+/// instant. Within the map, the *latest* append wins — the buffer's
+/// last-write-wins contract — and `raw_points` remembers how many raw
+/// (pre-dedup) points the view covers so a flush can drain exactly them.
+#[derive(Debug, Default)]
+pub struct BufferSnapshot {
+    /// `linear address → (coordinate, value record)`, later appends
+    /// having replaced earlier ones.
+    pub points: BTreeMap<u64, (Vec<u64>, Vec<u8>)>,
+    /// Raw appended points (duplicates included) this snapshot covers.
+    pub raw_points: usize,
+}
+
+impl BufferSnapshot {
+    /// Number of distinct buffered points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the snapshot holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Cheap occupancy summary used by flush-threshold checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Raw appended points currently buffered (duplicates included).
+    pub points: usize,
+    /// Buffered value payload in bytes.
+    pub value_bytes: usize,
+    /// Acked batches currently buffered.
+    pub batches: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    batches: Vec<Batch>,
+    points: usize,
+    value_bytes: usize,
+    first_append: Option<Instant>,
+    /// Cached snapshot; `None` after any append or drain.
+    snapshot: Option<Arc<BufferSnapshot>>,
+}
+
+/// The streaming-ingest write buffer: appended batches on one side, an
+/// atomically swappable read [`BufferSnapshot`] on the other.
+#[derive(Default)]
+pub struct WriteBuffer {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for WriteBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("WriteBuffer")
+            .field("points", &stats.points)
+            .field("value_bytes", &stats.value_bytes)
+            .field("batches", &stats.batches)
+            .finish()
+    }
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        WriteBuffer::default()
+    }
+
+    /// Append one acked batch. `addrs`, `coords`, and `values` must agree
+    /// on the point count (the engine validates shapes before acking);
+    /// `wal` names the WAL blob that made the batch durable, if any.
+    pub fn append(&self, addrs: Vec<u64>, coords: Vec<u64>, values: Vec<u8>, wal: Option<String>) {
+        if addrs.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.points += addrs.len();
+        inner.value_bytes += values.len();
+        inner.first_append.get_or_insert_with(Instant::now);
+        inner.snapshot = None;
+        inner.batches.push(Batch {
+            addrs,
+            coords,
+            values,
+            wal,
+        });
+    }
+
+    /// Current occupancy.
+    pub fn stats(&self) -> BufferStats {
+        let inner = self.inner.lock();
+        BufferStats {
+            points: inner.points,
+            value_bytes: inner.value_bytes,
+            batches: inner.batches.len(),
+        }
+    }
+
+    /// How long the oldest buffered point has been waiting, or `None`
+    /// when the buffer is empty. The scheduler's staleness flush keys off
+    /// this.
+    pub fn age(&self) -> Option<Duration> {
+        self.inner.lock().first_append.map(|t| t.elapsed())
+    }
+
+    /// The current read snapshot. Rebuilt (and cached) only when appends
+    /// or drains invalidated the previous one; otherwise this is one
+    /// `Arc` clone under a short lock hold.
+    pub fn snapshot(&self) -> Arc<BufferSnapshot> {
+        let mut inner = self.inner.lock();
+        if let Some(snap) = &inner.snapshot {
+            return Arc::clone(snap);
+        }
+        let mut points = BTreeMap::new();
+        let mut raw = 0usize;
+        for batch in &inner.batches {
+            let ndim = if batch.addrs.is_empty() {
+                0
+            } else {
+                batch.coords.len() / batch.addrs.len()
+            };
+            let elem = if batch.addrs.is_empty() {
+                0
+            } else {
+                batch.values.len() / batch.addrs.len()
+            };
+            for (i, &addr) in batch.addrs.iter().enumerate() {
+                let coord = batch.coords[i * ndim..(i + 1) * ndim].to_vec();
+                let record = batch.values[i * elem..(i + 1) * elem].to_vec();
+                points.insert(addr, (coord, record));
+                raw += 1;
+            }
+        }
+        let snap = Arc::new(BufferSnapshot {
+            points,
+            raw_points: raw,
+        });
+        inner.snapshot = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Retire the batches a flushed snapshot covered: drop the first
+    /// `raw_points` appended points and return the WAL names that were
+    /// protecting them (for deletion). Appends are atomic, a snapshot is
+    /// taken under the same lock, and flushes are serialized — so
+    /// `raw_points` always lands on a batch boundary; a mismatch is an
+    /// internal bug and panics rather than silently dropping acked data.
+    pub fn drain(&self, raw_points: usize) -> Vec<String> {
+        if raw_points == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock();
+        let mut remaining = raw_points;
+        let mut covered = 0usize;
+        for batch in &inner.batches {
+            if remaining == 0 {
+                break;
+            }
+            assert!(
+                batch.addrs.len() <= remaining,
+                "drain of {raw_points} points is not batch-aligned"
+            );
+            remaining -= batch.addrs.len();
+            covered += 1;
+        }
+        assert_eq!(remaining, 0, "drain of {raw_points} points exceeds buffer");
+        let mut wals = Vec::new();
+        let drained: Vec<Batch> = inner.batches.drain(..covered).collect();
+        for batch in drained {
+            inner.points -= batch.addrs.len();
+            inner.value_bytes -= batch.values.len();
+            if let Some(w) = batch.wal {
+                wals.push(w);
+            }
+        }
+        if inner.batches.is_empty() {
+            inner.first_append = None;
+        } else {
+            // The remaining batches arrived during the flush; their wait
+            // clock starts now rather than inheriting the flushed head's.
+            inner.first_append = Some(Instant::now());
+        }
+        inner.snapshot = None;
+        wals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_is_cheap() {
+        let buf = WriteBuffer::new();
+        assert_eq!(
+            buf.stats(),
+            BufferStats {
+                points: 0,
+                value_bytes: 0,
+                batches: 0
+            }
+        );
+        assert!(buf.age().is_none());
+        let snap = buf.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.raw_points, 0);
+        assert!(buf.drain(0).is_empty());
+    }
+
+    #[test]
+    fn snapshot_orders_by_address_and_later_append_wins() {
+        let buf = WriteBuffer::new();
+        buf.append(
+            vec![9, 3],
+            vec![0, 9, 0, 3],
+            vec![1, 1, 1, 1, 2, 2, 2, 2],
+            Some("wal-a".into()),
+        );
+        buf.append(vec![3], vec![0, 3], vec![7, 7, 7, 7], Some("wal-b".into()));
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.raw_points, 3);
+        let addrs: Vec<u64> = snap.points.keys().copied().collect();
+        assert_eq!(addrs, vec![3, 9]);
+        // Address 3 was written twice; the later batch's record wins.
+        assert_eq!(snap.points[&3].1, vec![7, 7, 7, 7]);
+        assert_eq!(snap.points[&3].0, vec![0, 3]);
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_invalidated() {
+        let buf = WriteBuffer::new();
+        buf.append(vec![1], vec![1], vec![5; 8], None);
+        let a = buf.snapshot();
+        let b = buf.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged buffer reuses the snapshot");
+        buf.append(vec![2], vec![2], vec![6; 8], None);
+        let c = buf.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "append swaps in a fresh snapshot");
+        assert_eq!(c.len(), 2);
+        // The old snapshot is immutable — readers holding it are unaffected.
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn drain_is_batch_aligned_and_returns_wal_names() {
+        let buf = WriteBuffer::new();
+        buf.append(vec![1, 2], vec![1, 2], vec![0; 16], Some("wal-1".into()));
+        buf.append(vec![3], vec![3], vec![0; 8], None);
+        buf.append(vec![4], vec![4], vec![0; 8], Some("wal-3".into()));
+        let snap_raw = 3; // as if a flush snapshotted the first two batches
+        let wals = buf.drain(snap_raw);
+        assert_eq!(wals, vec!["wal-1".to_string()]);
+        let stats = buf.stats();
+        assert_eq!(stats.points, 1);
+        assert_eq!(stats.batches, 1);
+        assert!(buf.age().is_some(), "a surviving batch keeps the clock");
+        let wals = buf.drain(1);
+        assert_eq!(wals, vec!["wal-3".to_string()]);
+        assert!(buf.age().is_none());
+        assert_eq!(buf.stats().points, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not batch-aligned")]
+    fn misaligned_drain_panics() {
+        let buf = WriteBuffer::new();
+        buf.append(vec![1, 2], vec![1, 2], vec![0; 16], None);
+        buf.drain(1);
+    }
+}

@@ -199,6 +199,83 @@ impl AdaptiveReorg {
     }
 }
 
+/// Thresholds for the streaming-ingest write buffer and its group
+/// commits.
+///
+/// Ingested points accumulate in the in-memory write buffer (durably
+/// mirrored in the WAL) until one of these thresholds trips, at which
+/// point the buffer is flushed — group-committed — into one ordinary
+/// fragment and the covering WAL records are retired. All fields are
+/// integers so [`EngineConfig`] keeps deriving `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Flush when this many distinct buffered points accumulate.
+    pub flush_points: usize,
+    /// Flush when the buffered value payload reaches this many bytes.
+    pub flush_bytes: usize,
+    /// Age (milliseconds) past which the background scheduler flushes a
+    /// non-empty buffer even below the size thresholds, bounding how
+    /// long an acked point stays WAL-only. Only the scheduler acts on
+    /// this — an engine without one flushes purely by size.
+    pub flush_interval_ms: u64,
+    /// Write a durable WAL record (via `put_atomic`) before acking each
+    /// ingest batch. On by default; turning it off trades crash
+    /// durability of buffered points for ingest throughput.
+    pub wal: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            flush_points: 4096,
+            flush_bytes: 1 << 20,
+            flush_interval_ms: 1000,
+            wal: true,
+        }
+    }
+}
+
+/// Policy of the background consolidation scheduler
+/// ([`IngestScheduler`](crate::scheduler::IngestScheduler)).
+///
+/// The scheduler ticks, flushes stale buffers (see
+/// [`IngestConfig::flush_interval_ms`]), and triggers a full
+/// consolidation pass under a size-tiered policy: fragments are bucketed
+/// by the log₂ of their size, and when any tier holds at least
+/// [`tier_fragments`](SchedulerConfig::tier_fragments) fragments the
+/// store is deemed fragmented enough to merge — small fresh flushes
+/// accumulate into a tier and are folded together, while one big
+/// consolidated fragment sits alone in its tier and never re-triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Poll interval between scheduler passes, in milliseconds.
+    pub tick_ms: u64,
+    /// Trigger consolidation when any log₂-size tier holds at least this
+    /// many fragments (minimum 2).
+    pub tier_fragments: usize,
+    /// Rate limit: minimum milliseconds between two consolidation
+    /// passes, regardless of how fragmented the store looks.
+    pub min_consolidate_interval_ms: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            tick_ms: 50,
+            tier_fragments: 4,
+            min_consolidate_interval_ms: 250,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Effective tier threshold (at least 2 — a 1-fragment "tier" would
+    /// consolidate forever).
+    pub fn tier_threshold(&self) -> usize {
+        self.tier_fragments.max(2)
+    }
+}
+
 /// Configuration of the catalog → plan → fetch → decode → merge read
 /// pipeline and of the fragment commit protocol. The default reproduces
 /// Algorithm 3's semantics exactly while fetching only the bytes a query
@@ -259,6 +336,10 @@ pub struct EngineConfig {
     /// default) keeps the legacy behavior: consolidation re-encodes in the
     /// store's configured write format.
     pub adaptive_reorg: Option<AdaptiveReorg>,
+    /// Streaming-ingest thresholds (see [`IngestConfig`]): when the write
+    /// buffer group-commits into a fragment and whether acked batches are
+    /// WAL-protected first.
+    pub ingest: IngestConfig,
 }
 
 impl Default for EngineConfig {
@@ -274,6 +355,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             strict_reads: true,
             adaptive_reorg: None,
+            ingest: IngestConfig::default(),
         }
     }
 }
@@ -361,6 +443,12 @@ impl EngineConfig {
         self.adaptive_reorg = Some(policy);
         self
     }
+
+    /// Builder-style streaming-ingest thresholds.
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +469,9 @@ mod tests {
         assert_eq!(c.retry.max_attempts, 3);
         assert!(c.strict_reads);
         assert!(c.adaptive_reorg.is_none());
+        assert_eq!(c.ingest, IngestConfig::default());
+        assert!(c.ingest.wal);
+        assert_eq!(c.ingest.flush_points, 4096);
         assert!(c.effective_parallelism() >= 1);
 
         let c = EngineConfig::default()
@@ -461,6 +552,28 @@ mod tests {
             AdaptiveReorg::pinned(FormatKind::Csf).pin,
             Some(FormatKind::Csf)
         );
+    }
+
+    #[test]
+    fn ingest_and_scheduler_defaults() {
+        let i = IngestConfig {
+            flush_points: 8,
+            flush_bytes: 64,
+            flush_interval_ms: 5,
+            wal: false,
+        };
+        let c = EngineConfig::default().with_ingest(i);
+        assert_eq!(c.ingest, i);
+        assert!(!c.ingest.wal);
+
+        let s = SchedulerConfig::default();
+        assert!(s.tick_ms > 0);
+        assert!(s.tier_threshold() >= 2);
+        let degenerate = SchedulerConfig {
+            tier_fragments: 0,
+            ..s
+        };
+        assert_eq!(degenerate.tier_threshold(), 2);
     }
 
     #[test]

@@ -162,7 +162,23 @@ pub struct StorageEngine<B: StorageBackend> {
     telemetry: Option<Arc<TelemetryRecorder>>,
     /// What the most recent recovery pass (open or refresh) found.
     recovery: parking_lot::Mutex<RecoveryReport>,
+    /// The streaming-ingest write buffer: acked batches awaiting a group
+    /// commit, readable through an atomically swappable snapshot.
+    buffer: crate::buffer::WriteBuffer,
+    /// Name sequence for this engine's WAL blobs (independent of the
+    /// fragment sequence; the epoch in the name keeps engines apart).
+    wal_seq: AtomicU64,
+    /// Serializes group commits: two concurrent flushes would encode
+    /// overlapping snapshots into two fragments and double-drain the
+    /// buffer.
+    flush_lock: parking_lot::Mutex<()>,
 }
+
+/// Sentinel fragment name a [`ReadHit`] carries when the hit was served
+/// from the streaming-ingest write buffer rather than a committed
+/// fragment. Never collides with a real name (real names start with
+/// `frag-`).
+pub const BUFFER_FRAGMENT: &str = "<buffer>";
 
 /// Outcome of one WRITE call.
 #[derive(Debug, Clone)]
@@ -344,7 +360,7 @@ impl<B: StorageBackend> StorageEngine<B> {
             }
         }
         let cache = FragmentCache::new(config.cache_capacity_bytes);
-        Ok(StorageEngine {
+        let engine = StorageEngine {
             backend,
             kind,
             shape,
@@ -362,7 +378,16 @@ impl<B: StorageBackend> StorageEngine<B> {
             recorder,
             telemetry,
             recovery: parking_lot::Mutex::new(recovery),
-        })
+            buffer: crate::buffer::WriteBuffer::new(),
+            wal_seq: AtomicU64::new(1),
+            flush_lock: parking_lot::Mutex::new(()),
+        };
+        // WAL blobs left behind by a crashed engine hold acked ingest
+        // batches that never reached a fragment: replay them now (and
+        // sweep torn ones) so the catalog plus the fresh buffer equal
+        // everything that was ever acked.
+        engine.replay_wal()?;
+        Ok(engine)
     }
 
     /// Replace the pipeline configuration (drops any cached fragments).
@@ -544,6 +569,11 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// sweeps — readers, catalog reloads, and concurrent engines never
     /// observe a torn fragment.
     pub fn write(&self, coords: &CoordBuffer, values: &[u8]) -> Result<WriteReport> {
+        // A plain write is strictly newer than everything buffered:
+        // group-commit the buffer first so its fragment takes a lower
+        // sequence number and this write keeps last-write-wins
+        // precedence over any buffered duplicate.
+        self.flush()?;
         self.write_with(self.kind, coords, values, None, false)
     }
 
@@ -732,8 +762,213 @@ impl<B: StorageBackend> StorageEngine<B> {
         coords: &CoordBuffer,
         values: &[V],
     ) -> Result<WriteReport> {
-        debug_assert_eq!(V::SIZE, self.elem_size as usize);
+        self.check_elem_size::<V>()?;
         self.write(coords, &artsparse_tensor::value::pack(values))
+    }
+
+    /// Reject a typed call whose element size disagrees with the record
+    /// size this store holds — type confusion (`f32` against an `f64`
+    /// store) fails with a typed error in every build, not just under
+    /// debug assertions.
+    fn check_elem_size<V: Element>(&self) -> Result<()> {
+        if V::SIZE != self.elem_size as usize {
+            return Err(StorageError::ElementSizeMismatch {
+                expected: self.elem_size as usize,
+                found: V::SIZE,
+            });
+        }
+        Ok(())
+    }
+
+    /// Streaming ingest: append a batch of points to the in-memory write
+    /// buffer, durably WAL-protected first (one `put_atomic` blob per
+    /// acked batch, see [`crate::wal`]) so a crash after the ack never
+    /// loses it. The batch is immediately readable — buffered points
+    /// overlay fragment hits with last-write-wins precedence — and a
+    /// group commit folds the buffer into one ordinary fragment when the
+    /// configured thresholds trip
+    /// ([`IngestConfig`](crate::config::IngestConfig)) or
+    /// [`StorageEngine::flush`] is called explicitly.
+    ///
+    /// Returns the number of points acked. `values` is an opaque payload
+    /// of `elem_size`-byte records, one per point, like
+    /// [`StorageEngine::write`].
+    pub fn ingest(&self, coords: &CoordBuffer, values: &[u8]) -> Result<usize> {
+        let _span = Span::enter(&self.recorder, SpanKind::Ingest);
+        coords.check_against(&self.shape)?;
+        if values.len() != coords.len() * self.elem_size as usize {
+            return Err(StorageError::Mismatch {
+                reason: format!(
+                    "{} value bytes for {} points of {} bytes each",
+                    values.len(),
+                    coords.len(),
+                    self.elem_size
+                ),
+            });
+        }
+        if coords.is_empty() {
+            return Ok(0);
+        }
+        let n = coords.len();
+        let mut addrs = Vec::with_capacity(n);
+        let mut flat = Vec::with_capacity(n * self.shape.ndim());
+        for p in coords.iter() {
+            addrs.push(self.shape.linearize(p)?);
+            flat.extend_from_slice(p);
+        }
+        let wal = if self.config.ingest.wal {
+            let _wal_span = Span::enter(&self.recorder, SpanKind::IngestWal);
+            let blob = crate::wal::encode_record(
+                self.shape.ndim(),
+                self.elem_size as usize,
+                &flat,
+                values,
+            )?;
+            let name =
+                crate::wal::wal_name(self.wal_seq.fetch_add(1, Ordering::SeqCst), self.epoch);
+            // The ack point: the batch is durable once this atomic put
+            // lands. A put that dies mid-write persists nothing (or a
+            // torn prefix the CRC framing rejects at replay), and the
+            // error propagates before anything reaches the buffer.
+            self.backend.put_atomic(&name, &blob)?;
+            charge(|io| io.wal_bytes += blob.len() as u64);
+            Some(name)
+        } else {
+            None
+        };
+        self.buffer.append(addrs, flat, values.to_vec(), wal);
+        let stats = self.buffer.stats();
+        if stats.points >= self.config.ingest.flush_points
+            || stats.value_bytes >= self.config.ingest.flush_bytes
+        {
+            self.flush()?;
+        }
+        Ok(n)
+    }
+
+    /// Typed streaming-ingest convenience.
+    pub fn ingest_points<V: Element>(&self, coords: &CoordBuffer, values: &[V]) -> Result<usize> {
+        self.check_elem_size::<V>()?;
+        self.ingest(coords, &artsparse_tensor::value::pack(values))
+    }
+
+    /// Group commit: flush the write buffer into one ordinary fragment
+    /// and retire the WAL blobs it covered. Batches acked while the flush
+    /// runs stay buffered for the next one. An empty buffer returns
+    /// `Ok(None)` without touching the device.
+    pub fn flush(&self) -> Result<Option<WriteReport>> {
+        let _guard = self.flush_lock.lock();
+        let snapshot = self.buffer.snapshot();
+        if snapshot.is_empty() {
+            return Ok(None);
+        }
+        let _span = Span::enter(&self.recorder, SpanKind::IngestFlush);
+        let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), snapshot.len());
+        let mut payload = Vec::with_capacity(snapshot.len() * self.elem_size as usize);
+        // The snapshot is deduplicated (the latest append per address
+        // survives) and iterates in address order — exactly what the
+        // within-fragment precedence rule needs (reads take the first
+        // matching slot) and what the sort-eliding builders accept.
+        for (coord, record) in snapshot.points.values() {
+            coords.push(coord)?;
+            payload.extend_from_slice(record);
+        }
+        let report = self.write_with(self.kind, &coords, &payload, None, true)?;
+        // The fragment is committed: retire the covered batches and their
+        // WAL blobs. A crash between the commit and these deletes leaves
+        // blobs that replay idempotently (same addresses, same records —
+        // the duplicate fragment dedups away at the next consolidation).
+        for wal in self.buffer.drain(snapshot.raw_points) {
+            match self.backend.delete(&wal) {
+                Err(e) if !e.is_not_found() => return Err(e),
+                _ => {}
+            }
+        }
+        charge(|io| io.group_commits += 1);
+        Ok(Some(report))
+    }
+
+    /// Occupancy of the streaming-ingest write buffer.
+    pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Age of the oldest buffered ingest batch (`None` when the buffer is
+    /// empty) — what the scheduler's staleness flush keys off.
+    pub fn buffer_age(&self) -> Option<std::time::Duration> {
+        self.buffer.age()
+    }
+
+    /// Sizes of all live fragments, served from the catalog — the input
+    /// to the scheduler's size-tiered consolidation trigger.
+    pub fn fragment_sizes(&self) -> Vec<u64> {
+        self.catalog.snapshot().iter().map(|e| e.size).collect()
+    }
+
+    /// Replay surviving WAL blobs at open: every acked batch that never
+    /// reached a fragment is re-buffered (in ack order) and immediately
+    /// group-committed; torn or corrupt blobs — atomic puts that died
+    /// mid-write on a device that tears — are swept without replaying a
+    /// byte.
+    fn replay_wal(&self) -> Result<()> {
+        let mut wals: Vec<(u64, u64, String)> = Vec::new();
+        let mut torn: Vec<String> = Vec::new();
+        for name in self.backend.list()? {
+            if !crate::wal::is_wal_name(&name) {
+                continue;
+            }
+            match crate::wal::parse_wal_name(&name) {
+                Some((seq, epoch)) => wals.push((epoch, seq, name)),
+                None => torn.push(name),
+            }
+        }
+        if wals.is_empty() && torn.is_empty() {
+            return Ok(());
+        }
+        let _span = Span::enter(&self.recorder, SpanKind::IngestReplay);
+        // Ack order: epoch-major (each crash/reopen cycle claims a fresh
+        // epoch), sequence-minor within one engine's run.
+        wals.sort();
+        for (_, _, name) in &wals {
+            let bytes = self.backend.get(name)?;
+            let rec = match crate::wal::decode_record(name, &bytes) {
+                Ok(rec) => rec,
+                Err(_) => {
+                    // Fails the CRC framing: the put tore, the batch was
+                    // never acked, nothing to replay.
+                    torn.push(name.clone());
+                    continue;
+                }
+            };
+            if rec.ndim != self.shape.ndim() || rec.elem_size != self.elem_size as usize {
+                return Err(StorageError::Mismatch {
+                    reason: format!(
+                        "WAL record {name} holds rank-{} points of {}-byte records, \
+                         engine stores rank-{} of {}",
+                        rec.ndim,
+                        rec.elem_size,
+                        self.shape.ndim(),
+                        self.elem_size
+                    ),
+                });
+            }
+            let mut addrs = Vec::with_capacity(rec.len());
+            for point in rec.coords.chunks_exact(rec.ndim) {
+                addrs.push(self.shape.linearize(point)?);
+            }
+            self.buffer
+                .append(addrs, rec.coords, rec.values, Some(name.clone()));
+        }
+        // Group-commit the replayed batches (which also deletes their
+        // blobs), then sweep the torn ones — never acked, never replayed.
+        self.flush()?;
+        for name in &torn {
+            match self.backend.delete(name) {
+                Err(e) if !e.is_not_found() => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// Algorithm 3 READ as the layered pipeline: plan against the
@@ -823,6 +1058,32 @@ impl<B: StorageBackend> StorageEngine<B> {
                 complete: quarantined.is_empty(),
                 quarantined,
             };
+            // Overlay the streaming-ingest buffer: buffered points are
+            // strictly newer than every committed fragment (a plain
+            // write group-commits the buffer first), so on a shared
+            // address the buffer's record replaces the fragments' hits.
+            let buffered = self.buffer.snapshot();
+            if !buffered.is_empty() {
+                let mut overlay: Vec<ReadHit> = Vec::new();
+                for qi in 0..queries.len() {
+                    let addr = self.shape.linearize(queries.point(qi))?;
+                    if let Some((coord, record)) = buffered.points.get(&addr) {
+                        overlay.push(ReadHit {
+                            query_index: qi,
+                            addr,
+                            coord: coord.clone(),
+                            value: record.clone(),
+                            fragment: BUFFER_FRAGMENT.to_string(),
+                        });
+                    }
+                }
+                if !overlay.is_empty() {
+                    let shadowed: std::collections::HashSet<u64> =
+                        overlay.iter().map(|h| h.addr).collect();
+                    result.hits.retain(|h| !shadowed.contains(&h.addr));
+                    result.hits.extend(overlay);
+                }
+            }
             result.hits.sort_by_key(|a| a.addr);
             break;
         }
@@ -831,7 +1092,7 @@ impl<B: StorageBackend> StorageEngine<B> {
 
     /// Typed READ aligned with the query buffer.
     pub fn read_values<V: Element>(&self, queries: &CoordBuffer) -> Result<Vec<Option<V>>> {
-        debug_assert_eq!(V::SIZE, self.elem_size as usize);
+        self.check_elem_size::<V>()?;
         self.read(queries)?.to_values(queries.len())
     }
 
@@ -1574,6 +1835,10 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// keeps precedence over the merged output instead of being shadowed.
     pub fn consolidate(&self) -> Result<ConsolidateReport> {
         let _span = Span::enter(&self.recorder, SpanKind::Consolidate);
+        // Buffered ingests belong in the merge: group-commit them first
+        // so the pass sees them as an ordinary source fragment (a no-op
+        // when the buffer is empty).
+        self.flush()?;
         let _guard = self.consolidate_lock.lock();
         // ONE snapshot drives everything below: the merge input, the new
         // fragment's identity, and the delete set. Fragments written
@@ -1819,6 +2084,9 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// linear-address order, with its value record. Runs over the same
     /// scan layer as [`StorageEngine::consolidate`].
     pub fn export(&self) -> Result<(CoordBuffer, Vec<u8>)> {
+        // Buffered ingests are part of the store: group-commit them so
+        // the scan layer sees them (a no-op when the buffer is empty).
+        self.flush()?;
         let merged = self.merged_points_from(&self.catalog.snapshot())?;
         let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), merged.len());
         let mut payload = Vec::new();
@@ -2049,6 +2317,260 @@ mod tests {
         e.write_points::<f64>(&coords(&[[4, 4]]), &[2.0]).unwrap();
         let vals = e.read_values::<f64>(&coords(&[[4, 4]])).unwrap();
         assert_eq!(vals, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn typed_calls_reject_mismatched_element_sizes() {
+        let e = engine(FormatKind::Coo); // stores 8-byte records
+        let c = coords(&[[1, 1]]);
+        // Write path: f32 against an f64-sized store.
+        let err = e.write_points::<f32>(&c, &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ElementSizeMismatch {
+                expected: 8,
+                found: 4
+            }
+        ));
+        // Read path: same confusion, same typed error.
+        e.write_points::<f64>(&c, &[1.0]).unwrap();
+        let err = e.read_values::<f32>(&c).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ElementSizeMismatch {
+                expected: 8,
+                found: 4
+            }
+        ));
+        // Ingest path too.
+        let err = e.ingest_points::<f32>(&c, &[1.0]).unwrap_err();
+        assert!(matches!(err, StorageError::ElementSizeMismatch { .. }));
+        // Matching sizes still work.
+        assert_eq!(e.read_values::<f64>(&c).unwrap(), vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn ingest_is_readable_before_and_after_flush() {
+        let e = engine(FormatKind::Linear);
+        assert_eq!(
+            e.ingest_points::<f64>(&coords(&[[1, 2], [3, 4]]), &[12.0, 34.0])
+                .unwrap(),
+            2
+        );
+        // Buffered, not yet a fragment.
+        assert_eq!(e.fragments().unwrap().len(), 0);
+        assert_eq!(e.buffer_stats().points, 2);
+        assert!(e.buffer_age().is_some());
+        let q = coords(&[[3, 4], [0, 0], [1, 2]]);
+        let r = e.read(&q).unwrap();
+        assert_eq!(r.hits.len(), 2);
+        assert!(r.hits.iter().all(|h| h.fragment == BUFFER_FRAGMENT));
+        assert_eq!(
+            e.read_values::<f64>(&q).unwrap(),
+            vec![Some(34.0), None, Some(12.0)]
+        );
+        // Group commit: same answers, now from a fragment.
+        let report = e.flush().unwrap().expect("non-empty buffer flushes");
+        assert_eq!(report.n_points, 2);
+        assert_eq!(e.buffer_stats().points, 0);
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        let r = e.read(&q).unwrap();
+        assert!(r.hits.iter().all(|h| h.fragment != BUFFER_FRAGMENT));
+        assert_eq!(
+            e.read_values::<f64>(&q).unwrap(),
+            vec![Some(34.0), None, Some(12.0)]
+        );
+        // Empty flush is a no-op.
+        assert!(e.flush().unwrap().is_none());
+    }
+
+    #[test]
+    fn buffered_point_wins_over_committed_duplicate() {
+        let e = engine(FormatKind::Csf);
+        e.write_points::<f64>(&coords(&[[4, 4], [2, 2]]), &[1.0, 5.0])
+            .unwrap();
+        // Newer buffered write of the same coordinate wins unflushed...
+        e.ingest_points::<f64>(&coords(&[[4, 4]]), &[2.0]).unwrap();
+        let q = coords(&[[4, 4], [2, 2]]);
+        assert_eq!(
+            e.read_values::<f64>(&q).unwrap(),
+            vec![Some(2.0), Some(5.0)]
+        );
+        // ...and flushed (fresh sequence number outranks the old one).
+        e.flush().unwrap();
+        assert_eq!(
+            e.read_values::<f64>(&q).unwrap(),
+            vec![Some(2.0), Some(5.0)]
+        );
+        // A plain write after an ingest of the same coordinate wins:
+        // write() group-commits the buffer before taking its own seq.
+        e.ingest_points::<f64>(&coords(&[[2, 2]]), &[6.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[7.0]).unwrap();
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[2, 2]])).unwrap(),
+            vec![Some(7.0)]
+        );
+    }
+
+    #[test]
+    fn ingest_within_buffer_duplicates_last_write_wins() {
+        let e = engine(FormatKind::Coo);
+        e.ingest_points::<f64>(&coords(&[[3, 3]]), &[1.0]).unwrap();
+        e.ingest_points::<f64>(&coords(&[[3, 3]]), &[2.0]).unwrap();
+        let q = coords(&[[3, 3]]);
+        assert_eq!(e.read_values::<f64>(&q).unwrap(), vec![Some(2.0)]);
+        // The flush dedups before encoding: one point in the fragment,
+        // the later record.
+        let report = e.flush().unwrap().unwrap();
+        assert_eq!(report.n_points, 1);
+        assert_eq!(e.read_values::<f64>(&q).unwrap(), vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn ingest_flushes_at_point_threshold() {
+        let config = EngineConfig::default().with_ingest(crate::config::IngestConfig {
+            flush_points: 3,
+            ..Default::default()
+        });
+        let e = StorageEngine::open_with(
+            MemBackend::new(),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            config,
+        )
+        .unwrap();
+        e.ingest_points::<f64>(&coords(&[[0, 1], [0, 2]]), &[1.0, 2.0])
+            .unwrap();
+        assert_eq!(e.fragments().unwrap().len(), 0);
+        e.ingest_points::<f64>(&coords(&[[0, 3]]), &[3.0]).unwrap();
+        // Threshold tripped: the buffer group-committed itself.
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        assert_eq!(e.buffer_stats().points, 0);
+        // WAL blobs were retired with the flush.
+        let wals = e
+            .backend()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::wal::is_wal_name(n))
+            .count();
+        assert_eq!(wals, 0);
+    }
+
+    #[test]
+    fn wal_blobs_cover_exactly_the_buffered_batches() {
+        let e = engine(FormatKind::Coo);
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        let wals: Vec<String> = e
+            .backend()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::wal::is_wal_name(n))
+            .collect();
+        assert_eq!(wals.len(), 2);
+        e.flush().unwrap();
+        let wals = e
+            .backend()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::wal::is_wal_name(n))
+            .count();
+        assert_eq!(wals, 0);
+    }
+
+    #[test]
+    fn unflushed_ingest_survives_reopen_via_wal_replay() {
+        let backend = MemBackend::new();
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let e1 = StorageEngine::open(backend, FormatKind::Coo, shape.clone(), 8).unwrap();
+        e1.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e1.ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        // Simulate a crash: drop the engine without flushing.
+        let backend = e1.into_backend();
+        let e2 = StorageEngine::open(backend, FormatKind::Coo, shape, 8).unwrap();
+        // Replay group-committed the WAL batch into a fragment.
+        assert_eq!(e2.buffer_stats().points, 0);
+        assert_eq!(
+            e2.read_values::<f64>(&coords(&[[1, 1], [2, 2]])).unwrap(),
+            vec![Some(1.0), Some(2.0)]
+        );
+        let wals = e2
+            .backend()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::wal::is_wal_name(n))
+            .count();
+        assert_eq!(wals, 0, "replayed WAL blobs are retired");
+    }
+
+    #[test]
+    fn consolidate_folds_buffered_points_in() {
+        let e = engine(FormatKind::Linear);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[2.0]).unwrap();
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[3.0]).unwrap();
+        let report = e.consolidate().unwrap();
+        // The buffered point was group-committed and merged: one
+        // fragment, one point, the newest record.
+        assert_eq!(report.merged_fragments, 3);
+        assert_eq!(report.n_points, 1);
+        assert_eq!(e.fragments().unwrap().len(), 1);
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[1, 1]])).unwrap(),
+            vec![Some(3.0)]
+        );
+    }
+
+    #[test]
+    fn export_includes_buffered_points() {
+        let e = engine(FormatKind::Coo);
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        e.ingest_points::<f64>(&coords(&[[0, 5]]), &[5.0]).unwrap();
+        let (c, payload) = e.export().unwrap();
+        assert_eq!(c.len(), 2);
+        // Address order: [0,5] (addr 5) before [1,1] (addr 17).
+        assert_eq!(c.point(0).to_vec(), vec![0, 5]);
+        assert_eq!(c.point(1).to_vec(), vec![1, 1]);
+        assert_eq!(payload.len(), 16);
+    }
+
+    #[test]
+    fn ingest_without_wal_still_reads_and_flushes() {
+        let config = EngineConfig::default().with_ingest(crate::config::IngestConfig {
+            wal: false,
+            ..Default::default()
+        });
+        let e = StorageEngine::open_with(
+            MemBackend::new(),
+            FormatKind::Coo,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            config,
+        )
+        .unwrap();
+        e.ingest_points::<f64>(&coords(&[[9, 9]]), &[9.0]).unwrap();
+        let wals = e
+            .backend()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::wal::is_wal_name(n))
+            .count();
+        assert_eq!(wals, 0, "wal off: nothing hits the device before flush");
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[9, 9]])).unwrap(),
+            vec![Some(9.0)]
+        );
+        e.flush().unwrap().unwrap();
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[9, 9]])).unwrap(),
+            vec![Some(9.0)]
+        );
     }
 
     #[test]

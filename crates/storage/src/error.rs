@@ -74,6 +74,16 @@ pub enum StorageError {
         /// Description of the mismatch.
         reason: String,
     },
+    /// A typed read or write used an element type whose size differs
+    /// from the record size this engine stores — type confusion (e.g.
+    /// `f32` against an `f64` store) that a `debug_assert` would let
+    /// slip through release builds.
+    ElementSizeMismatch {
+        /// Record size the engine stores, in bytes.
+        expected: usize,
+        /// Size of the element type the caller used, in bytes.
+        found: usize,
+    },
 }
 
 impl StorageError {
@@ -191,6 +201,11 @@ impl fmt::Display for StorageError {
                 write!(f, "operation still failing after {attempts} attempts")
             }
             StorageError::Mismatch { reason } => write!(f, "mismatch: {reason}"),
+            StorageError::ElementSizeMismatch { expected, found } => write!(
+                f,
+                "element size mismatch: the store holds {expected}-byte \
+                 records but the element type takes {found}"
+            ),
         }
     }
 }
@@ -240,6 +255,17 @@ mod tests {
         assert!(matches!(e, StorageError::Tensor(_)));
         let e = StorageError::corrupt("frag-000001", "truncated");
         assert!(e.to_string().contains("frag-000001"));
+    }
+
+    #[test]
+    fn element_size_mismatch_names_both_sizes() {
+        let e = StorageError::ElementSizeMismatch {
+            expected: 8,
+            found: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('8') && msg.contains('4'), "{msg}");
+        assert!(!e.is_transient(), "type confusion never retries clean");
     }
 
     #[test]

@@ -29,11 +29,19 @@
 //!   section verification and scrubbing;
 //! * [`observe`] — a recording backend wrapper that feeds the
 //!   `artsparse-metrics` telemetry subsystem with per-operation timings
-//!   and per-span byte accounting.
+//!   and per-span byte accounting;
+//! * [`wal`] — the CRC-framed write-ahead log records that make acked
+//!   streaming-ingest batches crash-durable before they reach a fragment;
+//! * [`buffer`] — the in-memory streaming-ingest write buffer with an
+//!   atomically swappable read snapshot;
+//! * [`scheduler`] — the background thread that flushes stale buffers and
+//!   triggers size-tiered consolidation, rate-limited, with clean
+//!   shutdown.
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod buffer;
 pub mod cache;
 pub mod catalog;
 pub mod codec;
@@ -44,20 +52,28 @@ pub mod faults;
 pub mod fragment;
 pub mod integrity;
 pub mod observe;
+pub mod scheduler;
 pub mod striped;
+pub mod wal;
 
 pub use backend::{FsBackend, MemBackend, SimulatedDisk, StorageBackend};
+pub use buffer::{BufferSnapshot, BufferStats, WriteBuffer};
 pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
-pub use config::{AdaptiveReorg, CommitMode, EngineConfig, ReorgProfile, RetryPolicy};
+pub use config::{
+    AdaptiveReorg, CommitMode, EngineConfig, IngestConfig, ReorgProfile, RetryPolicy,
+    SchedulerConfig,
+};
 pub use engine::{
     ConsolidateReport, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding, ScrubReport,
-    StorageEngine, StoreStats, WriteReport,
+    StorageEngine, StoreStats, WriteReport, BUFFER_FRAGMENT,
 };
 pub use error::{FragmentSection, Result, StorageError};
 pub use faults::{injected_fault, FailingBackend, InjectedFault};
 pub use fragment::FragmentChecksums;
 pub use integrity::{crc32c, Crc32c};
 pub use observe::RecordingBackend;
+pub use scheduler::{IngestScheduler, SchedulerStats};
 pub use striped::StripedBackend;
+pub use wal::WalRecord;

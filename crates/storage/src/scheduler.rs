@@ -1,0 +1,320 @@
+//! Background consolidation scheduler for streaming ingest.
+//!
+//! [`IngestScheduler`] owns one background thread that periodically:
+//!
+//! 1. **flushes stale buffers** — when the oldest buffered ingest batch
+//!    has waited past [`IngestConfig::flush_interval_ms`], the buffer is
+//!    group-committed even below the size thresholds, bounding how long
+//!    an acked point stays WAL-only;
+//! 2. **triggers consolidation under a size-tiered policy** — live
+//!    fragments are bucketed by the log₂ of their byte size, and when any
+//!    tier accumulates [`SchedulerConfig::tier_fragments`] fragments the
+//!    store is fragmented enough to merge. Fresh flushes are all roughly
+//!    flush-threshold-sized, so they pile into one tier and trip the
+//!    trigger; the consolidated output lands in a higher tier and sits
+//!    there alone — the fragment count plateaus instead of growing with
+//!    ingest time. Passes are rate-limited by
+//!    [`SchedulerConfig::min_consolidate_interval_ms`] regardless of how
+//!    fragmented the store looks.
+//!
+//! Every pass runs under an `engine.scheduler.run` telemetry span and
+//! charges the `scheduler_runs` counter. [`IngestScheduler::shutdown`]
+//! (also run on drop) stops the thread cleanly: the current pass
+//! finishes, no new one starts, and the thread is joined.
+//!
+//! [`IngestConfig::flush_interval_ms`]: crate::config::IngestConfig::flush_interval_ms
+
+use crate::backend::StorageBackend;
+use crate::config::SchedulerConfig;
+use crate::engine::StorageEngine;
+use crate::error::Result;
+use artsparse_metrics::{charge, Span, SpanKind};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters describing what the scheduler has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Scheduler passes executed (ticks that did their checks).
+    pub runs: u64,
+    /// Staleness flushes the scheduler issued.
+    pub flushes: u64,
+    /// Consolidation passes the scheduler triggered.
+    pub consolidations: u64,
+    /// Passes that failed (error kept out of the ingest path; the next
+    /// tick retries).
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct Shared {
+    stop: AtomicBool,
+    runs: AtomicU64,
+    flushes: AtomicU64,
+    consolidations: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Handle to the background scheduler thread. Dropping it shuts the
+/// thread down cleanly (current pass finishes, thread joined).
+pub struct IngestScheduler {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IngestScheduler {
+    /// Spawn the scheduler over a shared engine.
+    ///
+    /// The engine must be shared (`Arc`) because the scheduler flushes
+    /// and consolidates concurrently with the caller's ingests; both
+    /// paths are `&self` and internally synchronized.
+    pub fn spawn<B>(engine: Arc<StorageEngine<B>>, config: SchedulerConfig) -> IngestScheduler
+    where
+        B: StorageBackend + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared::default());
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("artsparse-ingest-scheduler".into())
+            .spawn(move || scheduler_loop(&engine, &config, &worker))
+            .expect("spawning the scheduler thread");
+        IngestScheduler {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// What the scheduler has done so far.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            runs: self.shared.runs.load(Ordering::Relaxed),
+            flushes: self.shared.flushes.load(Ordering::Relaxed),
+            consolidations: self.shared.consolidations.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the scheduler: no new pass starts, the in-flight pass (if
+    /// any) completes, and the thread is joined before this returns.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IngestScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The log₂-size tier a fragment of `size` bytes belongs to.
+fn tier_of(size: u64) -> u32 {
+    64 - size.max(1).leading_zeros()
+}
+
+/// Whether any size tier holds at least `threshold` fragments.
+fn tier_trigger(sizes: &[u64], threshold: usize) -> bool {
+    let mut counts = std::collections::HashMap::new();
+    for &size in sizes {
+        let n = counts.entry(tier_of(size)).or_insert(0usize);
+        *n += 1;
+        if *n >= threshold {
+            return true;
+        }
+    }
+    false
+}
+
+fn scheduler_loop<B: StorageBackend + Send + Sync>(
+    engine: &StorageEngine<B>,
+    config: &SchedulerConfig,
+    shared: &Shared,
+) {
+    let tick = Duration::from_millis(config.tick_ms.max(1));
+    let min_gap = Duration::from_millis(config.min_consolidate_interval_ms);
+    let mut last_consolidate: Option<Instant> = None;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match scheduler_pass(engine, config, shared, &mut last_consolidate, min_gap) {
+            Ok(()) => {}
+            Err(_) => {
+                // Keep failures out of the ingest path; the next tick
+                // retries and the counter surfaces the problem.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // park_timeout instead of sleep so shutdown() can interrupt a
+        // long tick immediately via unpark.
+        if !shared.stop.load(Ordering::SeqCst) {
+            std::thread::park_timeout(tick);
+        }
+    }
+}
+
+/// One scheduler pass: staleness flush, then the size-tiered
+/// consolidation check.
+fn scheduler_pass<B: StorageBackend + Send + Sync>(
+    engine: &StorageEngine<B>,
+    config: &SchedulerConfig,
+    shared: &Shared,
+    last_consolidate: &mut Option<Instant>,
+    min_gap: Duration,
+) -> Result<()> {
+    let _span = Span::enter(engine.recorder(), SpanKind::SchedulerRun);
+    shared.runs.fetch_add(1, Ordering::Relaxed);
+    charge(|io| io.scheduler_runs += 1);
+
+    let flush_after = Duration::from_millis(engine.config().ingest.flush_interval_ms);
+    if engine.buffer_age().is_some_and(|age| age >= flush_after) && engine.flush()?.is_some() {
+        shared.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let rate_limited = last_consolidate.is_some_and(|at| at.elapsed() < min_gap);
+    if !rate_limited {
+        let sizes = engine.fragment_sizes();
+        if sizes.len() >= 2 && tier_trigger(&sizes, config.tier_threshold()) {
+            engine.consolidate()?;
+            shared.consolidations.fetch_add(1, Ordering::Relaxed);
+            *last_consolidate = Some(Instant::now());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::config::{EngineConfig, IngestConfig};
+    use artsparse_core::FormatKind;
+    use artsparse_tensor::{CoordBuffer, Shape};
+
+    fn shared_engine(ingest: IngestConfig) -> Arc<StorageEngine<MemBackend>> {
+        Arc::new(
+            StorageEngine::open_with(
+                MemBackend::new(),
+                FormatKind::Coo,
+                Shape::new(vec![64, 64]).unwrap(),
+                8,
+                EngineConfig::default().with_ingest(ingest),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn tiers_bucket_by_log2_size() {
+        assert_eq!(tier_of(0), tier_of(1));
+        assert_eq!(tier_of(900), tier_of(1023));
+        assert_ne!(tier_of(1023), tier_of(1024));
+        // Four same-tier fragments trip a threshold of 4; mixed tiers
+        // don't.
+        assert!(tier_trigger(&[1000, 1001, 1002, 1003], 4));
+        assert!(!tier_trigger(&[10, 1000, 100_000, 10_000_000], 4));
+        assert!(!tier_trigger(&[1000, 1001, 1002], 4));
+    }
+
+    #[test]
+    fn scheduler_flushes_stale_buffer_and_shuts_down_cleanly() {
+        let engine = shared_engine(IngestConfig {
+            // Size thresholds far away; staleness is the only trigger.
+            flush_points: 1_000_000,
+            flush_bytes: usize::MAX,
+            flush_interval_ms: 1,
+            wal: true,
+        });
+        let c = CoordBuffer::from_points(2, &[[1u64, 2u64]]).unwrap();
+        engine.ingest_points::<f64>(&c, &[1.0]).unwrap();
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                ..Default::default()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.buffer_stats().points > 0 {
+            assert!(Instant::now() < deadline, "scheduler never flushed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.shutdown();
+        sched.shutdown(); // idempotent
+        let stats = sched.stats();
+        assert!(stats.runs >= 1);
+        assert!(stats.flushes >= 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(engine.fragments().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scheduler_consolidates_when_a_tier_fills() {
+        let engine = shared_engine(IngestConfig {
+            flush_points: 1,
+            ..Default::default()
+        });
+        // Every ingest self-flushes into one similarly-sized fragment:
+        // they all land in the same log2 tier.
+        for i in 0..6u64 {
+            let c = CoordBuffer::from_points(2, &[[i, i]]).unwrap();
+            engine.ingest_points::<f64>(&c, &[i as f64]).unwrap();
+        }
+        assert!(engine.fragments().unwrap().len() >= 4);
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                tier_fragments: 4,
+                min_consolidate_interval_ms: 0,
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.fragments().unwrap().len() > 1 {
+            assert!(Instant::now() < deadline, "scheduler never consolidated");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.shutdown();
+        assert!(sched.stats().consolidations >= 1);
+        // All six points survived the merge.
+        let q =
+            CoordBuffer::from_points(2, &(0..6u64).map(|i| [i, i]).collect::<Vec<_>>()).unwrap();
+        let vals = engine.read_values::<f64>(&q).unwrap();
+        assert!(vals.iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn shutdown_mid_flush_completes_the_flush() {
+        // A shutdown while a pass is mid-flight must let the pass finish:
+        // spawn, immediately shut down, and verify nothing is torn — the
+        // buffer either flushed whole or not at all.
+        let engine = shared_engine(IngestConfig {
+            flush_points: 1_000_000,
+            flush_bytes: usize::MAX,
+            flush_interval_ms: 0,
+            wal: true,
+        });
+        let c = CoordBuffer::from_points(2, &[[5u64, 5u64]]).unwrap();
+        engine.ingest_points::<f64>(&c, &[5.0]).unwrap();
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                ..Default::default()
+            },
+        );
+        sched.shutdown();
+        let buffered = engine.buffer_stats().points;
+        let fragments = engine.fragments().unwrap().len();
+        assert!(
+            (buffered == 1 && fragments == 0) || (buffered == 0 && fragments == 1),
+            "point must be wholly buffered or wholly flushed \
+             (buffered={buffered}, fragments={fragments})"
+        );
+        // Either way the point is readable.
+        assert_eq!(engine.read_values::<f64>(&c).unwrap(), vec![Some(5.0)],);
+    }
+}

@@ -466,3 +466,257 @@ fn striped_range_reads_transfer_fewer_device_bytes() {
         "one-point read moved {transferred} of {frag_bytes} stored bytes"
     );
 }
+
+// ---------------------------------------------------------------------
+// Streaming ingest: WAL durability, group commits, and precedence.
+// ---------------------------------------------------------------------
+
+use artsparse::metrics::SpanKind;
+use artsparse::storage::{IngestConfig, IngestScheduler, SchedulerConfig, BUFFER_FRAGMENT};
+
+/// The ingest ack contract, checked at every possible crash offset: the
+/// device is given a write budget of `b` bytes and killed, for every `b`
+/// from zero past the WAL record size. Batch 1 was acked before the
+/// fault arms, so it must survive every reopen; batch 2 races the crash,
+/// and must be readable after reopen exactly when its ingest call
+/// returned Ok — an acked batch is never lost, an unacked one never
+/// resurrects (`put_atomic` is all-or-nothing, and the CRC framing
+/// would reject a torn record anyway).
+#[test]
+fn acked_ingest_survives_crash_at_every_write_offset() {
+    // Generous upper bound on the one-point WAL record size (52 bytes).
+    for budget in 0..=64u64 {
+        let engine = open(FailingBackend::new(MemBackend::new()));
+        engine
+            .ingest_points::<f64>(&pts(&[[1, 1]]), &[1.0])
+            .unwrap();
+
+        engine.backend().fail_after_write_bytes(budget);
+        engine.backend().fail_deletes(true); // the dying process cleans nothing
+        let acked = engine.ingest_points::<f64>(&pts(&[[2, 2]]), &[2.0]).is_ok();
+
+        // "Crash": drop the engine (the in-memory buffer dies with it)
+        // and reopen over the surviving blobs.
+        let backend = engine.into_backend();
+        backend.disarm();
+        let engine = open(backend);
+        assert_eq!(engine.buffer_stats().points, 0, "replay group-commits");
+        let vals = engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap();
+        assert_eq!(vals[0], Some(1.0), "acked batch lost at budget {budget}");
+        assert_eq!(
+            vals[1].is_some(),
+            acked,
+            "unacked batch resurrected (or acked one lost) at budget {budget}"
+        );
+        // Replay retired or swept every WAL blob.
+        assert!(
+            !engine
+                .backend()
+                .list()
+                .unwrap()
+                .iter()
+                .any(|n| n.starts_with("wal-")),
+            "WAL blob survived replay at budget {budget}"
+        );
+    }
+}
+
+/// The same sweep over the group commit itself: two acked batches, then
+/// the device dies at every offset while `flush` runs. Whatever window
+/// the crash hits — staging put, rename, WAL retirement — both acked
+/// batches must read back after reopen (from the committed fragment,
+/// from replayed WAL blobs, or both; duplicates are identical records,
+/// so precedence hides them).
+#[test]
+fn group_commit_crash_at_every_offset_never_loses_acked_points() {
+    // Upper bound on the flush's device writes (fragment + staging).
+    for budget in 0..=512u64 {
+        let engine = open(FailingBackend::new(MemBackend::new()));
+        engine
+            .ingest_points::<f64>(&pts(&[[1, 1]]), &[1.0])
+            .unwrap();
+        engine
+            .ingest_points::<f64>(&pts(&[[2, 2]]), &[2.0])
+            .unwrap();
+
+        engine.backend().fail_after_write_bytes(budget);
+        engine.backend().fail_deletes(true);
+        let _ = engine.flush(); // may die in any window
+
+        let backend = engine.into_backend();
+        backend.disarm();
+        let engine = open(backend);
+        assert_eq!(
+            engine.read_values::<f64>(&pts(&[[1, 1], [2, 2]])).unwrap(),
+            vec![Some(1.0), Some(2.0)],
+            "acked points lost when the group commit died at budget {budget}"
+        );
+        // No torn artifacts either: staging blobs swept, WAL retired.
+        let names = engine.backend().list().unwrap();
+        assert!(!names.iter().any(|n| n.ends_with(".tmp")));
+        assert!(!names.iter().any(|n| n.starts_with("wal-")));
+    }
+}
+
+/// An empty-buffer flush is a complete no-op: no fragment, no device
+/// writes, nothing for a reopen to find.
+#[test]
+fn empty_buffer_flush_touches_nothing() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    let before = engine.backend().list().unwrap();
+    assert!(engine.flush().unwrap().is_none());
+    assert_eq!(engine.backend().list().unwrap(), before);
+    assert_eq!(engine.fragments().unwrap().len(), 0);
+    // Even with the device armed to kill any write: nothing is written.
+    engine.backend().fail_after_write_bytes(0);
+    assert!(engine.flush().unwrap().is_none());
+}
+
+/// Shutting the scheduler down while a flush may be in flight never
+/// tears state: the buffered point is either wholly buffered or wholly
+/// committed, and a reopen (WAL replay) lands it in a fragment either
+/// way.
+#[test]
+fn scheduler_shutdown_mid_flush_leaves_consistent_store() {
+    let config = EngineConfig::default().with_ingest(IngestConfig {
+        flush_points: 1_000_000,
+        flush_bytes: usize::MAX,
+        flush_interval_ms: 0, // every tick wants to flush
+        wal: true,
+    });
+    let engine = Arc::new(
+        StorageEngine::open_with(MemBackend::new(), FormatKind::Linear, shape(), 8, config)
+            .unwrap(),
+    );
+    engine
+        .ingest_points::<f64>(&pts(&[[3, 3]]), &[3.0])
+        .unwrap();
+    let mut sched = IngestScheduler::spawn(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            tick_ms: 1,
+            ..Default::default()
+        },
+    );
+    sched.shutdown(); // races the first tick's flush
+    let buffered = engine.buffer_stats().points;
+    let fragments = engine.fragments().unwrap().len();
+    assert!(
+        (buffered, fragments) == (1, 0) || (buffered, fragments) == (0, 1),
+        "torn flush: buffered={buffered}, fragments={fragments}"
+    );
+    // A "crash" now (buffer dropped) still keeps the point: WAL replay.
+    let engine = Arc::into_inner(engine).unwrap();
+    let engine = open(engine.into_backend());
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[3, 3]])).unwrap(),
+        vec![Some(3.0)]
+    );
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+}
+
+/// Last-write-wins everywhere a buffered duplicate can meet a committed
+/// one: point read, region read, consolidation, and export must all
+/// prefer the newer buffered record — and keep preferring it after it
+/// flushes.
+#[test]
+fn buffered_duplicates_win_across_read_region_consolidate_export() {
+    let engine = open(MemBackend::new());
+    engine
+        .write_points::<f64>(&pts(&[[5, 5], [6, 6]]), &[1.0, 60.0])
+        .unwrap();
+    engine
+        .ingest_points::<f64>(&pts(&[[5, 5]]), &[2.0])
+        .unwrap();
+
+    // Point read: buffer overlays the fragment hit.
+    let r = engine.read(&pts(&[[5, 5]])).unwrap();
+    assert_eq!(r.hits.len(), 1);
+    assert_eq!(r.hits[0].fragment, BUFFER_FRAGMENT);
+    // Region read: same rule through the region path.
+    let region = artsparse::Region::from_corners(&[5, 5], &[6, 6]).unwrap();
+    let hits = engine.read_region(&region).unwrap().hits;
+    let by_coord: Vec<(Vec<u64>, f64)> = hits
+        .iter()
+        .map(|h| {
+            (
+                h.coord.clone(),
+                f64::from_le_bytes(h.value.as_slice().try_into().unwrap()),
+            )
+        })
+        .collect();
+    assert_eq!(
+        by_coord,
+        vec![(vec![5, 5], 2.0), (vec![6, 6], 60.0)],
+        "region read must see the buffered record"
+    );
+
+    // Export: buffered record wins in the merged view.
+    let (coords, payload) = engine.export().unwrap();
+    assert_eq!(coords.len(), 2);
+    assert_eq!(f64::from_le_bytes(payload[..8].try_into().unwrap()), 2.0);
+
+    // Consolidation (export flushed the buffer already): one fragment,
+    // still the newer record.
+    engine
+        .ingest_points::<f64>(&pts(&[[6, 6]]), &[61.0])
+        .unwrap();
+    let report = engine.consolidate().unwrap();
+    assert_eq!(report.n_points, 2);
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[5, 5], [6, 6]])).unwrap(),
+        vec![Some(2.0), Some(61.0)]
+    );
+}
+
+/// Consolidating a store of zero or one fragments is a cheap no-op: no
+/// staging, no tombstone, no merge scan, no bytes written — pinned with
+/// telemetry span counts so churn cannot silently creep back in.
+#[test]
+fn consolidate_noop_on_zero_or_one_fragments_writes_nothing() {
+    let engine = StorageEngine::open_with(
+        MemBackend::new(),
+        FormatKind::Linear,
+        shape(),
+        8,
+        EngineConfig::default().with_telemetry(true),
+    )
+    .unwrap();
+    let churn_counts = |engine: &StorageEngine<MemBackend>| {
+        let report = engine.telemetry_report().unwrap();
+        let count = |kind| report.span(kind).map(|s| s.count).unwrap_or(0);
+        (
+            count(SpanKind::WriteStage),
+            count(SpanKind::ConsolidateMerge),
+            count(SpanKind::ConsolidateTombstone),
+            count(SpanKind::ConsolidateCommit),
+            count(SpanKind::ConsolidateSweep),
+            report.totals.bytes_written,
+        )
+    };
+
+    // Zero fragments.
+    let before = churn_counts(&engine);
+    let report = engine.consolidate().unwrap();
+    assert_eq!(report.fragment, None);
+    assert_eq!(report.before_bytes, report.after_bytes);
+    assert_eq!(
+        churn_counts(&engine),
+        before,
+        "empty-store consolidation did device work"
+    );
+
+    // One fragment.
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+    let before = churn_counts(&engine);
+    let report = engine.consolidate().unwrap();
+    assert_eq!(report.fragment, None);
+    assert_eq!(report.merged_fragments, 1);
+    assert_eq!(
+        churn_counts(&engine),
+        before,
+        "single-fragment consolidation did device work"
+    );
+    assert_eq!(engine.fragments().unwrap().len(), 1);
+}
