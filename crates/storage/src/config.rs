@@ -209,7 +209,10 @@ impl AdaptiveReorg {
 /// integers so [`EngineConfig`] keeps deriving `Eq`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestConfig {
-    /// Flush when this many distinct buffered points accumulate.
+    /// Flush when this many raw buffered points accumulate. Counted
+    /// pre-dedup: repeated writes of one address each count, so the
+    /// threshold bounds buffered *work* (WAL bytes, replay cost), not
+    /// distinct addresses.
     pub flush_points: usize,
     /// Flush when the buffered value payload reaches this many bytes.
     pub flush_bytes: usize,

@@ -165,13 +165,15 @@ pub struct StorageEngine<B: StorageBackend> {
     /// The streaming-ingest write buffer: acked batches awaiting a group
     /// commit, readable through an atomically swappable snapshot.
     buffer: crate::buffer::WriteBuffer,
-    /// Name sequence for this engine's WAL blobs (independent of the
-    /// fragment sequence; the epoch in the name keeps engines apart).
-    wal_seq: AtomicU64,
     /// Serializes group commits: two concurrent flushes would encode
     /// overlapping snapshots into two fragments and double-drain the
     /// buffer.
     flush_lock: parking_lot::Mutex<()>,
+    /// WAL blobs whose batches are committed but whose delete failed.
+    /// Retried on later flushes; a blob that never gets deleted is safe
+    /// (replay is order-preserving, see [`StorageEngine::replay_wal`]),
+    /// it just wastes device bytes until retirement succeeds.
+    wal_retire_queue: parking_lot::Mutex<Vec<String>>,
 }
 
 /// Sentinel fragment name a [`ReadHit`] carries when the hit was served
@@ -379,13 +381,13 @@ impl<B: StorageBackend> StorageEngine<B> {
             telemetry,
             recovery: parking_lot::Mutex::new(recovery),
             buffer: crate::buffer::WriteBuffer::new(),
-            wal_seq: AtomicU64::new(1),
             flush_lock: parking_lot::Mutex::new(()),
+            wal_retire_queue: parking_lot::Mutex::new(Vec::new()),
         };
         // WAL blobs left behind by a crashed engine hold acked ingest
         // batches that never reached a fragment: replay them now (and
-        // sweep torn ones) so the catalog plus the fresh buffer equal
-        // everything that was ever acked.
+        // sweep torn ones) so the catalog alone equals everything that
+        // was ever acked.
         engine.replay_wal()?;
         Ok(engine)
     }
@@ -574,15 +576,17 @@ impl<B: StorageBackend> StorageEngine<B> {
         // sequence number and this write keeps last-write-wins
         // precedence over any buffered duplicate.
         self.flush()?;
-        self.write_with(self.kind, coords, values, None, false)
+        self.write_with(self.kind, coords, values, None, None, false)
     }
 
-    /// WRITE, optionally on behalf of a consolidation pass: `kind` is the
-    /// organization to encode (the engine's configured format for plain
-    /// writes; adaptive consolidation passes the advised one),
-    /// `consolidation` carries the precomputed fragment identity and the
-    /// source fragments the new one replaces (recorded in a tombstone
-    /// before commit), and `presorted` promises the coordinates arrive in
+    /// WRITE, optionally on behalf of a consolidation or WAL-replay pass:
+    /// `kind` is the organization to encode (the engine's configured
+    /// format for plain writes; adaptive consolidation passes the advised
+    /// one), `identity` is a precomputed fragment identity (consolidation
+    /// derives it from the sources, replay reuses the WAL's own; `None`
+    /// allocates the next id), `sources` names the fragments the new one
+    /// replaces (recorded in a tombstone before commit — consolidation
+    /// only), and `presorted` promises the coordinates arrive in
     /// nondecreasing linear-address order — the order the consolidation
     /// merge scan emits — so sorting builds route through
     /// [`convert::build_from_address_sorted`] and elide their sort.
@@ -591,7 +595,8 @@ impl<B: StorageBackend> StorageEngine<B> {
         kind: FormatKind,
         coords: &CoordBuffer,
         values: &[u8],
-        consolidation: Option<(FragmentId, &[String])>,
+        identity: Option<FragmentId>,
+        sources: Option<&[String]>,
         presorted: bool,
     ) -> Result<WriteReport> {
         let _span = Span::enter(&self.recorder, SpanKind::Write);
@@ -657,16 +662,13 @@ impl<B: StorageBackend> StorageEngine<B> {
             self.value_codec,
         );
         drop(encode_span);
-        let id = match consolidation {
-            Some((id, _)) => id,
-            None => FragmentId {
-                seq: self.next_id.fetch_add(1, Ordering::SeqCst),
-                epoch: self.epoch,
-                cgen: 0,
-            },
-        };
+        let id = identity.unwrap_or_else(|| FragmentId {
+            seq: self.next_id.fetch_add(1, Ordering::SeqCst),
+            epoch: self.epoch,
+            cgen: 0,
+        });
         let name = format_fragment_name(id);
-        let tombstone = consolidation.map(|(_, sources)| {
+        let tombstone = sources.map(|sources| {
             let mut body = String::new();
             for src in sources {
                 body.push_str(src);
@@ -677,7 +679,7 @@ impl<B: StorageBackend> StorageEngine<B> {
 
         // -- Write: persist the fragment (line 7) -----------------------
         timer.time(WritePhase::Write, || {
-            self.commit_fragment(&name, &frag, tombstone.as_deref(), consolidation.is_some())
+            self.commit_fragment(&name, &frag, tombstone.as_deref(), sources.is_some())
         })?;
 
         // Catalog maintenance: decode the header we just encoded (pure
@@ -824,8 +826,14 @@ impl<B: StorageBackend> StorageEngine<B> {
                 &flat,
                 values,
             )?;
+            // The WAL draws from the same id sequence as fragments, so
+            // the name fixes the batch's place in the store's total
+            // (seq, epoch, cgen) precedence order at ack time. Replay
+            // commits the batch as a fragment under that very identity,
+            // which is what keeps replay safe no matter who performs it
+            // or when (see [`StorageEngine::replay_wal`]).
             let name =
-                crate::wal::wal_name(self.wal_seq.fetch_add(1, Ordering::SeqCst), self.epoch);
+                crate::wal::wal_name(self.next_id.fetch_add(1, Ordering::SeqCst), self.epoch);
             // The ack point: the batch is durable once this atomic put
             // lands. A put that dies mid-write persists nothing (or a
             // torn prefix the CRC framing rejects at replay), and the
@@ -858,6 +866,10 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// `Ok(None)` without touching the device.
     pub fn flush(&self) -> Result<Option<WriteReport>> {
         let _guard = self.flush_lock.lock();
+        // Retry WAL deletions a previous flush failed (device hiccup)
+        // before anything else — even when the buffer is empty, so a
+        // quiet engine still sheds its orphans.
+        self.retire_wals(Vec::new());
         let snapshot = self.buffer.snapshot();
         if snapshot.is_empty() {
             return Ok(None);
@@ -873,19 +885,34 @@ impl<B: StorageBackend> StorageEngine<B> {
             coords.push(coord)?;
             payload.extend_from_slice(record);
         }
-        let report = self.write_with(self.kind, &coords, &payload, None, true)?;
+        let report = self.write_with(self.kind, &coords, &payload, None, None, true)?;
         // The fragment is committed: retire the covered batches and their
-        // WAL blobs. A crash between the commit and these deletes leaves
-        // blobs that replay idempotently (same addresses, same records —
-        // the duplicate fragment dedups away at the next consolidation).
-        for wal in self.buffer.drain(snapshot.raw_points) {
-            match self.backend.delete(&wal) {
-                Err(e) if !e.is_not_found() => return Err(e),
+        // WAL blobs. Retirement is cleanup, not correctness — a blob that
+        // survives (crash, or a delete failure queued for retry) replays
+        // under its original identity, ranked below the fragment just
+        // committed, so it can never resurrect old values.
+        self.retire_wals(self.buffer.drain(snapshot.raw_points));
+        charge(|io| io.group_commits += 1);
+        Ok(Some(report))
+    }
+
+    /// Delete retired WAL blobs plus any whose deletion failed earlier.
+    /// A failure re-queues the name for the next flush instead of
+    /// failing the caller: the covering fragment is already committed,
+    /// and an orphaned blob is harmless under order-preserving replay —
+    /// it costs device bytes until a retry lands, never stale reads.
+    fn retire_wals(&self, names: Vec<String>) {
+        let mut queue = self.wal_retire_queue.lock();
+        if names.is_empty() && queue.is_empty() {
+            return;
+        }
+        let pending: Vec<String> = queue.drain(..).chain(names).collect();
+        for name in pending {
+            match self.backend.delete(&name) {
+                Err(e) if !e.is_not_found() => queue.push(name),
                 _ => {}
             }
         }
-        charge(|io| io.group_commits += 1);
-        Ok(Some(report))
     }
 
     /// Occupancy of the streaming-ingest write buffer.
@@ -905,11 +932,26 @@ impl<B: StorageBackend> StorageEngine<B> {
         self.catalog.snapshot().iter().map(|e| e.size).collect()
     }
 
-    /// Replay surviving WAL blobs at open: every acked batch that never
-    /// reached a fragment is re-buffered (in ack order) and immediately
-    /// group-committed; torn or corrupt blobs — atomic puts that died
-    /// mid-write on a device that tears — are swept without replaying a
-    /// byte.
+    /// Replay surviving WAL blobs at open. Replay is *order-preserving*:
+    /// WAL names draw their sequence numbers from the same id sequence as
+    /// fragments, and each acked batch is committed as a fragment under
+    /// the WAL's own `(seq, epoch)` identity — it materializes at exactly
+    /// the precedence slot its ack was given, never at the top of the
+    /// order. That single invariant makes replay safe in every window the
+    /// protocol admits:
+    ///
+    /// * a blob whose batch already reached a fragment (the flush died —
+    ///   or a delete failed — between commit and retirement) replays
+    ///   *below* that fragment and everything written since: a harmless
+    ///   duplicate the next consolidation folds away, never a
+    ///   resurrection of overwritten values;
+    /// * a blob owned by a concurrently-live engine replays below
+    ///   anything that engine flushes afterwards (its ids are all
+    ///   higher), so claiming it early is safe — the owner still holds
+    ///   the batch in its buffer and tolerates the retired blob.
+    ///
+    /// Torn or corrupt blobs — atomic puts that died mid-write on a
+    /// device that tears — are swept without replaying a byte.
     fn replay_wal(&self) -> Result<()> {
         let mut wals: Vec<(u64, u64, String)> = Vec::new();
         let mut torn: Vec<String> = Vec::new();
@@ -929,7 +971,9 @@ impl<B: StorageBackend> StorageEngine<B> {
         // Ack order: epoch-major (each crash/reopen cycle claims a fresh
         // epoch), sequence-minor within one engine's run.
         wals.sort();
-        for (_, _, name) in &wals {
+        for (epoch, seq, name) in &wals {
+            // This engine's own writes must outrank every replayed batch.
+            self.next_id.fetch_max(seq + 1, Ordering::SeqCst);
             let bytes = self.backend.get(name)?;
             let rec = match crate::wal::decode_record(name, &bytes) {
                 Ok(rec) => rec,
@@ -952,16 +996,37 @@ impl<B: StorageBackend> StorageEngine<B> {
                     ),
                 });
             }
-            let mut addrs = Vec::with_capacity(rec.len());
-            for point in rec.coords.chunks_exact(rec.ndim) {
-                addrs.push(self.shape.linearize(point)?);
+            let id = FragmentId {
+                seq: *seq,
+                epoch: *epoch,
+                cgen: 0,
+            };
+            // Idempotency: a previous replay that died between commit
+            // and WAL deletion left the fragment behind under this very
+            // name — nothing to re-commit, just finish the retirement.
+            if self.catalog.get(&format_fragment_name(id)).is_none() && !rec.is_empty() {
+                // Dedup within the batch (last append wins) and emit in
+                // address order, matching a group commit's snapshot.
+                let mut points: std::collections::BTreeMap<u64, usize> =
+                    std::collections::BTreeMap::new();
+                for (i, point) in rec.coords.chunks_exact(rec.ndim).enumerate() {
+                    points.insert(self.shape.linearize(point)?, i);
+                }
+                let mut coords = CoordBuffer::with_capacity(self.shape.ndim(), points.len());
+                let mut payload = Vec::with_capacity(points.len() * rec.elem_size);
+                for i in points.into_values() {
+                    coords.push(&rec.coords[i * rec.ndim..(i + 1) * rec.ndim])?;
+                    payload
+                        .extend_from_slice(&rec.values[i * rec.elem_size..(i + 1) * rec.elem_size]);
+                }
+                self.write_with(self.kind, &coords, &payload, Some(id), None, true)?;
             }
-            self.buffer
-                .append(addrs, rec.coords, rec.values, Some(name.clone()));
+            match self.backend.delete(name) {
+                Err(e) if !e.is_not_found() => return Err(e),
+                _ => {}
+            }
         }
-        // Group-commit the replayed batches (which also deletes their
-        // blobs), then sweep the torn ones — never acked, never replayed.
-        self.flush()?;
+        // Sweep the torn blobs — never acked, never replayed.
         for name in &torn {
             match self.backend.delete(name) {
                 Err(e) if !e.is_not_found() => return Err(e),
@@ -980,6 +1045,15 @@ impl<B: StorageBackend> StorageEngine<B> {
             return Ok(result);
         }
         let _span = Span::enter(&self.recorder, SpanKind::Read);
+        // Snapshot the write buffer BEFORE the catalog plan. A group
+        // commit racing this read moves buffered points into a fragment
+        // and drains the buffer; snapshotting first means such points
+        // are covered either way — by the overlay (the flush happened
+        // after, the fragment's identical records are shadowed) or by
+        // the planned fragment (the flush happened before). The reverse
+        // order loses acked, previously-visible points: the plan misses
+        // the fragment and the late snapshot finds the buffer drained.
+        let buffered = self.buffer.snapshot();
         let qbbox = queries
             .bounding_box()
             .expect("non-empty queries have a bbox");
@@ -1058,11 +1132,11 @@ impl<B: StorageBackend> StorageEngine<B> {
                 complete: quarantined.is_empty(),
                 quarantined,
             };
-            // Overlay the streaming-ingest buffer: buffered points are
-            // strictly newer than every committed fragment (a plain
+            // Overlay the streaming-ingest buffer snapshot taken at the
+            // start of the read: buffered points were strictly newer
+            // than every committed fragment at that instant (a plain
             // write group-commits the buffer first), so on a shared
             // address the buffer's record replaces the fragments' hits.
-            let buffered = self.buffer.snapshot();
             if !buffered.is_empty() {
                 let mut overlay: Vec<ReadHit> = Vec::new();
                 for qi in 0..queries.len() {
@@ -1922,7 +1996,7 @@ impl<B: StorageBackend> StorageEngine<B> {
             .adaptive_reorg
             .as_ref()
             .map(|_| Span::enter(&self.recorder, SpanKind::ConsolidateConvert));
-        let report = self.write_with(target, &coords, &payload, Some((id, &sources)), true)?;
+        let report = self.write_with(target, &coords, &payload, Some(id), Some(&sources), true)?;
         drop(convert_span);
 
         let _sweep_span = Span::enter(&self.recorder, SpanKind::ConsolidateSweep);
@@ -2492,7 +2566,7 @@ mod tests {
         // Simulate a crash: drop the engine without flushing.
         let backend = e1.into_backend();
         let e2 = StorageEngine::open(backend, FormatKind::Coo, shape, 8).unwrap();
-        // Replay group-committed the WAL batch into a fragment.
+        // Replay committed the WAL batch as a fragment under its own id.
         assert_eq!(e2.buffer_stats().points, 0);
         assert_eq!(
             e2.read_values::<f64>(&coords(&[[1, 1], [2, 2]])).unwrap(),

@@ -14,8 +14,11 @@
 //! checksum test and is swept instead.
 //!
 //! Blob names follow the fragment convention, `wal-{seq:08}-{epoch:08}.wal`,
-//! so lexicographic order equals append order within one engine epoch and
-//! recovery can replay batches in the order they were acked.
+//! with `seq` drawn from the same per-engine id counter fragments use:
+//! lexicographic order equals append order within one engine epoch, and
+//! the name fixes the batch's slot in the store's total fragment
+//! precedence order — recovery replays each batch as a fragment under
+//! that very identity, never at the top of the order.
 
 use crate::error::{Result, StorageError};
 use crate::integrity::crc32c;

@@ -670,6 +670,155 @@ fn buffered_duplicates_win_across_read_region_consolidate_export() {
     );
 }
 
+/// A group commit whose WAL retirement fails must not fail the flush —
+/// the fragment is already committed — and the orphaned blob must never
+/// resurrect overwritten values when a later open replays it. Replay is
+/// order-preserving: the orphan re-materializes at the precedence slot
+/// its ack was given, below the covering fragment and every later write.
+#[test]
+fn orphaned_wal_after_failed_retirement_never_resurrects_old_values() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine
+        .ingest_points::<f64>(&pts(&[[1, 1]]), &[1.0])
+        .unwrap();
+
+    // The device refuses deletes: the group commit lands its fragment
+    // but cannot retire the WAL blob. The flush still succeeds.
+    engine.backend().fail_deletes(true);
+    engine.flush().unwrap().expect("buffer was non-empty");
+    assert!(
+        engine
+            .backend()
+            .list()
+            .unwrap()
+            .iter()
+            .any(|n| n.starts_with("wal-")),
+        "the WAL blob must survive as an orphan"
+    );
+
+    // The process carries on and overwrites the address.
+    engine.write_points::<f64>(&pts(&[[1, 1]]), &[2.0]).unwrap();
+
+    // "Crash" with the orphan still on the device; reopen replays it.
+    let backend = engine.into_backend();
+    backend.disarm();
+    let engine = open(backend);
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[1, 1]])).unwrap(),
+        vec![Some(2.0)],
+        "replayed orphan resurrected an overwritten value"
+    );
+    // Replay itself retired the orphan.
+    assert!(!engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .any(|n| n.starts_with("wal-")));
+}
+
+/// Failed WAL retirements queue for retry: once the device heals, the
+/// next flush — even an empty-buffer one — sheds the orphan.
+#[test]
+fn failed_wal_retirement_is_retried_on_the_next_flush() {
+    let engine = open(FailingBackend::new(MemBackend::new()));
+    engine
+        .ingest_points::<f64>(&pts(&[[1, 1]]), &[1.0])
+        .unwrap();
+    engine.backend().fail_deletes(true);
+    engine.flush().unwrap();
+    assert!(engine
+        .backend()
+        .list()
+        .unwrap()
+        .iter()
+        .any(|n| n.starts_with("wal-")));
+
+    engine.backend().disarm();
+    assert!(engine.flush().unwrap().is_none(), "buffer is empty");
+    assert!(
+        !engine
+            .backend()
+            .list()
+            .unwrap()
+            .iter()
+            .any(|n| n.starts_with("wal-")),
+        "the healed device must shed the orphaned WAL blob"
+    );
+}
+
+/// A second engine opening mid-stream replays (and retires) the live
+/// engine's not-yet-flushed WAL blobs. Because replay preserves the
+/// batch's original (seq, epoch) identity, the replayed copy ranks below
+/// everything the live engine acks afterwards — its later flush must win
+/// on both engines.
+#[test]
+fn replay_of_live_engines_wal_never_outranks_its_later_flush() {
+    let store = Arc::new(MemBackend::new());
+    let a = open(Arc::clone(&store));
+    a.ingest_points::<f64>(&pts(&[[1, 1]]), &[1.0]).unwrap();
+
+    // B opens over the same store and replays A's WAL blob into a
+    // fragment — the acked batch is visible to B immediately.
+    let b = open(Arc::clone(&store));
+    assert_eq!(
+        b.read_values::<f64>(&pts(&[[1, 1]])).unwrap(),
+        vec![Some(1.0)]
+    );
+
+    // A keeps running: it still holds the batch in its buffer, tolerates
+    // the retired blob, and overwrites the address. Its ids are all
+    // higher than the replayed copy's, so its group commit outranks it.
+    a.ingest_points::<f64>(&pts(&[[1, 1]]), &[2.0]).unwrap();
+    a.flush().unwrap().expect("buffer was non-empty");
+    assert_eq!(
+        a.read_values::<f64>(&pts(&[[1, 1]])).unwrap(),
+        vec![Some(2.0)]
+    );
+    b.refresh().unwrap();
+    assert_eq!(
+        b.read_values::<f64>(&pts(&[[1, 1]])).unwrap(),
+        vec![Some(2.0)],
+        "the stale replayed copy must not shadow the live engine's flush"
+    );
+}
+
+/// Reads racing group commits on the same engine: an acked point must
+/// never flicker to "missing" while a flush moves it from the buffer to
+/// a fragment, and the value a read returns never goes backwards. The
+/// read snapshots the buffer before planning against the catalog, so a
+/// flush landing mid-read is covered from one side or the other.
+#[test]
+fn reads_racing_group_commits_never_lose_acked_points() {
+    let engine = open(MemBackend::new());
+    engine
+        .ingest_points::<f64>(&pts(&[[4, 4]]), &[0.0])
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for i in 1..=50u64 {
+                engine
+                    .ingest_points::<f64>(&pts(&[[4, 4]]), &[i as f64])
+                    .unwrap();
+                engine.flush().unwrap();
+            }
+        });
+        let mut last = 0.0f64;
+        for _ in 0..300 {
+            let vals = engine.read_values::<f64>(&pts(&[[4, 4]])).unwrap();
+            let v = vals[0].expect("acked point vanished mid-flush");
+            assert!(v >= last, "monotonic reads violated: {v} after {last}");
+            last = v;
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(
+        engine.read_values::<f64>(&pts(&[[4, 4]])).unwrap(),
+        vec![Some(50.0)]
+    );
+}
+
 /// Consolidating a store of zero or one fragments is a cheap no-op: no
 /// staging, no tombstone, no merge scan, no bytes written — pinned with
 /// telemetry span counts so churn cannot silently creep back in.
