@@ -48,6 +48,8 @@ struct Row {
     scheduler_runs: u64,
     scheduler_flushes: u64,
     scheduler_consolidations: u64,
+    scheduler_errors: u64,
+    scheduler_last_error: Option<String>,
 }
 
 #[derive(Debug, Serialize)]
@@ -156,6 +158,8 @@ fn run_deterministic(cfg: &Config, pattern: Pattern) -> Result<(Row, Bench)> {
         scheduler_runs: 0,
         scheduler_flushes: 0,
         scheduler_consolidations: 0,
+        scheduler_errors: 0,
+        scheduler_last_error: None,
     };
     let slug = pattern.name().to_ascii_lowercase();
     let bench = Bench {
@@ -232,6 +236,26 @@ fn run_concurrent(cfg: &Config, pattern: Pattern, row: &mut Row) -> Result<()> {
     row.scheduler_runs = stats.runs;
     row.scheduler_flushes = stats.flushes;
     row.scheduler_consolidations = stats.consolidations;
+    row.scheduler_errors = stats.errors;
+    row.scheduler_last_error = stats.last_error.clone();
+    // Background errors must never be silent: the store stats carry the
+    // count plus the last error text and timestamp, and the digest
+    // repeats them whenever any occurred.
+    let store = engine.stats()?;
+    if store.scheduler_errors > 0 || cfg.telemetry_enabled() {
+        eprintln!(
+            "[ingest]   scheduler health: {} run(s), {} error(s){}",
+            store.scheduler_runs,
+            store.scheduler_errors,
+            match (
+                &store.scheduler_last_error,
+                store.scheduler_last_error_at_ms
+            ) {
+                (Some(e), Some(at)) => format!(", last at unix-ms {at}: {e}"),
+                _ => String::new(),
+            }
+        );
+    }
     Ok(())
 }
 
@@ -343,6 +367,8 @@ mod tests {
             assert!(r["wal_bytes"].as_u64().unwrap() > 0);
             assert_eq!(r["final_fragments"].as_u64(), Some(1));
             assert!(r["scheduler_runs"].as_u64().unwrap() >= 1);
+            assert_eq!(r["scheduler_errors"].as_u64(), Some(0));
+            assert!(r["scheduler_last_error"].is_null());
         }
         // Determinism of the gated statistic: a second run byte-matches
         // (timing columns are wall-clock and excluded).

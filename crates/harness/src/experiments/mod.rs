@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod ingest;
 pub mod io;
+pub mod observe;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

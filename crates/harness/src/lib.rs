@@ -18,11 +18,13 @@
 //! | `compress` | index-codec orthogonality (beyond the paper) | [`experiments::compress`] |
 //! | `sweep` | density sweep (beyond the paper) | [`experiments::sweep`] |
 //! | `io` | device study: mem / simulated OST / striping | [`experiments::io`] |
+//! | `observe` | live observability overhead (beyond the paper) | [`experiments::observe`] |
 //!
 //! Shared plumbing: [`config::Config`] (scale, backend, formats,
 //! `--threads` compute width), [`matrix`] (the measurement grid Fig.
-//! 3/4/5 and Tables III/IV reuse), and [`telemetry`] (per-cell JSON
-//! documents + schema validation).
+//! 3/4/5 and Tables III/IV reuse), [`telemetry`] (per-cell JSON
+//! documents + schema validation), and [`watch`] (the live ASCII
+//! dashboard over a store's exported metrics + journal).
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod config;
 pub mod experiments;
 pub mod matrix;
 pub mod telemetry;
+pub mod watch;
 
 pub use config::{BackendKind, Config};
 pub use matrix::{run_matrix, run_matrix_with_telemetry, Matrix};

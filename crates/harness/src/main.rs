@@ -4,7 +4,7 @@
 //! artsparse-bench <experiment>... [options]
 //!
 //! experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 ablate
-//!              compress sweep adaptive ingest all
+//!              compress sweep adaptive ingest observe all
 //! options:
 //!   --scale paper|medium|smoke   tensor sizes        (default: medium)
 //!   --backend mem|fs|sim         storage device      (default: sim)
@@ -26,6 +26,14 @@
 //! validate-telemetry <file>... [--schema PATH]
 //!   validate telemetry documents against schemas/telemetry.schema.json
 //!
+//! validate-journal <file>... [--schema PATH]
+//!   validate exporter journal JSONL files line by line against
+//!   schemas/journal.schema.json
+//!
+//! watch <dir> [--iterations N] [--interval-ms M]
+//!   tail a store's exported metrics.prom + journal.jsonl into a live
+//!   ASCII dashboard (N = 0 runs until interrupted)
+//!
 //! scrub <dir>
 //!   verify every fragment in a filesystem store — or in a directory of
 //!   stores, one per matrix cell — by header, size, and section
@@ -38,16 +46,16 @@
 
 use artsparse_core::FormatKind;
 use artsparse_harness::experiments::{
-    ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, ingest, io, sweep, table1, table2,
-    table3, table4, ExperimentOutput,
+    ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, ingest, io, observe, sweep, table1,
+    table2, table3, table4, ExperimentOutput,
 };
 use artsparse_harness::{run_matrix_with_telemetry, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "ablate",
-    "compress", "sweep", "io", "adaptive", "ingest",
+    "compress", "sweep", "io", "adaptive", "ingest", "observe",
 ];
 
 fn usage() -> ! {
@@ -59,6 +67,8 @@ fn usage() -> ! {
          [--ingest-batch N] [--ingest-flush-points N]\n\
          experiments: {} all\n\
          or: artsparse-bench validate-telemetry <file>... [--schema PATH]\n\
+         or: artsparse-bench validate-journal <file>... [--schema PATH]\n\
+         or: artsparse-bench watch <dir> [--iterations N] [--interval-ms M]\n\
          or: artsparse-bench scrub <dir>\n\
          or: artsparse-bench advise <dir> [--profile balanced|write-heavy|read-heavy]",
         EXPERIMENTS.join(" ")
@@ -332,6 +342,49 @@ fn validate_telemetry(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `validate-journal <file>... [--schema PATH]`: validate exporter
+/// journal JSONL files line by line; exit nonzero listing every
+/// violation with its line number.
+fn validate_journal(args: &[String]) -> Result<()> {
+    let mut schema = PathBuf::from("schemas/journal.schema.json");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                schema = PathBuf::from(v);
+            }
+            other if other.starts_with('-') => usage(),
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("validate-journal: no files given");
+        usage();
+    }
+    let mut violations = 0usize;
+    for file in &files {
+        let errors = artsparse_harness::telemetry::validate_jsonl_file(file, &schema)?;
+        if errors.is_empty() {
+            eprintln!("[valid] {}", file.display());
+        } else {
+            violations += errors.len();
+            for e in &errors {
+                eprintln!("[invalid] {}: {e}", file.display());
+            }
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} schema violation(s) across {} file(s)",
+            files.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn parse_args() -> (Vec<String>, Config) {
     let mut cfg = Config::default();
     let mut wanted: Vec<String> = Vec::new();
@@ -418,6 +471,12 @@ fn main() -> Result<()> {
     if raw.first().map(String::as_str) == Some("validate-telemetry") {
         return validate_telemetry(&raw[1..]);
     }
+    if raw.first().map(String::as_str) == Some("validate-journal") {
+        return validate_journal(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("watch") {
+        return artsparse_harness::watch::run(&raw[1..]);
+    }
     if raw.first().map(String::as_str) == Some("scrub") {
         return scrub(&raw[1..]);
     }
@@ -489,6 +548,9 @@ fn main() -> Result<()> {
     }
     if wants("ingest") {
         emit(&cfg, ingest::run(&cfg)?)?;
+    }
+    if wants("observe") {
+        emit(&cfg, observe::run(&cfg)?)?;
     }
     Ok(())
 }

@@ -179,6 +179,31 @@ pub fn validate_file(doc_path: &Path, schema_path: &Path) -> Result<Vec<String>>
     Ok(validate(&doc, &schema))
 }
 
+/// Validate a JSONL file — one JSON document per line, e.g. the
+/// exporter's `journal.jsonl` against `schemas/journal.schema.json` —
+/// returning every violation prefixed with its line number. A line that
+/// fails to parse at all is itself a violation.
+pub fn validate_jsonl_file(doc_path: &Path, schema_path: &Path) -> Result<Vec<String>> {
+    let schema: Value = serde_json::from_str(&std::fs::read_to_string(schema_path)?)
+        .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+    let text = std::fs::read_to_string(doc_path)?;
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(doc) => {
+                for e in validate(&doc, &schema) {
+                    errors.push(format!("line {}: {e}", i + 1));
+                }
+            }
+            Err(e) => errors.push(format!("line {}: not JSON: {e}", i + 1)),
+        }
+    }
+    Ok(errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +285,92 @@ mod tests {
         let doc = json!({"cell": 3});
         let errors = validate(&doc, &schema());
         assert!(!errors.is_empty());
+    }
+
+    fn journal_schema() -> Value {
+        serde_json::from_str(include_str!("../../../schemas/journal.schema.json"))
+            .expect("checked-in journal schema parses")
+    }
+
+    #[test]
+    fn journal_schema_accepts_real_events_and_rejects_mangled_lines() {
+        use artsparse_metrics::{JournalEvent, Severity};
+        use serde::Serialize;
+
+        // Both shapes the journal emits: a span-bound event (slow_span)
+        // and a bare one (scheduler_error outside any span).
+        let full = JournalEvent {
+            at_ns: 12,
+            severity: Severity::Warn,
+            code: "slow_span",
+            message: "engine.ingest took 120ms".into(),
+            trace_id: 42,
+            span: Some("engine.ingest"),
+            dur_ns: Some(120_000_000),
+        };
+        let bare = JournalEvent {
+            at_ns: 13,
+            severity: Severity::Error,
+            code: "scheduler_error",
+            message: "flush failed: rename".into(),
+            trace_id: 0,
+            span: None,
+            dur_ns: None,
+        };
+        for event in [&full, &bare] {
+            let errors = validate(&event.to_json_value(), &journal_schema());
+            assert!(errors.is_empty(), "{errors:?}");
+        }
+        let mangled = json!({"severity": "fatal", "code": 7});
+        let errors = validate(&mangled, &journal_schema());
+        assert!(
+            errors.iter().any(|e| e.contains("not in enum")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("missing required")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn jsonl_validation_reports_line_numbers() {
+        let dir = tempfile::tempdir().unwrap();
+        let schema_path = dir.path().join("schema.json");
+        std::fs::write(&schema_path, r#"{"type": "object", "required": ["code"]}"#).unwrap();
+        let doc_path = dir.path().join("journal.jsonl");
+        std::fs::write(&doc_path, "{\"code\": \"ok\"}\n{}\nnot json\n").unwrap();
+        let errors = validate_jsonl_file(&doc_path, &schema_path).unwrap();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].starts_with("line 2:"), "{errors:?}");
+        assert!(errors[1].contains("line 3: not JSON"), "{errors:?}");
+    }
+
+    #[test]
+    fn v6_cell_documents_carry_trace_ids_on_events() {
+        use artsparse_core::FormatKind;
+        use artsparse_patterns::Pattern;
+
+        let mut cfg = Config::smoke();
+        cfg.telemetry = true;
+        cfg.formats = vec![FormatKind::Linear];
+        cfg.patterns = vec![Pattern::Tsp];
+        cfg.ndims = vec![2];
+        let (_, reports) = crate::matrix::run_matrix_with_telemetry(&cfg).unwrap();
+        let (format, pattern, ndim, report) = &reports[0];
+        let doc = cell_document(&cfg, format, pattern, *ndim, report);
+        assert!(doc["telemetry"]["version"].as_u64().unwrap() >= 6);
+        let events = doc["telemetry"]["events"].as_array().unwrap();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.get("trace_id").is_some()),
+            "every v6 raw span event is trace-stamped"
+        );
+        assert!(
+            events.iter().any(|e| e["trace_id"].as_u64().unwrap() > 0),
+            "top-level engine ops mint nonzero trace ids"
+        );
+        let errors = validate(&doc, &schema());
+        assert!(errors.is_empty(), "{errors:?}");
     }
 }

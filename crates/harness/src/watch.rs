@@ -1,0 +1,372 @@
+//! `watch <dir>` — a live ASCII dashboard over the exporter's files.
+//!
+//! The [`MetricsExporter`](artsparse_storage::MetricsExporter) publishes
+//! three files into its directory: `metrics.prom` (Prometheus exposition,
+//! atomically republished each tick), `metrics.jsonl` (the snapshot time
+//! series), and `journal.jsonl` (trace-correlated events, appended
+//! exactly once). `watch` tails the first and last of these from the
+//! *outside* — it shares no memory with the store, so it works across
+//! processes and on a directory rsync'd off a cluster node — and renders
+//! one dashboard frame per interval: buffer/WAL occupancy, fragment
+//! count and size tiers, cache residency, scheduler health, read
+//! amplification, cumulative I/O counters, and the newest journal
+//! events.
+//!
+//! `--iterations N` bounds the loop (0 = run until interrupted), which
+//! is also what makes the subcommand testable and usable in CI as a
+//! one-shot "does the published exposition actually parse and render"
+//! check.
+
+use crate::Result;
+use artsparse_metrics::exposition::{self, Exposition};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// How many journal events one frame shows at most.
+const JOURNAL_TAIL: usize = 8;
+
+/// Stateful tailer over one exporter directory: remembers how much of
+/// `journal.jsonl` previous frames already rendered.
+pub struct Watcher {
+    dir: PathBuf,
+    seen_journal_lines: usize,
+    frames: u64,
+}
+
+impl Watcher {
+    /// Watch the exporter files under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Watcher {
+        Watcher {
+            dir: dir.into(),
+            seen_journal_lines: 0,
+            frames: 0,
+        }
+    }
+
+    /// Produce the next dashboard frame. Missing files render as a
+    /// waiting notice (the store may not have ticked yet); a file that
+    /// exists but fails the exposition grammar is an error — the
+    /// publisher is broken, not merely slow.
+    pub fn frame(&mut self) -> Result<String> {
+        self.frames += 1;
+        let prom_path = self.dir.join(artsparse_storage::METRICS_PROM);
+        let doc = match std::fs::read_to_string(&prom_path) {
+            Ok(text) => Some(
+                exposition::parse(&text).map_err(|e| format!("{}: {e}", prom_path.display()))?,
+            ),
+            Err(_) => None,
+        };
+        let journal = read_journal(&self.dir.join(artsparse_storage::JOURNAL_JSONL))?;
+        let new = journal.len().saturating_sub(self.seen_journal_lines);
+        self.seen_journal_lines = journal.len();
+        Ok(render_frame(
+            &self.dir.display().to_string(),
+            self.frames,
+            doc.as_ref(),
+            &journal,
+            new,
+        ))
+    }
+}
+
+/// Parse every line of `journal.jsonl` (absent file = no events yet).
+fn read_journal(path: &Path) -> Result<Vec<Value>> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(Vec::new());
+    };
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        events.push(v);
+    }
+    Ok(events)
+}
+
+/// Integer-format a gauge, `-` when the exposition lacks it.
+fn gauge(doc: &Exposition, name: &str) -> String {
+    match doc.value(name) {
+        Some(v) if v == v.trunc() && v >= 0.0 => format!("{}", v as u64),
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Quantile over an exposition histogram's cumulative `_bucket` series.
+fn histogram_quantile(doc: &Exposition, name: &str, q: f64) -> Option<f64> {
+    let bucket = format!("{name}_bucket");
+    let total = doc.value(&format!("{name}_count"))?;
+    if total == 0.0 {
+        return None;
+    }
+    let rank = q * total;
+    let mut best: Option<f64> = None;
+    for s in &doc.samples {
+        if s.name != bucket {
+            continue;
+        }
+        let Some(labels) = &s.labels else { continue };
+        let Some(le) = labels
+            .strip_prefix("le=\"")
+            .and_then(|l| l.strip_suffix('"'))
+        else {
+            continue;
+        };
+        if s.value >= rank {
+            let edge = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            best = Some(best.map_or(edge, |b: f64| b.min(edge)));
+        }
+    }
+    best
+}
+
+fn fmt_edge(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_infinite() => "+Inf".to_string(),
+        Some(v) => format!("{}", v as u64),
+        None => "-".to_string(),
+    }
+}
+
+/// Render one dashboard frame from a parsed exposition plus the journal
+/// tail. Pure — unit-testable without a live store.
+pub fn render_frame(
+    dir: &str,
+    frame: u64,
+    doc: Option<&Exposition>,
+    journal: &[Value],
+    new_events: usize,
+) -> String {
+    let mut out = String::new();
+    let title = format!("── artsparse watch · {dir} · frame {frame} ");
+    out.push_str(&title);
+    out.push_str(&"─".repeat(72usize.saturating_sub(title.chars().count())));
+    out.push('\n');
+    let Some(doc) = doc else {
+        out.push_str("  waiting for metrics.prom — is the exporter running?\n");
+        return out;
+    };
+    let g = |name: &str| gauge(doc, name);
+    out.push_str(&format!(
+        "  ingest    buffer {} pts · {} B · {} batches | WAL backlog {} (retire {})\n",
+        g("artsparse_write_buffer_points"),
+        g("artsparse_write_buffer_bytes"),
+        g("artsparse_write_buffer_batches"),
+        g("artsparse_wal_backlog_blobs"),
+        g("artsparse_wal_retire_queue"),
+    ));
+    out.push_str(&format!(
+        "  store     {} fragment(s) · quarantined {} | size tiers p50 {} B · p95 {} B\n",
+        g("artsparse_fragments"),
+        g("artsparse_quarantined_fragments"),
+        fmt_edge(histogram_quantile(doc, "artsparse_fragment_bytes", 0.50)),
+        fmt_edge(histogram_quantile(doc, "artsparse_fragment_bytes", 0.95)),
+    ));
+    out.push_str(&format!(
+        "  cache     {} / {} B · {} fragment(s) resident\n",
+        g("artsparse_cache_bytes"),
+        g("artsparse_cache_capacity_bytes"),
+        g("artsparse_cache_fragments"),
+    ));
+    let age = match doc.value("artsparse_scheduler_last_run_age_seconds") {
+        Some(v) if v >= 0.0 => format!("{v:.1}s ago"),
+        _ => "never".to_string(),
+    };
+    out.push_str(&format!(
+        "  sched     runs {} · errors {} · last run {age}\n",
+        g("artsparse_scheduler_runs_total"),
+        g("artsparse_scheduler_errors_total"),
+    ));
+    let amp = match doc.value("artsparse_read_amplification") {
+        Some(v) => format!("{v:.2}×"),
+        None => "- (no reads yet)".to_string(),
+    };
+    out.push_str(&format!(
+        "  reads     amplification {amp} · {} B returned · {} B fetched\n",
+        g("artsparse_read_bytes_returned_total"),
+        g("artsparse_bytes_fetched_total"),
+    ));
+    out.push_str(&format!(
+        "  totals    written {} B · WAL {} B · group commits {} · requests {}\n",
+        g("artsparse_bytes_written_total"),
+        g("artsparse_wal_bytes_total"),
+        g("artsparse_group_commits_total"),
+        g("artsparse_requests_total"),
+    ));
+    out.push_str(&format!(
+        "  health    retries {} · checksum failures {} · quarantines {} · slow spans {}\n",
+        g("artsparse_retries_total"),
+        g("artsparse_checksum_failures_total"),
+        g("artsparse_quarantines_total"),
+        g("artsparse_slow_spans_total"),
+    ));
+    out.push_str(&format!(
+        "  journal   {} event(s), {new_events} new\n",
+        journal.len()
+    ));
+    let skip = journal.len().saturating_sub(JOURNAL_TAIL);
+    for event in &journal[skip..] {
+        let sev = event["severity"].as_str().unwrap_or("?");
+        let code = event["code"].as_str().unwrap_or("?");
+        let trace = event["trace_id"].as_u64().unwrap_or(0);
+        let span = event
+            .get("span")
+            .and_then(Value::as_str)
+            .map(|s| format!(" {s}"))
+            .unwrap_or_default();
+        let dur = event
+            .get("dur_ns")
+            .and_then(Value::as_u64)
+            .map(|ns| format!(" ({:.2} ms)", ns as f64 / 1e6))
+            .unwrap_or_default();
+        let message = event["message"].as_str().unwrap_or("");
+        out.push_str(&format!(
+            "    [{sev:<5}] {code}{span} trace={trace}{dur}: {message}\n"
+        ));
+    }
+    out
+}
+
+/// `watch <dir> [--iterations N] [--interval-ms M]`: render the
+/// dashboard every `M` ms (default 1000), `N` times (default 0 =
+/// forever).
+pub fn run(args: &[String]) -> Result<()> {
+    let mut dir: Option<PathBuf> = None;
+    let mut iterations = 0u64;
+    let mut interval_ms = 1000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iterations" => {
+                iterations = it
+                    .next()
+                    .ok_or("watch: --iterations needs a value")?
+                    .parse()
+                    .map_err(|_| "watch: --iterations must be an integer")?;
+            }
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("watch: --interval-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "watch: --interval-ms must be an integer")?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("watch: unknown option {other}").into());
+            }
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => return Err(format!("watch: unexpected argument {other}").into()),
+        }
+    }
+    let dir = dir.ok_or("usage: artsparse-bench watch <dir> [--iterations N] [--interval-ms M]")?;
+    let mut watcher = Watcher::new(dir);
+    let mut done = 0u64;
+    loop {
+        print!("{}", watcher.frame()?);
+        done += 1;
+        if iterations != 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artsparse_core::FormatKind;
+    use artsparse_storage::{
+        EngineConfig, MemBackend, MetricsExporter, ObservabilityConfig, StorageEngine,
+    };
+    use artsparse_tensor::{CoordBuffer, Shape};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn frame_reports_a_missing_exposition_as_waiting() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut w = Watcher::new(dir.path());
+        let frame = w.frame().unwrap();
+        assert!(frame.contains("waiting for metrics.prom"), "{frame}");
+    }
+
+    #[test]
+    fn render_is_pure_over_a_parsed_exposition() {
+        let text = "# HELP artsparse_fragments Live fragments.\n\
+                    # TYPE artsparse_fragments gauge\n\
+                    artsparse_fragments 3\n\
+                    # HELP artsparse_fragment_bytes Fragment size tiers.\n\
+                    # TYPE artsparse_fragment_bytes histogram\n\
+                    artsparse_fragment_bytes_bucket{le=\"1024\"} 2\n\
+                    artsparse_fragment_bytes_bucket{le=\"+Inf\"} 3\n\
+                    artsparse_fragment_bytes_sum 4000\n\
+                    artsparse_fragment_bytes_count 3\n";
+        let doc = exposition::parse(text).unwrap();
+        let journal = vec![serde_json::json!({
+            "at_ns": 1, "severity": "error", "code": "scheduler_error",
+            "message": "flush failed", "trace_id": 9
+        })];
+        let frame = render_frame("demo", 1, Some(&doc), &journal, 1);
+        assert!(frame.contains("3 fragment(s)"), "{frame}");
+        assert!(frame.contains("p50 1024 B"), "{frame}");
+        assert!(frame.contains("p95 +Inf B"), "{frame}");
+        assert!(
+            frame.contains("[error] scheduler_error trace=9: flush failed"),
+            "{frame}"
+        );
+        assert!(frame.contains("1 event(s), 1 new"), "{frame}");
+    }
+
+    #[test]
+    fn watcher_tails_a_live_exporter_directory() {
+        let engine = Arc::new(
+            StorageEngine::open_with(
+                MemBackend::new(),
+                FormatKind::Coo,
+                Shape::new(vec![32, 32]).unwrap(),
+                8,
+                EngineConfig::default().with_observability(ObservabilityConfig {
+                    export_interval_ms: 1,
+                    ..Default::default()
+                }),
+            )
+            .unwrap(),
+        );
+        let dir = tempfile::tempdir().unwrap();
+        let c = CoordBuffer::from_points(2, &[[1u64, 2u64], [3, 4]]).unwrap();
+        engine.write_points::<f64>(&c, &[1.0, 2.0]).unwrap();
+        engine.read_values::<f64>(&c).unwrap();
+        engine.observability().unwrap().event(
+            artsparse_metrics::Severity::Error,
+            "scheduler_error",
+            "synthetic background failure".to_string(),
+            3,
+        );
+        let mut exporter = MetricsExporter::spawn(Arc::clone(&engine), dir.path()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while exporter.stats().ticks < 2 {
+            assert!(Instant::now() < deadline, "exporter never ticked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        exporter.shutdown();
+
+        let mut w = Watcher::new(dir.path());
+        let frame = w.frame().unwrap();
+        assert!(frame.contains("1 fragment(s)"), "{frame}");
+        assert!(frame.contains("amplification"), "{frame}");
+        assert!(
+            frame.contains("[error] scheduler_error trace=3: synthetic background failure"),
+            "{frame}"
+        );
+        // A second frame with no traffic reports zero new events.
+        let frame = w.frame().unwrap();
+        assert!(frame.contains("0 new"), "{frame}");
+    }
+}

@@ -26,8 +26,12 @@ use serde::Serialize;
 /// Version 5 added the streaming-ingest span kinds (`engine.ingest`,
 /// `engine.ingest.wal`, `engine.ingest.flush`, `engine.ingest.replay`,
 /// `engine.scheduler.run`) and the ingest counters (`wal_bytes`,
-/// `group_commits`, `scheduler_runs`).
-pub const TELEMETRY_VERSION: u32 = 5;
+/// `group_commits`, `scheduler_runs`). Version 6 added the `trace_id`
+/// stamped on every raw span event (correlating each child span with its
+/// top-level operation) and the live-observability registry-snapshot
+/// document written by the metrics exporter; v5 documents — identical
+/// minus the optional `trace_id` — still validate.
+pub const TELEMETRY_VERSION: u32 = 6;
 
 /// Aggregated view of one span kind.
 #[derive(Debug, Clone, Serialize)]
@@ -108,9 +112,9 @@ impl TelemetryReport {
                     count: agg.count,
                     total_ns: agg.total_ns,
                     mean_ns: agg.latency.mean(),
-                    p50_ns: agg.latency.p50(),
-                    p95_ns: agg.latency.p95(),
-                    p99_ns: agg.latency.p99(),
+                    p50_ns: agg.latency.p50().unwrap_or(0),
+                    p95_ns: agg.latency.p95().unwrap_or(0),
+                    p99_ns: agg.latency.p99().unwrap_or(0),
                     io: agg.io,
                     latency: agg.latency.clone(),
                 }
@@ -126,9 +130,9 @@ impl TelemetryReport {
                 total_ns: agg.total_ns,
                 bytes: agg.bytes,
                 mean_ns: agg.latency.mean(),
-                p50_ns: agg.latency.p50(),
-                p95_ns: agg.latency.p95(),
-                p99_ns: agg.latency.p99(),
+                p50_ns: agg.latency.p50().unwrap_or(0),
+                p95_ns: agg.latency.p95().unwrap_or(0),
+                p99_ns: agg.latency.p99().unwrap_or(0),
                 latency: agg.latency.clone(),
             })
             .collect();
@@ -280,7 +284,9 @@ mod tests {
         let report = sample_report();
         let v = serde_json::to_value(&report).unwrap();
         assert_eq!(v["version"].as_u64(), Some(u64::from(TELEMETRY_VERSION)));
-        assert_eq!(TELEMETRY_VERSION, 5);
+        assert_eq!(TELEMETRY_VERSION, 6);
+        let events = v["events"].as_array().unwrap();
+        assert!(events.iter().all(|e| e["trace_id"].as_u64().is_some()));
         let spans = v["spans"].as_array().unwrap();
         assert_eq!(spans.len(), 2);
         assert!(spans

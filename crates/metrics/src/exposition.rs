@@ -1,0 +1,309 @@
+//! Prometheus text-format exposition: rendering registry snapshots and
+//! parsing them back.
+//!
+//! [`render`] turns a [`RegistrySnapshot`] into the text format a
+//! Prometheus scraper (or a future `artsparse-server /metrics` endpoint)
+//! consumes verbatim: `# HELP` / `# TYPE` comment pairs followed by
+//! sample lines, one family per metric, histograms expanded into
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+//!
+//! [`parse`] is the reverse direction — a strict line-by-line reader of
+//! the same grammar, used by the harness `watch` dashboard to tail a
+//! live store's exposition file and by tests to prove the rendered
+//! output round-trips. It rejects duplicate family declarations,
+//! samples without a declared family, and malformed values, which is
+//! exactly the golden-file guarantee CI wants.
+
+use crate::histogram::{bucket_bounds, Histogram};
+use crate::registry::{MetricKind, RegistrySnapshot};
+use std::collections::BTreeMap;
+
+/// Format a sample value: integral readings stay integers, everything
+/// else renders as a float.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < (1u64 << 53) as f64 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let (_, hi) = bucket_bounds(i);
+        out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Render a registry snapshot as Prometheus exposition text.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for s in &snapshot.samples {
+        out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+        out.push_str(&format!("# TYPE {} {}\n", s.name, s.kind.name()));
+        match (&s.kind, &s.histogram) {
+            (MetricKind::Histogram, Some(h)) => render_histogram(&mut out, &s.name, h),
+            (MetricKind::Histogram, None) => render_histogram(&mut out, &s.name, &Histogram::new()),
+            _ => out.push_str(&format!("{} {}\n", s.name, fmt_value(s.value))),
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name on the line (histogram series keep their
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Raw label block without braces (`le="15"`), if present.
+    pub labels: Option<String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → type name.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations: family name → help text.
+    pub helps: BTreeMap<String, String>,
+    /// All sample lines, in file order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of a plain (non-histogram) sample, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_none())
+            .map(|s| s.value)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The family a sample line belongs to: histogram series map back to
+/// their base name.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Parse Prometheus exposition text, enforcing the grammar line by line:
+/// every sample must belong to a `# TYPE`-declared family, families must
+/// not be declared twice, and values must be numeric.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let ctx = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| ctx("HELP without text".into()))?;
+            if !valid_metric_name(name) {
+                return Err(ctx(format!("invalid metric name {name:?}")));
+            }
+            if doc
+                .helps
+                .insert(name.to_string(), help.to_string())
+                .is_some()
+            {
+                return Err(ctx(format!("duplicate HELP for {name}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest
+                .split_once(' ')
+                .ok_or_else(|| ctx("TYPE without a type".into()))?;
+            if !valid_metric_name(name) {
+                return Err(ctx(format!("invalid metric name {name:?}")));
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(ctx(format!("unknown metric type {ty:?}")));
+            }
+            if doc.types.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(ctx(format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| ctx("unterminated label block".into()))?;
+                if close < open {
+                    return Err(ctx("malformed label block".into()));
+                }
+                let labels = &line[open + 1..close];
+                let value = line[close + 1..].trim();
+                ((&line[..open], Some(labels.to_string())), value)
+            }
+            None => {
+                let (name, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| ctx("sample without a value".into()))?;
+                ((name, None), value.trim())
+            }
+        };
+        let (name, labels) = name_part;
+        if !valid_metric_name(name) {
+            return Err(ctx(format!("invalid metric name {name:?}")));
+        }
+        if family_of(name, &doc.types).is_none() {
+            return Err(ctx(format!("sample {name} has no # TYPE declaration")));
+        }
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| ctx(format!("unparseable value {value_part:?} for {name}")))?;
+        doc.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    for name in doc.types.keys() {
+        if !doc.helps.contains_key(name) {
+            return Err(format!("family {name} has TYPE but no HELP"));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn snapshot() -> RegistrySnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("artsparse_wal_bytes_total", "WAL bytes appended.")
+            .add(4096);
+        reg.gauge("artsparse_read_amplification", "Fetched over returned.")
+            .set(1.5);
+        let mut h = Histogram::new();
+        h.record(10); // bucket 3, le="15"
+        h.record(10);
+        h.record(1000); // bucket 9, le="1023"
+        reg.set_histogram("artsparse_fragment_bytes", "Fragment sizes.", h);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let text = render(&snapshot());
+        assert!(text.contains("# HELP artsparse_wal_bytes_total WAL bytes appended.\n"));
+        assert!(text.contains("# TYPE artsparse_wal_bytes_total counter\n"));
+        assert!(text.contains("\nartsparse_wal_bytes_total 4096\n"));
+        assert!(text.contains("artsparse_read_amplification 1.5\n"));
+        assert!(text.contains("# TYPE artsparse_fragment_bytes histogram\n"));
+        assert!(text.contains("artsparse_fragment_bytes_bucket{le=\"15\"} 2\n"));
+        assert!(text.contains("artsparse_fragment_bytes_bucket{le=\"1023\"} 3\n"));
+        assert!(text.contains("artsparse_fragment_bytes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("artsparse_fragment_bytes_sum 1020\n"));
+        assert!(text.contains("artsparse_fragment_bytes_count 3\n"));
+    }
+
+    #[test]
+    fn rendered_output_parses_back_with_no_duplicates() {
+        let text = render(&snapshot());
+        let doc = parse(&text).expect("rendered exposition must parse");
+        assert_eq!(doc.types.len(), 3);
+        assert_eq!(doc.helps.len(), 3);
+        assert_eq!(
+            doc.types
+                .get("artsparse_fragment_bytes")
+                .map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(doc.value("artsparse_wal_bytes_total"), Some(4096.0));
+        assert_eq!(doc.value("artsparse_read_amplification"), Some(1.5));
+        // Histogram buckets are cumulative and labeled.
+        let buckets: Vec<&Sample> = doc
+            .samples
+            .iter()
+            .filter(|s| s.name == "artsparse_fragment_bytes_bucket")
+            .collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(
+            buckets.last().unwrap().labels.as_deref(),
+            Some("le=\"+Inf\"")
+        );
+        assert_eq!(buckets.last().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_grammar_violations() {
+        assert!(parse("artsparse_x 1\n").is_err(), "sample without TYPE");
+        assert!(
+            parse("# TYPE artsparse_x counter\n# TYPE artsparse_x counter\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(
+            parse("# HELP artsparse_x a\n# TYPE artsparse_x counter\nartsparse_x nope\n").is_err(),
+            "non-numeric value"
+        );
+        assert!(
+            parse("# HELP artsparse_x a\n# TYPE artsparse_x widget\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            parse("# TYPE artsparse_x counter\nartsparse_x 1\n").is_err(),
+            "TYPE without HELP"
+        );
+        assert!(
+            parse("# HELP 9bad a\n# TYPE 9bad counter\n").is_err(),
+            "invalid name"
+        );
+    }
+
+    #[test]
+    fn empty_histograms_still_render_a_valid_family() {
+        let reg = MetricsRegistry::new();
+        reg.set_histogram("artsparse_empty", "Nothing yet.", Histogram::new());
+        let text = render(&reg.snapshot());
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.value("artsparse_empty_sum"), Some(0.0));
+        assert_eq!(doc.value("artsparse_empty_count"), Some(0.0));
+    }
+}

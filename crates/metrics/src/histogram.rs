@@ -104,10 +104,14 @@ impl Histogram {
     }
 
     /// The value at quantile `q` in `[0, 1]`, reported as the inclusive
-    /// upper bound of the bucket holding that rank (0 when empty).
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// upper bound of the bucket holding that rank.
+    ///
+    /// Returns `None` when the histogram holds no samples: an empty
+    /// histogram has no quantiles, and the old behavior of answering `0`
+    /// was indistinguishable from "every sample was instantaneous".
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank in 1..=count: the sample index the quantile points at.
@@ -116,24 +120,28 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen = seen.saturating_add(n);
             if seen >= rank {
-                return bucket_bounds(i).1;
+                return Some(bucket_bounds(i).1);
             }
         }
-        u64::MAX
+        // The bucket counts under-cover `count` only if `count` was
+        // inflated relative to the buckets (e.g. a merge saturated a
+        // bucket but not the count). The largest bucket is the honest
+        // answer for any rank beyond what the buckets cover.
+        Some(u64::MAX)
     }
 
     /// Median (see [`Histogram::quantile`] for the bucket rounding).
-    pub fn p50(&self) -> u64 {
+    pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)
     }
 
     /// 95th percentile.
-    pub fn p95(&self) -> u64 {
+    pub fn p95(&self) -> Option<u64> {
         self.quantile(0.95)
     }
 
     /// 99th percentile.
-    pub fn p99(&self) -> u64 {
+    pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
 }
@@ -227,20 +235,79 @@ mod tests {
             h.record(10); // bucket 3: [8, 16)
         }
         h.record(1000); // bucket 9: [512, 1024)
-        assert_eq!(h.p50(), 15);
-        assert_eq!(h.p95(), 15);
+        assert_eq!(h.p50(), Some(15));
+        assert_eq!(h.p95(), Some(15));
         // Rank 100 of 100 lands on the single slow sample.
-        assert_eq!(h.quantile(1.0), 1023);
-        assert_eq!(h.p99(), 15); // rank 99 still in the fast bucket
+        assert_eq!(h.quantile(1.0), Some(1023));
+        assert_eq!(h.p99(), Some(15)); // rank 99 still in the fast bucket
     }
 
     #[test]
-    fn empty_histogram_is_all_zeroes() {
+    fn empty_histogram_has_no_quantiles() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0);
-        assert_eq!(h.p50(), 0);
-        assert_eq!(h.quantile(1.0), 0);
+        // An empty histogram answers None — not a misleading 0 — for
+        // every quantile.
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_its_bucket() {
+        let mut h = Histogram::new();
+        h.record(10); // bucket 3: [8, 16)
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(15), "q={q}");
+        }
+        assert_eq!(h.p50(), Some(15));
+        assert_eq!(h.p95(), Some(15));
+        assert_eq!(h.p99(), Some(15));
+    }
+
+    #[test]
+    fn merging_empty_histograms_stays_empty_and_defined() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.p50(), None);
+        // Empty ⊕ non-empty behaves exactly like the non-empty side.
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a, b);
+        assert_eq!(a.p50(), b.p50());
+        // Non-empty ⊕ empty is likewise an identity.
+        b.merge(&Histogram::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_match_direct_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..90 {
+            a.record(10); // bucket 3: [8, 16)
+        }
+        for _ in 0..10 {
+            b.record(1000); // bucket 9: [512, 1024)
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.p50(), Some(15));
+        assert_eq!(merged.p95(), Some(1023));
+        assert_eq!(merged.p99(), Some(1023));
+        // Saturated merges keep quantiles defined: a count pinned at
+        // u64::MAX beyond what the buckets cover answers the top bucket.
+        let mut sat = Histogram::new();
+        sat.count = u64::MAX;
+        sat.buckets[3] = 1;
+        sat.merge(&b);
+        assert_eq!(sat.count(), u64::MAX);
+        assert_eq!(sat.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Trace-correlated structured event journal.
+//!
+//! The registry tells you *how much*; the journal tells you *what
+//! happened*. It is a bounded in-memory ring of severity-tagged
+//! [`JournalEvent`]s — slow spans, retries, checksum failures,
+//! quarantines, scheduler errors — each stamped with the `trace_id` of
+//! the operation that caused it (see [`crate::span::current_trace_id`]),
+//! so a flush or consolidation can be followed end to end across the
+//! exported JSONL.
+//!
+//! Two read paths serve two consumers. [`Journal::recent`] is a
+//! non-destructive view of the retained tail (`stats()`-style callers).
+//! [`Journal::drain_new`] is a cursor: it returns only events appended
+//! since the previous drain, which is what the background exporter uses
+//! to append each event to `journal.jsonl` exactly once. Events that
+//! fall off the ring before being drained are counted, not silently
+//! lost.
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+use std::collections::VecDeque;
+
+/// Default number of events the journal retains.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// How bad a journal event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected lifecycle notices.
+    Info,
+    /// Degraded but self-healing (slow span, transient retry).
+    Warn,
+    /// Data or subsystem damage (checksum failure, quarantine,
+    /// scheduler error).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in exports (`info`, `warn`, `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl Serialize for Severity {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+/// One structured event. Serializes to a single JSONL line validated by
+/// `schemas/journal.schema.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEvent {
+    /// When the event was recorded (ns since the process telemetry
+    /// epoch, same clock as span records).
+    pub at_ns: u64,
+    /// Event severity.
+    pub severity: Severity,
+    /// Stable machine-readable code (`slow_span`, `retry`,
+    /// `checksum_failure`, `quarantine`, `scheduler_error`, …).
+    pub code: &'static str,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// The trace the event belongs to (0 when outside any operation).
+    pub trace_id: u64,
+    /// Dotted name of the span the event was observed in, if any.
+    pub span: Option<&'static str>,
+    /// Duration of that span in nanoseconds, when relevant.
+    pub dur_ns: Option<u64>,
+}
+
+impl Serialize for JournalEvent {
+    fn to_json_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("at_ns".to_string(), Value::U64(self.at_ns));
+        m.insert("severity".to_string(), self.severity.to_json_value());
+        m.insert("code".to_string(), Value::String(self.code.to_string()));
+        m.insert("message".to_string(), Value::String(self.message.clone()));
+        m.insert("trace_id".to_string(), Value::U64(self.trace_id));
+        if let Some(span) = self.span {
+            m.insert("span".to_string(), Value::String(span.to_string()));
+        }
+        if let Some(dur) = self.dur_ns {
+            m.insert("dur_ns".to_string(), Value::U64(dur));
+        }
+        Value::Object(m)
+    }
+}
+
+struct JournalInner {
+    events: VecDeque<(u64, JournalEvent)>,
+    /// Sequence number the next appended event gets (1-based).
+    next_seq: u64,
+    /// Highest sequence number already returned by `drain_new`.
+    drained: u64,
+    /// Events evicted from the ring before any drain saw them.
+    lost: u64,
+}
+
+/// Bounded, drainable ring of [`JournalEvent`]s. See the module docs.
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Journal")
+            .field("len", &inner.events.len())
+            .field("capacity", &self.capacity)
+            .field("lost", &inner.lost)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            inner: Mutex::new(JournalInner {
+                events: VecDeque::new(),
+                next_seq: 1,
+                drained: 0,
+                lost: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn record(&self, event: JournalEvent) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() >= self.capacity {
+            if let Some((seq, _)) = inner.events.pop_front() {
+                if seq > inner.drained {
+                    inner.lost += 1;
+                }
+            }
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back((seq, event));
+    }
+
+    /// Events appended since the previous `drain_new` call. The journal
+    /// retains them (still visible to `recent`); only the cursor moves.
+    pub fn drain_new(&self) -> Vec<JournalEvent> {
+        let mut inner = self.inner.lock();
+        let from = inner.drained;
+        let fresh: Vec<JournalEvent> = inner
+            .events
+            .iter()
+            .filter(|(seq, _)| *seq > from)
+            .map(|(_, e)| e.clone())
+            .collect();
+        inner.drained = inner.next_seq - 1;
+        fresh
+    }
+
+    /// The most recent `limit` retained events, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<JournalEvent> {
+        let inner = self.inner.lock();
+        let skip = inner.events.len().saturating_sub(limit);
+        inner
+            .events
+            .iter()
+            .skip(skip)
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+
+    /// Events retained right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().events.is_empty()
+    }
+
+    /// Events evicted before any drain saw them.
+    pub fn lost(&self) -> u64 {
+        self.inner.lock().lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(code: &'static str, trace: u64) -> JournalEvent {
+        JournalEvent {
+            at_ns: 42,
+            severity: Severity::Warn,
+            code,
+            message: format!("{code} happened"),
+            trace_id: trace,
+            span: Some("engine.ingest"),
+            dur_ns: Some(1_000),
+        }
+    }
+
+    #[test]
+    fn drain_returns_each_event_exactly_once() {
+        let j = Journal::new(8);
+        j.record(event("slow_span", 1));
+        j.record(event("retry", 1));
+        let first = j.drain_new();
+        assert_eq!(first.len(), 2);
+        assert!(j.drain_new().is_empty(), "cursor advanced");
+        j.record(event("quarantine", 2));
+        let second = j.drain_new();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].code, "quarantine");
+        // Drained events stay visible to recent().
+        assert_eq!(j.recent(10).len(), 3);
+        assert_eq!(j.recent(1)[0].code, "quarantine");
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_undrained_losses() {
+        let j = Journal::new(2);
+        j.record(event("a", 1));
+        j.record(event("b", 1));
+        j.record(event("c", 1)); // evicts "a", never drained
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.lost(), 1);
+        let drained = j.drain_new();
+        assert_eq!(
+            drained.iter().map(|e| e.code).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        // An eviction of an already-drained event is not a loss.
+        j.record(event("d", 2));
+        assert_eq!(j.lost(), 1);
+    }
+
+    #[test]
+    fn events_serialize_to_schema_shape() {
+        let v = event("checksum_failure", 7).to_json_value();
+        assert_eq!(v["at_ns"].as_u64(), Some(42));
+        assert_eq!(v["severity"].as_str(), Some("warn"));
+        assert_eq!(v["code"].as_str(), Some("checksum_failure"));
+        assert_eq!(v["trace_id"].as_u64(), Some(7));
+        assert_eq!(v["span"].as_str(), Some("engine.ingest"));
+        assert_eq!(v["dur_ns"].as_u64(), Some(1_000));
+        // Optional fields are omitted, not null.
+        let bare = JournalEvent {
+            span: None,
+            dur_ns: None,
+            ..event("scheduler_error", 0)
+        };
+        let v = bare.to_json_value();
+        assert!(v.get("span").is_none());
+        assert!(v.get("dur_ns").is_none());
+    }
+
+    #[test]
+    fn severity_names_are_stable() {
+        assert_eq!(Severity::Info.name(), "info");
+        assert_eq!(Severity::Warn.name(), "warn");
+        assert_eq!(Severity::Error.name(), "error");
+        assert!(Severity::Info < Severity::Warn && Severity::Warn < Severity::Error);
+    }
+}

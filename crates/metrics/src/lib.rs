@@ -11,14 +11,23 @@
 //! * [`span`] / [`recorder`] / [`histogram`] / [`export`] — the runtime
 //!   telemetry subsystem: thread-local span tracing with per-span I/O
 //!   accounting, log₂ latency histograms, pluggable span sinks (no-op by
-//!   default), and JSON/CSV export of the aggregated report.
+//!   default), and JSON/CSV export of the aggregated report;
+//! * [`registry`] / [`journal`] / [`plane`] / [`exposition`] — the live
+//!   observability plane: named atomic counters and gauges with
+//!   snapshot + delta semantics, a trace-correlated structured event
+//!   journal, the recorder decorator that feeds both from span traffic,
+//!   and Prometheus-text rendering/parsing of registry snapshots.
 
 #![warn(missing_docs)]
 
 pub mod counter;
 pub mod export;
+pub mod exposition;
 pub mod histogram;
+pub mod journal;
+pub mod plane;
 pub mod recorder;
+pub mod registry;
 pub mod report;
 pub mod score;
 pub mod span;
@@ -28,9 +37,12 @@ pub mod stopwatch;
 pub use counter::{OpCounter, OpCounts, OpKind};
 pub use export::{BackendOpSummary, SpanSummary, TelemetryReport, TELEMETRY_VERSION};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+pub use journal::{Journal, JournalEvent, Severity, DEFAULT_JOURNAL_CAPACITY};
+pub use plane::{ObservabilityPlane, ObservedRecorder};
 pub use recorder::{NoopRecorder, Recorder, TelemetryRecorder, DEFAULT_EVENT_CAPACITY};
+pub use registry::{Counter, Gauge, MetricKind, MetricSample, MetricsRegistry, RegistrySnapshot};
 pub use report::Table;
 pub use score::{overall_scores, ranking, Measurement, ScoreError};
-pub use span::{charge, now_ns, IoStats, Span, SpanKind, SpanRecord};
+pub use span::{charge, current_trace_id, now_ns, IoStats, Span, SpanKind, SpanRecord};
 pub use stats::{repeat_measure, Summary};
 pub use stopwatch::{time_it, PhaseTimer, WriteBreakdown, WritePhase};

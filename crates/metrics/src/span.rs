@@ -22,10 +22,24 @@
 //! When the recorder is disabled, [`Span::enter`] returns an inert guard
 //! and [`charge`] finds an empty stack: the whole layer reduces to one
 //! branch per call site.
+//!
+//! # Trace correlation
+//!
+//! Every *outermost* span (depth 0 on its thread) allocates a fresh
+//! process-unique `trace_id`; child spans opened on the same thread while
+//! it is live inherit it. One `engine.ingest` or `engine.consolidate`
+//! call therefore stamps its whole span tree — WAL append, flush, commit,
+//! advise, convert — with a single id, which the event journal uses to
+//! correlate events back to the operation that caused them. Spans opened
+//! on *other* threads (fan-out workers) start traces of their own: the
+//! stack, and with it the trace, is strictly per-thread.
+//! [`current_trace_id`] exposes the live id (0 when no span is open) so
+//! synthesized records and journal events can join the trace.
 
 use crate::recorder::Recorder;
 use serde::{Serialize, Value};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -266,6 +280,9 @@ impl IoStats {
 pub struct SpanRecord {
     /// What the span measured.
     pub kind: SpanKind,
+    /// The trace this span belongs to: allocated by the outermost span of
+    /// the operation and inherited by every child on the same thread.
+    pub trace_id: u64,
     /// Start time in nanoseconds since the process telemetry epoch.
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
@@ -278,6 +295,18 @@ pub struct SpanRecord {
 
 thread_local! {
     static STACK: RefCell<Vec<IoStats>> = const { RefCell::new(Vec::new()) };
+    /// The trace id of this thread's outermost open span (0 = none).
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide trace-id allocator; 0 is reserved for "no trace".
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// The trace id of the innermost open span tree on this thread, or 0 when
+/// no span is open. Journal events and synthesized span records call this
+/// to correlate themselves with the operation in flight.
+pub fn current_trace_id() -> u64 {
+    TRACE.with(Cell::get)
 }
 
 fn process_epoch() -> Instant {
@@ -313,6 +342,7 @@ pub struct Span {
 struct LiveSpan {
     recorder: Arc<dyn Recorder>,
     kind: SpanKind,
+    trace_id: u64,
     start: Instant,
     start_ns: u64,
     depth: u32,
@@ -330,6 +360,15 @@ impl Span {
             s.push(IoStats::default());
             (s.len() - 1) as u32
         });
+        // The outermost span of the operation mints the trace id; nested
+        // spans on the same thread join it.
+        let trace_id = if depth == 0 {
+            let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+            TRACE.with(|t| t.set(id));
+            id
+        } else {
+            current_trace_id()
+        };
         // now_ns() and start come from the same clock; keeping the
         // Instant avoids a second epoch subtraction on the hot path.
         let start = Instant::now();
@@ -338,6 +377,7 @@ impl Span {
             live: Some(LiveSpan {
                 recorder: Arc::clone(recorder),
                 kind,
+                trace_id,
                 start,
                 start_ns,
                 depth,
@@ -359,8 +399,13 @@ impl Drop for Span {
         let io = STACK
             .with(|stack| stack.borrow_mut().pop())
             .unwrap_or_default();
+        if live.depth == 0 {
+            // The operation is over; later spans start fresh traces.
+            TRACE.with(|t| t.set(0));
+        }
         let record = SpanRecord {
             kind: live.kind,
+            trace_id: live.trace_id,
             start_ns: live.start_ns,
             dur_ns: live.start.elapsed().as_nanos() as u64,
             depth: live.depth,
@@ -463,6 +508,69 @@ mod tests {
         let span = Span::enter(&r, SpanKind::Write);
         assert!(!span.is_recording());
         STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nested_spans_share_one_trace_and_sequential_ops_differ() {
+        let (t, r) = telemetry();
+        assert_eq!(current_trace_id(), 0, "no span open, no trace");
+        {
+            let _outer = Span::enter(&r, SpanKind::Ingest);
+            let live = current_trace_id();
+            assert_ne!(live, 0);
+            {
+                let _wal = Span::enter(&r, SpanKind::IngestWal);
+                assert_eq!(current_trace_id(), live, "children join the trace");
+                let _flush = Span::enter(&r, SpanKind::IngestFlush);
+                assert_eq!(current_trace_id(), live);
+            }
+        }
+        assert_eq!(current_trace_id(), 0, "trace cleared when the op ends");
+        {
+            let _next = Span::enter(&r, SpanKind::Consolidate);
+        }
+        let events = t.report().events;
+        let ingest_trace = events
+            .iter()
+            .find(|e| e.kind == SpanKind::Ingest)
+            .unwrap()
+            .trace_id;
+        for e in &events {
+            if matches!(e.kind, SpanKind::IngestWal | SpanKind::IngestFlush) {
+                assert_eq!(e.trace_id, ingest_trace, "{:?}", e.kind);
+            }
+        }
+        let next_trace = events
+            .iter()
+            .find(|e| e.kind == SpanKind::Consolidate)
+            .unwrap()
+            .trace_id;
+        assert_ne!(next_trace, ingest_trace, "each top-level op gets its own");
+        assert!(events.iter().all(|e| e.trace_id != 0));
+    }
+
+    #[test]
+    fn worker_threads_start_traces_of_their_own() {
+        let (t, r) = telemetry();
+        {
+            let _outer = Span::enter(&r, SpanKind::Read);
+            let main_trace = current_trace_id();
+            std::thread::scope(|s| {
+                let r = &r;
+                s.spawn(move || {
+                    let _fetch = Span::enter(r, SpanKind::ReadFetch);
+                    assert_ne!(current_trace_id(), main_trace);
+                    assert_ne!(current_trace_id(), 0);
+                });
+            });
+        }
+        let events = t.report().events;
+        let read = events.iter().find(|e| e.kind == SpanKind::Read).unwrap();
+        let fetch = events
+            .iter()
+            .find(|e| e.kind == SpanKind::ReadFetch)
+            .unwrap();
+        assert_ne!(read.trace_id, fetch.trace_id);
     }
 
     #[test]

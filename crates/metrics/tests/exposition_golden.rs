@@ -1,0 +1,77 @@
+//! Golden-file pin of the Prometheus exposition format.
+//!
+//! The exporter publishes `metrics.prom` for external scrapers, so its
+//! byte-level shape is a public contract: HELP/TYPE pairs, one family
+//! per metric, histograms as cumulative `le`-labelled buckets plus
+//! `_sum`/`_count`, and no duplicate families. This test renders a
+//! fixed registry and compares it verbatim against the checked-in
+//! `tests/golden/exposition.prom`; any format drift shows up as a diff
+//! of that file, not as a silently changed scrape format.
+
+use artsparse_metrics::{exposition, Histogram, MetricsRegistry};
+
+fn fixed_registry() -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    r.counter(
+        "artsparse_bytes_written_total",
+        "Bytes written to the backend.",
+    )
+    .add(4096);
+    r.counter("artsparse_requests_total", "Backend read requests.")
+        .add(17);
+    r.gauge("artsparse_fragments", "Live fragments in the store.")
+        .set(3.0);
+    r.gauge(
+        "artsparse_read_amplification",
+        "Fetched bytes per returned byte.",
+    )
+    .set(1.5);
+    let mut tiers = Histogram::new();
+    for v in [1, 2, 900, 4096, 4097] {
+        tiers.record(v);
+    }
+    r.set_histogram(
+        "artsparse_fragment_bytes",
+        "Fragment sizes by log2 tier.",
+        tiers,
+    );
+    r
+}
+
+#[test]
+fn rendered_exposition_matches_the_golden_file() {
+    let text = exposition::render(&fixed_registry().snapshot());
+    let golden = include_str!("golden/exposition.prom");
+    assert_eq!(
+        text, golden,
+        "exposition format drifted from tests/golden/exposition.prom — \
+         if intentional, update the golden file and call out the scrape-format \
+         change in the changelog"
+    );
+}
+
+#[test]
+fn golden_file_satisfies_the_strict_grammar_with_no_duplicates() {
+    let golden = include_str!("golden/exposition.prom");
+    let doc = exposition::parse(golden).expect("golden exposition parses");
+    assert_eq!(doc.value("artsparse_bytes_written_total"), Some(4096.0));
+    assert_eq!(doc.value("artsparse_fragments"), Some(3.0));
+    assert_eq!(doc.value("artsparse_read_amplification"), Some(1.5));
+    assert_eq!(doc.value("artsparse_fragment_bytes_sum"), Some(9096.0));
+    assert_eq!(doc.value("artsparse_fragment_bytes_count"), Some(5.0));
+    // Cumulative buckets end at +Inf == count.
+    let inf = doc
+        .samples
+        .iter()
+        .find(|s| {
+            s.name == "artsparse_fragment_bytes_bucket"
+                && s.labels.as_deref() == Some("le=\"+Inf\"")
+        })
+        .expect("+Inf bucket present");
+    assert_eq!(inf.value, 5.0);
+    // Concatenating the document with itself re-declares every family —
+    // the grammar rejects duplicates.
+    let doubled = format!("{golden}{golden}");
+    let err = exposition::parse(&doubled).expect_err("duplicate families rejected");
+    assert!(err.contains("duplicate"), "{err}");
+}

@@ -238,6 +238,42 @@ impl Default for IngestConfig {
     }
 }
 
+/// The live observability plane: metrics registry, trace-correlated
+/// event journal, and the background exporter that publishes both.
+///
+/// Set on [`EngineConfig::observability`] to make the engine maintain a
+/// live [`MetricsRegistry`](artsparse_metrics::MetricsRegistry) (gauges
+/// the span system cannot express: write-buffer occupancy, WAL backlog,
+/// fragment size tiers, cache occupancy, scheduler health, read
+/// amplification) and a bounded
+/// [`Journal`](artsparse_metrics::Journal) of severity-tagged events.
+/// `None` (the default) means **no** registry or journal call happens
+/// anywhere in the engine. All fields are integers so [`EngineConfig`]
+/// keeps deriving `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservabilityConfig {
+    /// Events the journal retains (and the exporter can drain) before
+    /// evicting the oldest.
+    pub journal_events: usize,
+    /// Journal a `slow_span` event for any span at least this long
+    /// (milliseconds; 0 disables slow-span events).
+    pub slow_span_ms: u64,
+    /// How often the [`MetricsExporter`](crate::MetricsExporter) thread
+    /// publishes a registry snapshot + journal increment (milliseconds,
+    /// minimum 1).
+    pub export_interval_ms: u64,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            journal_events: 1024,
+            slow_span_ms: 100,
+            export_interval_ms: 500,
+        }
+    }
+}
+
 /// Policy of the background consolidation scheduler
 /// ([`IngestScheduler`](crate::scheduler::IngestScheduler)).
 ///
@@ -343,6 +379,10 @@ pub struct EngineConfig {
     /// buffer group-commits into a fragment and whether acked batches are
     /// WAL-protected first.
     pub ingest: IngestConfig,
+    /// Live observability plane (see [`ObservabilityConfig`]). `None`
+    /// (the default) disables it entirely: no metrics registry, no event
+    /// journal, zero calls on any engine path.
+    pub observability: Option<ObservabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -359,6 +399,7 @@ impl Default for EngineConfig {
             strict_reads: true,
             adaptive_reorg: None,
             ingest: IngestConfig::default(),
+            observability: None,
         }
     }
 }
@@ -450,6 +491,12 @@ impl EngineConfig {
     /// Builder-style streaming-ingest thresholds.
     pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
         self.ingest = ingest;
+        self
+    }
+
+    /// Builder-style observability plane.
+    pub fn with_observability(mut self, observability: ObservabilityConfig) -> Self {
+        self.observability = Some(observability);
         self
     }
 }
@@ -577,6 +624,22 @@ mod tests {
             ..s
         };
         assert_eq!(degenerate.tier_threshold(), 2);
+    }
+
+    #[test]
+    fn observability_defaults_off_and_builds_on() {
+        let c = EngineConfig::default();
+        assert!(c.observability.is_none());
+        let oc = ObservabilityConfig::default();
+        assert!(oc.journal_events > 0);
+        assert!(oc.export_interval_ms > 0);
+        let c = c.with_observability(ObservabilityConfig {
+            slow_span_ms: 0,
+            ..oc
+        });
+        let got = c.observability.unwrap();
+        assert_eq!(got.slow_span_ms, 0);
+        assert_eq!(got.journal_events, oc.journal_events);
     }
 
     #[test]

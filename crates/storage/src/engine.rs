@@ -42,8 +42,9 @@ use artsparse_core::advisor::recommend_from_stats;
 use artsparse_core::stats::SparsityStatsBuilder;
 use artsparse_core::{convert, FormatKind};
 use artsparse_metrics::{
-    charge, now_ns, IoStats, NoopRecorder, OpCounter, PhaseTimer, Recorder, Span, SpanKind,
-    SpanRecord, TelemetryRecorder, TelemetryReport, WriteBreakdown, WritePhase,
+    charge, current_trace_id, now_ns, IoStats, NoopRecorder, ObservabilityPlane, ObservedRecorder,
+    OpCounter, PhaseTimer, Recorder, Severity, Span, SpanKind, SpanRecord, TelemetryRecorder,
+    TelemetryReport, WriteBreakdown, WritePhase,
 };
 use artsparse_tensor::par;
 use artsparse_tensor::value::Element;
@@ -113,6 +114,22 @@ const RUN_COALESCE_GAP_BYTES: u64 = 256;
 /// paying per-request latency for every little run.
 const MAX_VALUE_RUNS: usize = 16;
 
+/// Background-scheduler health the engine tracks on behalf of
+/// [`IngestScheduler`](crate::scheduler::IngestScheduler): pass and
+/// error counts, when the last pass ran, and the text + wall-clock time
+/// of the most recent failure — so swallowed scheduler errors surface
+/// through [`StorageEngine::stats`] and the live registry instead of
+/// vanishing into a bare counter.
+#[derive(Default)]
+struct SchedulerHealth {
+    runs: AtomicU64,
+    errors: AtomicU64,
+    /// Telemetry-clock nanoseconds of the most recent pass (0: never).
+    last_run_ns: AtomicU64,
+    /// Most recent failure: error chain text + unix milliseconds.
+    last_error: parking_lot::Mutex<Option<(String, u64)>>,
+}
+
 /// What the recovery pass found and fixed, plus the epoch markers alive
 /// on the store — the commit-protocol health counters
 /// [`StorageEngine::stats`] reports.
@@ -174,6 +191,13 @@ pub struct StorageEngine<B: StorageBackend> {
     /// (replay is order-preserving, see [`StorageEngine::replay_wal`]),
     /// it just wastes device bytes until retirement succeeds.
     wal_retire_queue: parking_lot::Mutex<Vec<String>>,
+    /// The live observability plane (registry + journal), present only
+    /// when `config.observability` was set — `None` means no registry or
+    /// journal call happens on any engine path.
+    plane: Option<Arc<ObservabilityPlane>>,
+    /// Health of the background ingest scheduler, reported into
+    /// [`StorageEngine::stats`] and the live registry.
+    sched_health: SchedulerHealth,
 }
 
 /// Sentinel fragment name a [`ReadHit`] carries when the hit was served
@@ -339,9 +363,22 @@ impl<B: StorageBackend> StorageEngine<B> {
         config: EngineConfig,
     ) -> Result<Self> {
         let telemetry = config.telemetry.then(|| Arc::new(TelemetryRecorder::new()));
-        let recorder: Arc<dyn Recorder> = match &telemetry {
+        let inner_recorder: Arc<dyn Recorder> = match &telemetry {
             Some(t) => t.clone(),
             None => Arc::new(NoopRecorder),
+        };
+        // The observability plane taps span traffic through a recorder
+        // decorator, so the inner (aggregating or no-op) recorder keeps
+        // working unchanged underneath it.
+        let plane = config.observability.as_ref().map(|oc| {
+            Arc::new(ObservabilityPlane::new(
+                oc.journal_events,
+                oc.slow_span_ms.saturating_mul(1_000_000),
+            ))
+        });
+        let recorder: Arc<dyn Recorder> = match &plane {
+            Some(p) => Arc::new(ObservedRecorder::new(inner_recorder, Arc::clone(p))),
+            None => inner_recorder,
         };
         let backend = RecordingBackend::new(backend, recorder.clone());
 
@@ -383,6 +420,8 @@ impl<B: StorageBackend> StorageEngine<B> {
             buffer: crate::buffer::WriteBuffer::new(),
             flush_lock: parking_lot::Mutex::new(()),
             wal_retire_queue: parking_lot::Mutex::new(Vec::new()),
+            plane,
+            sched_health: SchedulerHealth::default(),
         };
         // WAL blobs left behind by a crashed engine hold acked ingest
         // batches that never reached a fragment: replay them now (and
@@ -476,6 +515,152 @@ impl<B: StorageBackend> StorageEngine<B> {
         *self.recovery.lock()
     }
 
+    /// The live observability plane, when `config.observability` was set
+    /// at open. `None` means the plane is off and nothing is collected.
+    pub fn observability(&self) -> Option<&Arc<ObservabilityPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// Sample every live gauge into the observability registry: write
+    /// buffer occupancy, WAL backlog, fragment population and size tiers,
+    /// cache occupancy, quarantine count, scheduler health, and the
+    /// derived read-amplification ratio. A no-op when the plane is off.
+    ///
+    /// The [`MetricsExporter`](crate::exporter::MetricsExporter) calls
+    /// this before each snapshot; callers polling the registry directly
+    /// should too — counters update live from span traffic, but gauges
+    /// are point-in-time readings only this method refreshes.
+    pub fn observe(&self) {
+        let Some(plane) = &self.plane else { return };
+        let reg = plane.registry();
+
+        let buf = self.buffer.stats();
+        reg.gauge(
+            "artsparse_write_buffer_bytes",
+            "Value bytes currently buffered for group commit.",
+        )
+        .set(buf.value_bytes as f64);
+        reg.gauge(
+            "artsparse_write_buffer_points",
+            "Points currently buffered for group commit.",
+        )
+        .set(buf.points as f64);
+        reg.gauge(
+            "artsparse_write_buffer_batches",
+            "Acked ingest batches awaiting group commit.",
+        )
+        .set(buf.batches as f64);
+        reg.gauge(
+            "artsparse_wal_backlog_blobs",
+            "Live WAL blobs: buffered batches not yet committed plus \
+             retired blobs whose delete is being retried.",
+        )
+        .set((self.buffer.wal_backlog() + self.wal_retire_queue.lock().len()) as f64);
+        reg.gauge(
+            "artsparse_wal_retire_queue",
+            "WAL blobs whose deletion failed and awaits retry.",
+        )
+        .set(self.wal_retire_queue.lock().len() as f64);
+
+        let sizes = self.fragment_sizes();
+        reg.gauge("artsparse_fragments", "Live fragments in the catalog.")
+            .set(sizes.len() as f64);
+        let mut tiers = artsparse_metrics::Histogram::new();
+        for &size in &sizes {
+            tiers.record(size);
+        }
+        reg.set_histogram(
+            "artsparse_fragment_bytes",
+            "Size distribution of live fragments (bytes, log2 buckets).",
+            tiers,
+        );
+        reg.gauge(
+            "artsparse_quarantined_fragments",
+            "Fragments currently quarantined after integrity failures.",
+        )
+        .set(self.catalog.quarantined().len() as f64);
+
+        reg.gauge(
+            "artsparse_cache_bytes",
+            "Decoded payload bytes resident in the fragment cache.",
+        )
+        .set(self.cache.held_bytes() as f64);
+        reg.gauge(
+            "artsparse_cache_capacity_bytes",
+            "Configured fragment-cache capacity (0: disabled).",
+        )
+        .set(self.cache.capacity_bytes() as f64);
+        reg.gauge(
+            "artsparse_cache_fragments",
+            "Decoded fragments resident in the cache.",
+        )
+        .set(self.cache.len() as f64);
+
+        reg.counter(
+            "artsparse_scheduler_runs_total",
+            "Background scheduler passes executed.",
+        )
+        .record_total(self.sched_health.runs.load(Ordering::Relaxed));
+        reg.counter(
+            "artsparse_scheduler_errors_total",
+            "Background scheduler passes that failed.",
+        )
+        .record_total(self.sched_health.errors.load(Ordering::Relaxed));
+        let last_run = self.sched_health.last_run_ns.load(Ordering::Relaxed);
+        reg.gauge(
+            "artsparse_scheduler_last_run_age_seconds",
+            "Seconds since the last scheduler pass (-1: never ran).",
+        )
+        .set(if last_run == 0 {
+            -1.0
+        } else {
+            now_ns().saturating_sub(last_run) as f64 / 1e9
+        });
+
+        if let Some(ratio) = plane.read_amplification() {
+            reg.gauge(
+                "artsparse_read_amplification",
+                "Bytes fetched from the backend per value byte returned.",
+            )
+            .set(ratio);
+        }
+    }
+
+    /// Record a completed scheduler pass (called by
+    /// [`IngestScheduler`](crate::scheduler::IngestScheduler)).
+    pub(crate) fn note_scheduler_run(&self) {
+        self.sched_health.runs.fetch_add(1, Ordering::Relaxed);
+        self.sched_health
+            .last_run_ns
+            .store(now_ns(), Ordering::Relaxed);
+    }
+
+    /// Record a failed scheduler pass: count it, retain the error text
+    /// and wall-clock time for [`StorageEngine::stats`], and journal a
+    /// `scheduler_error` event when the plane is on.
+    pub(crate) fn note_scheduler_error(&self, error: &StorageError) {
+        let message = error.chain_string();
+        self.sched_health.errors.fetch_add(1, Ordering::Relaxed);
+        let at_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        *self.sched_health.last_error.lock() = Some((message.clone(), at_ms));
+        if let Some(plane) = &self.plane {
+            plane.event(
+                Severity::Error,
+                "scheduler_error",
+                message,
+                current_trace_id(),
+            );
+        }
+    }
+
+    /// The most recent scheduler failure, as `(error chain, unix ms)`.
+    pub fn scheduler_last_error(&self) -> Option<(String, u64)> {
+        self.sched_health.last_error.lock().clone()
+    }
+
     /// Operation counter shared by all builds/reads on this engine.
     pub fn counter(&self) -> &OpCounter {
         &self.counter
@@ -549,6 +734,7 @@ impl<B: StorageBackend> StorageEngine<B> {
             for shard in &report.shards {
                 self.recorder.record_span(&SpanRecord {
                     kind: SpanKind::ParShard,
+                    trace_id: current_trace_id(),
                     start_ns: op_start + shard.start_offset_ns,
                     dur_ns: shard.dur_ns,
                     depth: 0,
@@ -1161,6 +1347,10 @@ impl<B: StorageBackend> StorageEngine<B> {
             result.hits.sort_by_key(|a| a.addr);
             break;
         }
+        if let Some(plane) = &self.plane {
+            // Denominator of the derived read-amplification gauge.
+            plane.note_read_returned(result.hits.iter().map(|h| h.value.len() as u64).sum());
+        }
         Ok(result)
     }
 
@@ -1639,6 +1829,15 @@ pub struct StoreStats {
     /// `total_bytes` — their blobs are retained for forensics — but
     /// excluded from reads and consolidation).
     pub quarantined_fragments: usize,
+    /// Background scheduler passes executed against this engine.
+    pub scheduler_runs: u64,
+    /// Scheduler passes that failed (kept out of the ingest path; each
+    /// failure is retried on the next tick).
+    pub scheduler_errors: u64,
+    /// Error chain of the most recent scheduler failure, if any.
+    pub scheduler_last_error: Option<String>,
+    /// Unix milliseconds of that failure.
+    pub scheduler_last_error_at_ms: Option<u64>,
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
@@ -1654,6 +1853,12 @@ impl<B: StorageBackend> StorageEngine<B> {
         stats.tombstones_discarded = recovery.tombstones_discarded;
         stats.orphans_swept = recovery.orphans_swept;
         stats.quarantined_fragments = self.catalog.quarantined().len();
+        stats.scheduler_runs = self.sched_health.runs.load(Ordering::Relaxed);
+        stats.scheduler_errors = self.sched_health.errors.load(Ordering::Relaxed);
+        if let Some((message, at_ms)) = self.scheduler_last_error() {
+            stats.scheduler_last_error = Some(message);
+            stats.scheduler_last_error_at_ms = Some(at_ms);
+        }
         for entry in self.catalog.snapshot_all() {
             let meta = &entry.meta;
             stats.fragments += 1;
@@ -3292,5 +3497,137 @@ mod tests {
         let sequential = seq.read(&q).unwrap();
         assert_eq!(parallel.hits, sequential.hits);
         assert_eq!(parallel.fragments_matched, sequential.fragments_matched);
+    }
+
+    fn observed_engine() -> StorageEngine<MemBackend> {
+        StorageEngine::open_with(
+            MemBackend::new(),
+            FormatKind::Coo,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default()
+                .with_observability(crate::config::ObservabilityConfig::default()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plane_is_absent_by_default_and_present_when_configured() {
+        let plain = engine(FormatKind::Coo);
+        assert!(plain.observability().is_none());
+        plain.observe(); // must be a strict no-op
+        let e = observed_engine();
+        let plane = e.observability().expect("configured plane is on");
+        // Span traffic feeds live counters without any explicit call.
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let snap = plane.registry().snapshot();
+        assert!(snap.sample("artsparse_wal_bytes_total").unwrap().value > 0.0);
+    }
+
+    #[test]
+    fn observe_samples_live_gauges() {
+        let e = observed_engine();
+        e.write_points::<f64>(&coords(&[[1, 1], [2, 2]]), &[1.0, 2.0])
+            .unwrap();
+        e.ingest_points::<f64>(&coords(&[[3, 3]]), &[3.0]).unwrap();
+        e.observe();
+        let snap = e.observability().unwrap().registry().snapshot();
+        let value = |name: &str| snap.sample(name).unwrap().value;
+        assert_eq!(value("artsparse_fragments"), 1.0);
+        assert_eq!(value("artsparse_write_buffer_points"), 1.0);
+        assert_eq!(value("artsparse_write_buffer_batches"), 1.0);
+        assert_eq!(value("artsparse_wal_backlog_blobs"), 1.0);
+        assert_eq!(value("artsparse_quarantined_fragments"), 0.0);
+        assert_eq!(value("artsparse_scheduler_last_run_age_seconds"), -1.0);
+        let tiers = snap.sample("artsparse_fragment_bytes").unwrap();
+        assert_eq!(tiers.histogram.as_ref().unwrap().count(), 1);
+        // Flush and re-observe: the gauges move.
+        e.flush().unwrap();
+        e.observe();
+        let snap = e.observability().unwrap().registry().snapshot();
+        let value = |name: &str| snap.sample(name).unwrap().value;
+        assert_eq!(value("artsparse_write_buffer_points"), 0.0);
+        assert_eq!(value("artsparse_wal_backlog_blobs"), 0.0);
+        assert_eq!(value("artsparse_fragments"), 2.0);
+    }
+
+    #[test]
+    fn read_amplification_gauge_derives_from_reads() {
+        let e = observed_engine();
+        e.write_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let plane = Arc::clone(e.observability().unwrap());
+        assert_eq!(plane.read_amplification(), None, "no read returned yet");
+        e.read_values::<f64>(&coords(&[[1, 1]])).unwrap();
+        // A cold point read fetches index + value sections to return one
+        // 8-byte record: amplification is well above 1.
+        let ratio = plane.read_amplification().unwrap();
+        assert!(ratio > 1.0, "got {ratio}");
+        e.observe();
+        let snap = plane.registry().snapshot();
+        assert_eq!(
+            snap.sample("artsparse_read_amplification").unwrap().value,
+            ratio
+        );
+    }
+
+    #[test]
+    fn engine_op_span_trees_share_one_trace_id() {
+        let recording = Arc::new(artsparse_metrics::TelemetryRecorder::new());
+        let e = observed_engine().with_recorder(recording.clone());
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        let events = recording.report().events;
+        // ingest → WAL append: one tree, one trace.
+        let ingest: Vec<_> = events
+            .iter()
+            .filter(|ev| matches!(ev.kind, SpanKind::Ingest | SpanKind::IngestWal))
+            .collect();
+        assert_eq!(ingest.len(), 2);
+        assert!(ingest.iter().all(|ev| ev.trace_id == ingest[0].trace_id));
+        assert_ne!(ingest[0].trace_id, 0);
+
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        e.consolidate().unwrap();
+        let events = recording.report().events;
+        // The consolidate tree (snapshot/merge/write/commit/sweep all
+        // nested under engine.consolidate) shares the root's trace id,
+        // and it differs from the ingest trace.
+        let root = events
+            .iter()
+            .find(|ev| ev.kind == SpanKind::Consolidate)
+            .expect("consolidate root span");
+        assert_ne!(root.trace_id, ingest[0].trace_id);
+        for kind in [
+            SpanKind::ConsolidateSnapshot,
+            SpanKind::ConsolidateMerge,
+            SpanKind::ConsolidateSweep,
+        ] {
+            let child = events.iter().find(|ev| ev.kind == kind).unwrap();
+            assert_eq!(child.trace_id, root.trace_id, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn stats_surface_scheduler_health() {
+        let e = observed_engine();
+        let s = e.stats().unwrap();
+        assert_eq!((s.scheduler_runs, s.scheduler_errors), (0, 0));
+        assert!(s.scheduler_last_error.is_none());
+        e.note_scheduler_run();
+        e.note_scheduler_error(&StorageError::Mismatch {
+            reason: "synthetic failure".to_string(),
+        });
+        let s = e.stats().unwrap();
+        assert_eq!((s.scheduler_runs, s.scheduler_errors), (1, 1));
+        assert!(s
+            .scheduler_last_error
+            .unwrap()
+            .contains("synthetic failure"));
+        assert!(s.scheduler_last_error_at_ms.unwrap() > 0);
+        // The failure also reached the journal, trace-correlated.
+        let plane = e.observability().unwrap();
+        let events = plane.journal().drain_new();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].code, "scheduler_error");
+        assert!(events[0].message.contains("synthetic failure"));
     }
 }

@@ -36,7 +36,11 @@
 //!   atomically swappable read snapshot;
 //! * [`scheduler`] — the background thread that flushes stale buffers and
 //!   triggers size-tiered consolidation, rate-limited, with clean
-//!   shutdown.
+//!   shutdown;
+//! * [`exporter`] — the background thread of the live observability
+//!   plane: it samples the engine's gauges, publishes Prometheus-text
+//!   exposition (atomic rename) plus a JSONL snapshot series, and drains
+//!   the trace-correlated event journal to `journal.jsonl`.
 
 #![warn(missing_docs)]
 
@@ -48,6 +52,7 @@ pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod exporter;
 pub mod faults;
 pub mod fragment;
 pub mod integrity;
@@ -62,14 +67,15 @@ pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
 pub use config::{
-    AdaptiveReorg, CommitMode, EngineConfig, IngestConfig, ReorgProfile, RetryPolicy,
-    SchedulerConfig,
+    AdaptiveReorg, CommitMode, EngineConfig, IngestConfig, ObservabilityConfig, ReorgProfile,
+    RetryPolicy, SchedulerConfig,
 };
 pub use engine::{
     ConsolidateReport, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding, ScrubReport,
     StorageEngine, StoreStats, WriteReport, BUFFER_FRAGMENT,
 };
 pub use error::{FragmentSection, Result, StorageError};
+pub use exporter::{ExporterStats, MetricsExporter, JOURNAL_JSONL, METRICS_JSONL, METRICS_PROM};
 pub use faults::{injected_fault, FailingBackend, InjectedFault};
 pub use fragment::FragmentChecksums;
 pub use integrity::{crc32c, Crc32c};

@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters describing what the scheduler has done so far.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Scheduler passes executed (ticks that did their checks).
     pub runs: u64,
@@ -45,6 +45,9 @@ pub struct SchedulerStats {
     /// Passes that failed (error kept out of the ingest path; the next
     /// tick retries).
     pub errors: u64,
+    /// Error chain of the most recent failed pass, if any — failures are
+    /// swallowed to protect the ingest path, not to hide them.
+    pub last_error: Option<String>,
 }
 
 #[derive(Default)]
@@ -54,6 +57,7 @@ struct Shared {
     flushes: AtomicU64,
     consolidations: AtomicU64,
     errors: AtomicU64,
+    last_error: parking_lot::Mutex<Option<String>>,
 }
 
 /// Handle to the background scheduler thread. Dropping it shuts the
@@ -92,6 +96,7 @@ impl IngestScheduler {
             flushes: self.shared.flushes.load(Ordering::Relaxed),
             consolidations: self.shared.consolidations.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            last_error: self.shared.last_error.lock().clone(),
         }
     }
 
@@ -142,10 +147,15 @@ fn scheduler_loop<B: StorageBackend + Send + Sync>(
     while !shared.stop.load(Ordering::SeqCst) {
         match scheduler_pass(engine, config, shared, &mut last_consolidate, min_gap) {
             Ok(()) => {}
-            Err(_) => {
+            Err(e) => {
                 // Keep failures out of the ingest path; the next tick
-                // retries and the counter surfaces the problem.
+                // retries. The error is *surfaced*, not swallowed: the
+                // counter and last-error text here, plus the engine's
+                // health record (store stats, registry gauges, and a
+                // `scheduler_error` journal event when the plane is on).
                 shared.errors.fetch_add(1, Ordering::Relaxed);
+                *shared.last_error.lock() = Some(e.chain_string());
+                engine.note_scheduler_error(&e);
             }
         }
         // park_timeout instead of sleep so shutdown() can interrupt a
@@ -167,6 +177,7 @@ fn scheduler_pass<B: StorageBackend + Send + Sync>(
 ) -> Result<()> {
     let _span = Span::enter(engine.recorder(), SpanKind::SchedulerRun);
     shared.runs.fetch_add(1, Ordering::Relaxed);
+    engine.note_scheduler_run();
     charge(|io| io.scheduler_runs += 1);
 
     let flush_after = Duration::from_millis(engine.config().ingest.flush_interval_ms);
@@ -284,6 +295,67 @@ mod tests {
             CoordBuffer::from_points(2, &(0..6u64).map(|i| [i, i]).collect::<Vec<_>>()).unwrap();
         let vals = engine.read_values::<f64>(&q).unwrap();
         assert!(vals.iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn scheduler_errors_surface_with_their_text() {
+        use crate::config::ObservabilityConfig;
+        use crate::faults::FailingBackend;
+        // A backend that fails renames makes every staleness flush fail
+        // at the commit rename — the exact kind of background error that
+        // used to vanish into a bare counter.
+        let engine = Arc::new(
+            StorageEngine::open_with(
+                FailingBackend::new(MemBackend::new()),
+                FormatKind::Coo,
+                Shape::new(vec![64, 64]).unwrap(),
+                8,
+                EngineConfig::default()
+                    .with_ingest(IngestConfig {
+                        flush_points: 1_000_000,
+                        flush_bytes: usize::MAX,
+                        flush_interval_ms: 0,
+                        wal: false,
+                    })
+                    .with_observability(ObservabilityConfig::default()),
+            )
+            .unwrap(),
+        );
+        let c = CoordBuffer::from_points(2, &[[1u64, 2u64]]).unwrap();
+        engine.ingest_points::<f64>(&c, &[1.0]).unwrap();
+        engine.backend().fail_renames(true);
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                ..Default::default()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sched.stats().errors == 0 {
+            assert!(Instant::now() < deadline, "scheduler never failed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.shutdown();
+        // The scheduler handle carries the error text...
+        let stats = sched.stats();
+        assert!(stats.errors >= 1);
+        assert!(stats.last_error.unwrap().contains("rename"));
+        // ...and so do the engine's store stats...
+        let s = engine.stats().unwrap();
+        assert!(s.scheduler_errors >= 1);
+        assert!(s.scheduler_runs >= 1);
+        assert!(s.scheduler_last_error.unwrap().contains("rename"));
+        assert!(s.scheduler_last_error_at_ms.unwrap() > 0);
+        // ...and the observability journal, as an error-severity event.
+        let events = engine.observability().unwrap().journal().drain_new();
+        assert!(events.iter().any(|e| e.code == "scheduler_error"
+            && e.severity == artsparse_metrics::Severity::Error
+            && e.message.contains("rename")));
+        // Healing the backend heals the scheduler on a later tick.
+        engine.backend().fail_renames(false);
+        engine.flush().unwrap();
+        assert_eq!(engine.fragments().unwrap().len(), 1);
     }
 
     #[test]
