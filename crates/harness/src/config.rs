@@ -142,6 +142,7 @@ impl Config {
             flush_bytes: usize::MAX,
             flush_interval_ms: 1,
             wal: true,
+            ..Default::default()
         }
     }
 

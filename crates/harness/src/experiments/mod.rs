@@ -16,6 +16,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod torture;
 
 use crate::Result;
 use artsparse_metrics::Table;

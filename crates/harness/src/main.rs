@@ -4,7 +4,7 @@
 //! artsparse-bench <experiment>... [options]
 //!
 //! experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 ablate
-//!              compress sweep adaptive ingest observe all
+//!              compress sweep adaptive ingest observe torture all
 //! options:
 //!   --scale paper|medium|smoke   tensor sizes        (default: medium)
 //!   --backend mem|fs|sim         storage device      (default: sim)
@@ -47,15 +47,15 @@
 use artsparse_core::FormatKind;
 use artsparse_harness::experiments::{
     ablate, adaptive, compress, fig1, fig2, fig3, fig4, fig5, ingest, io, observe, sweep, table1,
-    table2, table3, table4, ExperimentOutput,
+    table2, table3, table4, torture, ExperimentOutput,
 };
 use artsparse_harness::{run_matrix_with_telemetry, BackendKind, Config, Result};
 use artsparse_patterns::Scale;
 use std::path::PathBuf;
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "ablate",
-    "compress", "sweep", "io", "adaptive", "ingest", "observe",
+    "compress", "sweep", "io", "adaptive", "ingest", "observe", "torture",
 ];
 
 fn usage() -> ! {
@@ -551,6 +551,9 @@ fn main() -> Result<()> {
     }
     if wants("observe") {
         emit(&cfg, observe::run(&cfg)?)?;
+    }
+    if wants("torture") {
+        emit(&cfg, torture::run(&cfg)?)?;
     }
     Ok(())
 }

@@ -42,6 +42,11 @@ pub struct CellMeasurement {
     /// the store may hold a different organization than the one the cell
     /// requested for ingest.
     pub org_mix: std::collections::BTreeMap<String, usize>,
+    /// Write-path health state when the cell's workload finished
+    /// (`healthy` unless the device misbehaved mid-cell).
+    pub health: String,
+    /// Ingest batches shed by admission control during the cell.
+    pub backpressure_rejections: u64,
 }
 
 /// The full evaluation grid.
@@ -163,7 +168,7 @@ pub fn measure_cell_telemetry(
     let (read_dur, read) = time_it(|| engine.read(queries));
     let read = read?;
     let telemetry = engine.telemetry_report();
-    let org_mix = engine.stats()?.by_format;
+    let stats = engine.stats()?;
 
     let cell = CellMeasurement {
         format: format.name().to_string(),
@@ -178,7 +183,9 @@ pub fn measure_cell_telemetry(
         read_secs: read_dur.as_secs_f64(),
         file_bytes: report.total_bytes as u64,
         index_bytes: report.index_bytes as u64,
-        org_mix,
+        org_mix: stats.by_format,
+        health: stats.health.name().to_string(),
+        backpressure_rejections: stats.backpressure_rejections,
     };
     Ok((cell, telemetry))
 }
@@ -237,6 +244,10 @@ pub fn run_matrix_with_telemetry(cfg: &Config) -> Result<(Matrix, Vec<CellTeleme
                             .collect::<Vec<_>>()
                             .join(", ");
                         eprintln!("[matrix]   org mix: {mix}");
+                        eprintln!(
+                            "[matrix]   write health: {} · {} batch(es) shed",
+                            cell.health, cell.backpressure_rejections
+                        );
                         eprintln!("{}", report.to_ascii());
                     }
                     reports.push((cell.format.clone(), cell.pattern.clone(), cell.ndim, report));

@@ -145,7 +145,20 @@ pub fn render_frame(
     new_events: usize,
 ) -> String {
     let mut out = String::new();
-    let title = format!("── artsparse watch · {dir} · frame {frame} ");
+    // The write-path health state leads the header: it is the one field
+    // an operator triages first when a store misbehaves.
+    let state = doc
+        .and_then(|d| d.value("artsparse_health_state"))
+        .map(|v| match v as i64 {
+            0 => "healthy",
+            1 => "degraded",
+            2 => "read-only",
+            _ => "unknown",
+        });
+    let title = match state {
+        Some(state) => format!("── artsparse watch · {dir} · frame {frame} · {state} "),
+        None => format!("── artsparse watch · {dir} · frame {frame} "),
+    };
     out.push_str(&title);
     out.push_str(&"─".repeat(72usize.saturating_sub(title.chars().count())));
     out.push('\n');
@@ -206,6 +219,13 @@ pub fn render_frame(
         g("artsparse_checksum_failures_total"),
         g("artsparse_quarantines_total"),
         g("artsparse_slow_spans_total"),
+    ));
+    out.push_str(&format!(
+        "  write     {} · consecutive failures {} · backpressure shed {} · WAL backlog {} B\n",
+        state.unwrap_or("state unknown"),
+        g("artsparse_consecutive_write_failures"),
+        g("artsparse_backpressure_rejections_total"),
+        g("artsparse_wal_backlog_bytes"),
     ));
     out.push_str(&format!(
         "  journal   {} event(s), {new_events} new\n",
@@ -361,6 +381,9 @@ mod tests {
         let frame = w.frame().unwrap();
         assert!(frame.contains("1 fragment(s)"), "{frame}");
         assert!(frame.contains("amplification"), "{frame}");
+        // The write-path health state leads the header line.
+        assert!(frame.contains("frame 1 · healthy"), "{frame}");
+        assert!(frame.contains("consecutive failures 0"), "{frame}");
         assert!(
             frame.contains("[error] scheduler_error trace=3: synthetic background failure"),
             "{frame}"

@@ -74,6 +74,11 @@ struct Inner {
     batches: Vec<Batch>,
     points: usize,
     value_bytes: usize,
+    /// Value bytes admitted (reserved) but not yet appended — in flight
+    /// between admission control and the WAL ack. Counted against the
+    /// buffer's byte cap so concurrent ingests cannot collectively
+    /// overshoot it.
+    reserved_bytes: usize,
     first_append: Option<Instant>,
     /// Cached snapshot; `None` after any append or drain.
     snapshot: Option<Arc<BufferSnapshot>>,
@@ -105,7 +110,10 @@ impl WriteBuffer {
 
     /// Append one acked batch. `addrs`, `coords`, and `values` must agree
     /// on the point count (the engine validates shapes before acking);
-    /// `wal` names the WAL blob that made the batch durable, if any.
+    /// `wal` names the WAL blob that made the batch durable, if any. Any
+    /// reservation taken for these bytes ([`try_reserve`]) is consumed.
+    ///
+    /// [`try_reserve`]: WriteBuffer::try_reserve
     pub fn append(&self, addrs: Vec<u64>, coords: Vec<u64>, values: Vec<u8>, wal: Option<String>) {
         if addrs.is_empty() {
             return;
@@ -113,6 +121,7 @@ impl WriteBuffer {
         let mut inner = self.inner.lock();
         inner.points += addrs.len();
         inner.value_bytes += values.len();
+        inner.reserved_bytes = inner.reserved_bytes.saturating_sub(values.len());
         inner.first_append.get_or_insert_with(Instant::now);
         inner.snapshot = None;
         inner.batches.push(Batch {
@@ -121,6 +130,38 @@ impl WriteBuffer {
             values,
             wal,
         });
+    }
+
+    /// Atomically admit `bytes` of incoming value payload against `cap`:
+    /// succeeds (and reserves the bytes) only when appended plus already
+    /// reserved bytes would stay within the cap. The reservation is
+    /// consumed by the matching [`append`] or returned by
+    /// [`cancel_reservation`] when the ack fails; a cap of `0` means
+    /// unlimited. Check-and-reserve happens under one lock, so concurrent
+    /// ingests can never collectively overshoot the cap.
+    ///
+    /// [`append`]: WriteBuffer::append
+    /// [`cancel_reservation`]: WriteBuffer::cancel_reservation
+    pub fn try_reserve(&self, bytes: usize, cap: usize) -> bool {
+        let mut inner = self.inner.lock();
+        if cap > 0
+            && inner
+                .value_bytes
+                .saturating_add(inner.reserved_bytes)
+                .saturating_add(bytes)
+                > cap
+        {
+            return false;
+        }
+        inner.reserved_bytes += bytes;
+        true
+    }
+
+    /// Return a reservation whose batch will never be appended (the WAL
+    /// ack failed after admission).
+    pub fn cancel_reservation(&self, bytes: usize) {
+        let mut inner = self.inner.lock();
+        inner.reserved_bytes = inner.reserved_bytes.saturating_sub(bytes);
     }
 
     /// Current occupancy.
@@ -310,6 +351,29 @@ mod tests {
         assert_eq!(wals, vec!["wal-3".to_string()]);
         assert!(buf.age().is_none());
         assert_eq!(buf.stats().points, 0);
+    }
+
+    #[test]
+    fn reservations_count_against_the_cap_until_consumed_or_cancelled() {
+        let buf = WriteBuffer::new();
+        // A zero cap is unlimited.
+        assert!(buf.try_reserve(usize::MAX, 0));
+        buf.cancel_reservation(usize::MAX);
+        // Reservations admit atomically against the cap.
+        assert!(buf.try_reserve(6, 10));
+        assert!(!buf.try_reserve(5, 10), "6 reserved + 5 > 10");
+        assert!(buf.try_reserve(4, 10));
+        // Appending consumes the matching reservation, so appended bytes
+        // are not double-counted.
+        buf.append(vec![1], vec![1], vec![0; 6], None);
+        assert_eq!(buf.stats().value_bytes, 6);
+        assert!(!buf.try_reserve(1, 10), "6 appended + 4 reserved = cap");
+        buf.cancel_reservation(4);
+        assert!(buf.try_reserve(4, 10));
+        buf.cancel_reservation(4);
+        // Draining frees appended bytes for new admissions.
+        buf.drain(1);
+        assert!(buf.try_reserve(10, 10));
     }
 
     #[test]

@@ -200,13 +200,20 @@ impl AdaptiveReorg {
 }
 
 /// Thresholds for the streaming-ingest write buffer and its group
-/// commits.
+/// commits, plus the admission-control caps that bound them.
 ///
 /// Ingested points accumulate in the in-memory write buffer (durably
 /// mirrored in the WAL) until one of these thresholds trips, at which
 /// point the buffer is flushed — group-committed — into one ordinary
-/// fragment and the covering WAL records are retired. All fields are
-/// integers so [`EngineConfig`] keeps deriving `Eq`.
+/// fragment and the covering WAL records are retired. The `max_*` caps
+/// are hard admission limits: a batch that would push buffered bytes or
+/// WAL backlog past its cap is rejected with a typed
+/// [`Backpressure`](crate::error::StorageError::Backpressure) error
+/// *before* anything is acked, and admission stays closed until
+/// occupancy drains below the low watermark
+/// ([`backpressure_resume_pct`](IngestConfig::backpressure_resume_pct))
+/// so a saturated store sheds load instead of flapping at the cap. All
+/// fields are integers so [`EngineConfig`] keeps deriving `Eq`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestConfig {
     /// Flush when this many raw buffered points accumulate. Counted
@@ -225,6 +232,18 @@ pub struct IngestConfig {
     /// ingest batch. On by default; turning it off trades crash
     /// durability of buffered points for ingest throughput.
     pub wal: bool,
+    /// Hard cap on buffered value bytes (the high watermark). A batch
+    /// that would exceed it is rejected with `Backpressure` before its
+    /// WAL record is written. `0` disables the cap.
+    pub max_buffered_bytes: usize,
+    /// Hard cap on live WAL backlog bytes — acked blobs not yet retired,
+    /// including blobs queued for deletion retry. `0` disables the cap.
+    pub max_wal_backlog_bytes: u64,
+    /// Low watermark, as a percentage of the tripped cap (`0..=100`).
+    /// Once admission closes, it reopens only when the overloaded
+    /// resource drains to at or below this fraction of its cap —
+    /// hysteresis that prevents accept/reject flapping right at the cap.
+    pub backpressure_resume_pct: u32,
 }
 
 impl Default for IngestConfig {
@@ -234,6 +253,9 @@ impl Default for IngestConfig {
             flush_bytes: 1 << 20,
             flush_interval_ms: 1000,
             wal: true,
+            max_buffered_bytes: 256 << 20,
+            max_wal_backlog_bytes: 1 << 30,
+            backpressure_resume_pct: 75,
         }
     }
 }
@@ -295,6 +317,13 @@ pub struct SchedulerConfig {
     /// Rate limit: minimum milliseconds between two consolidation
     /// passes, regardless of how fragmented the store looks.
     pub min_consolidate_interval_ms: u64,
+    /// Upper bound, in milliseconds, on how long
+    /// [`IngestScheduler::shutdown`](crate::scheduler::IngestScheduler::shutdown)
+    /// waits for the worker thread. A thread stuck inside a backend call
+    /// (hung device, injected write latency) is detached instead of
+    /// blocking drop forever, and the timeout is surfaced as a
+    /// `scheduler_error`. `0` waits indefinitely.
+    pub shutdown_timeout_ms: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -303,6 +332,7 @@ impl Default for SchedulerConfig {
             tick_ms: 50,
             tier_fragments: 4,
             min_consolidate_interval_ms: 250,
+            shutdown_timeout_ms: 5_000,
         }
     }
 }
@@ -312,6 +342,45 @@ impl SchedulerConfig {
     /// consolidate forever).
     pub fn tier_threshold(&self) -> usize {
         self.tier_fragments.max(2)
+    }
+}
+
+/// Thresholds of the engine's write-path health state machine
+/// (`Healthy → Degraded → ReadOnly`, see
+/// [`HealthState`](crate::engine::HealthState)).
+///
+/// Consecutive write failures — a WAL append, stage, rename-commit, or
+/// consolidation commit that fails even after its retry budget — walk
+/// the engine down the ladder; one successful write (or recovery probe)
+/// resets it to `Healthy`. In `ReadOnly` the engine refuses new writes
+/// with a typed error but keeps serving reads and preserves every acked
+/// batch; a periodic probe write tests the device so recovery is
+/// automatic once the fault clears. All fields are integers so
+/// [`EngineConfig`] keeps deriving `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive write failures before `Healthy` drops to `Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive write failures before the engine enters `ReadOnly`
+    /// (must be ≥ [`degrade_after`](HealthConfig::degrade_after) to be
+    /// reachable).
+    pub read_only_after: u32,
+    /// Minimum milliseconds between two recovery probes while the engine
+    /// is `ReadOnly`. The background scheduler drives probes on its
+    /// ticks; without a scheduler, [`probe_health`] can be called
+    /// directly.
+    ///
+    /// [`probe_health`]: crate::engine::StorageEngine::probe_health
+    pub probe_interval_ms: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degrade_after: 2,
+            read_only_after: 5,
+            probe_interval_ms: 500,
+        }
     }
 }
 
@@ -364,6 +433,17 @@ pub struct EngineConfig {
     pub parallel_cutoff: usize,
     /// Retry policy for backend fetches (see [`RetryPolicy`]).
     pub retry: RetryPolicy,
+    /// Retry policy for backend mutations — WAL appends, staged puts,
+    /// rename-commits, and retire/consolidation deletes. Same transient
+    /// classification and deterministic jitter as [`retry`], applied on
+    /// the write side; an exhausted budget surfaces `RetriesExhausted`
+    /// and counts as one write failure toward [`health`].
+    ///
+    /// [`retry`]: EngineConfig::retry
+    /// [`health`]: EngineConfig::health
+    pub write_retry: RetryPolicy,
+    /// Write-path health thresholds (see [`HealthConfig`]).
+    pub health: HealthConfig,
     /// Fail-closed reads (the default): a fragment that exhausts retries
     /// or fails checksum verification aborts the whole read with the
     /// typed error. With `false`, such a fragment is quarantined in the
@@ -396,6 +476,8 @@ impl Default for EngineConfig {
             threads: 0,
             parallel_cutoff: artsparse_tensor::par::DEFAULT_CUTOFF,
             retry: RetryPolicy::default(),
+            write_retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
             strict_reads: true,
             adaptive_reorg: None,
             ingest: IngestConfig::default(),
@@ -476,6 +558,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style write-retry-policy override.
+    pub fn with_write_retry(mut self, policy: RetryPolicy) -> Self {
+        self.write_retry = policy;
+        self
+    }
+
+    /// Builder-style health-threshold override.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
     /// Builder-style strict-reads toggle.
     pub fn with_strict_reads(mut self, strict: bool) -> Self {
         self.strict_reads = strict;
@@ -517,6 +611,9 @@ mod tests {
         assert_eq!(c.parallel_cutoff, artsparse_tensor::par::DEFAULT_CUTOFF);
         assert_eq!(c.retry, RetryPolicy::default());
         assert_eq!(c.retry.max_attempts, 3);
+        assert_eq!(c.write_retry, RetryPolicy::default());
+        assert_eq!(c.health, HealthConfig::default());
+        assert!(c.health.degrade_after < c.health.read_only_after);
         assert!(c.strict_reads);
         assert!(c.adaptive_reorg.is_none());
         assert_eq!(c.ingest, IngestConfig::default());
@@ -533,6 +630,12 @@ mod tests {
             .with_threads(3)
             .with_parallel_cutoff(128)
             .with_retry(RetryPolicy::none())
+            .with_write_retry(RetryPolicy::none())
+            .with_health(HealthConfig {
+                degrade_after: 1,
+                read_only_after: 2,
+                probe_interval_ms: 10,
+            })
             .with_strict_reads(false);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
         assert_eq!(c.effective_parallelism(), 2);
@@ -540,6 +643,8 @@ mod tests {
         assert_eq!(c.commit_mode, CommitMode::Direct);
         assert!(c.telemetry);
         assert_eq!(c.retry.attempts(), 1);
+        assert_eq!(c.write_retry.attempts(), 1);
+        assert_eq!(c.health.read_only_after, 2);
         assert!(!c.strict_reads);
         let p = c.parallelism();
         assert_eq!(p.threads, 3);
@@ -611,10 +716,15 @@ mod tests {
             flush_bytes: 64,
             flush_interval_ms: 5,
             wal: false,
+            ..Default::default()
         };
         let c = EngineConfig::default().with_ingest(i);
         assert_eq!(c.ingest, i);
         assert!(!c.ingest.wal);
+        let d = IngestConfig::default();
+        assert!(d.max_buffered_bytes > d.flush_bytes, "caps sit above flush");
+        assert!(d.max_wal_backlog_bytes > 0);
+        assert!(d.backpressure_resume_pct <= 100);
 
         let s = SchedulerConfig::default();
         assert!(s.tick_ms > 0);

@@ -130,6 +130,94 @@ struct SchedulerHealth {
     last_error: parking_lot::Mutex<Option<(String, u64)>>,
 }
 
+/// Write-path health of the engine, driven by consecutive write
+/// failures (see [`HealthConfig`](crate::config::HealthConfig)).
+///
+/// The ladder is `Healthy → Degraded → ReadOnly`; any successful write
+/// (including a recovery probe) climbs straight back to `Healthy`. In
+/// `ReadOnly` the engine refuses new writes with a typed
+/// [`ReadOnly`](crate::error::StorageError::ReadOnly) error while reads
+/// and every previously acked batch keep working; recovery probes test
+/// the device so the engine heals automatically once the fault clears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthState {
+    /// Writes are succeeding (or none have been attempted).
+    #[default]
+    Healthy,
+    /// Recent writes failed past their retry budget; writes are still
+    /// admitted but the engine is one step from read-only.
+    Degraded,
+    /// Too many consecutive write failures: new writes are refused,
+    /// reads and acked batches are preserved, probes drive recovery.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Stable lowercase name (used in journal events and dashboards).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::ReadOnly => "read-only",
+        }
+    }
+
+    /// Numeric encoding of the state for the `artsparse_health_state`
+    /// gauge (0 healthy, 1 degraded, 2 read-only).
+    pub fn gauge_value(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::ReadOnly => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::ReadOnly,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Live write-path health counters: the state machine's current rung,
+/// the consecutive-failure count driving it, admission hysteresis flags,
+/// and how many writes were shed.
+#[derive(Default)]
+struct WriteHealth {
+    /// Encoded [`HealthState`] (0 healthy, 1 degraded, 2 read-only).
+    state: std::sync::atomic::AtomicU32,
+    /// Write failures since the last successful write.
+    consecutive_failures: std::sync::atomic::AtomicU32,
+    /// Writes refused with `Backpressure` or `ReadOnly`.
+    rejections: AtomicU64,
+    /// Admission hysteresis: once the buffer cap trips, stays set until
+    /// occupancy drains below the low watermark.
+    shed_buffer: std::sync::atomic::AtomicBool,
+    /// Same, for the WAL backlog cap.
+    shed_wal: std::sync::atomic::AtomicBool,
+    /// Telemetry-clock nanoseconds of the last recovery probe (0:
+    /// never) — rate limits probing to `probe_interval_ms`.
+    last_probe_ns: AtomicU64,
+}
+
+/// Byte accounting of live WAL blobs this engine acked: per-name sizes
+/// plus their running total, mutated under one lock so admission checks
+/// and charges are atomic. Blobs discovered at open are replayed (and
+/// deleted) before ingest starts, so they never appear here.
+#[derive(Default)]
+struct WalBacklog {
+    sizes: HashMap<String, u64>,
+    total: u64,
+}
+
 /// What the recovery pass found and fixed, plus the epoch markers alive
 /// on the store — the commit-protocol health counters
 /// [`StorageEngine::stats`] reports.
@@ -198,6 +286,11 @@ pub struct StorageEngine<B: StorageBackend> {
     /// Health of the background ingest scheduler, reported into
     /// [`StorageEngine::stats`] and the live registry.
     sched_health: SchedulerHealth,
+    /// Write-path health state machine + admission-control counters.
+    health: WriteHealth,
+    /// Byte accounting of live WAL blobs, for the
+    /// [`max_wal_backlog_bytes`](crate::config::IngestConfig) cap.
+    wal_backlog: parking_lot::Mutex<WalBacklog>,
 }
 
 /// Sentinel fragment name a [`ReadHit`] carries when the hit was served
@@ -422,6 +515,8 @@ impl<B: StorageBackend> StorageEngine<B> {
             wal_retire_queue: parking_lot::Mutex::new(Vec::new()),
             plane,
             sched_health: SchedulerHealth::default(),
+            health: WriteHealth::default(),
+            wal_backlog: parking_lot::Mutex::new(WalBacklog::default()),
         };
         // WAL blobs left behind by a crashed engine hold acked ingest
         // batches that never reached a fragment: replay them now (and
@@ -617,6 +712,27 @@ impl<B: StorageBackend> StorageEngine<B> {
             now_ns().saturating_sub(last_run) as f64 / 1e9
         });
 
+        reg.gauge(
+            "artsparse_health_state",
+            "Write-path health state (0: healthy, 1: degraded, 2: read-only).",
+        )
+        .set(self.health().gauge_value() as f64);
+        reg.gauge(
+            "artsparse_consecutive_write_failures",
+            "Consecutive write failures driving the health state machine.",
+        )
+        .set(self.health.consecutive_failures.load(Ordering::SeqCst) as f64);
+        reg.gauge(
+            "artsparse_wal_backlog_bytes",
+            "Bytes of acked, unretired WAL blobs (bounded by max_wal_backlog_bytes).",
+        )
+        .set(self.wal_backlog.lock().total as f64);
+        reg.counter(
+            "artsparse_backpressure_rejections_total",
+            "Writes refused with a typed Backpressure or ReadOnly rejection.",
+        )
+        .record_total(self.health.rejections.load(Ordering::Relaxed));
+
         if let Some(ratio) = plane.read_amplification() {
             reg.gauge(
                 "artsparse_read_amplification",
@@ -659,6 +775,254 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// The most recent scheduler failure, as `(error chain, unix ms)`.
     pub fn scheduler_last_error(&self) -> Option<(String, u64)> {
         self.sched_health.last_error.lock().clone()
+    }
+
+    /// The write path's current [`HealthState`].
+    pub fn health(&self) -> HealthState {
+        HealthState::from_u32(self.health.state.load(Ordering::SeqCst))
+    }
+
+    /// Bytes of live WAL blobs this engine acked and has not yet retired
+    /// (what the [`max_wal_backlog_bytes`] cap bounds).
+    ///
+    /// [`max_wal_backlog_bytes`]: crate::config::IngestConfig::max_wal_backlog_bytes
+    pub fn wal_backlog_bytes(&self) -> u64 {
+        self.wal_backlog.lock().total
+    }
+
+    /// Writes refused so far with a typed `Backpressure` or `ReadOnly`
+    /// rejection (load the engine shed by design, not failures).
+    pub fn write_rejections(&self) -> u64 {
+        self.health.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Record one successful backend write: the consecutive-failure
+    /// count resets, and an engine that had walked down the health
+    /// ladder climbs straight back to `Healthy` (journaling the
+    /// recovery).
+    fn note_write_success(&self) {
+        self.health.consecutive_failures.store(0, Ordering::SeqCst);
+        let prev = self.health.state.swap(0, Ordering::SeqCst);
+        if prev != 0 {
+            if let Some(plane) = &self.plane {
+                plane.event(
+                    Severity::Info,
+                    "health_transition",
+                    format!(
+                        "write path recovered: {} -> healthy",
+                        HealthState::from_u32(prev)
+                    ),
+                    current_trace_id(),
+                );
+            }
+        }
+    }
+
+    /// Record one write that failed past its retry budget and walk the
+    /// health ladder when the consecutive-failure count crosses a
+    /// threshold (journaling every transition). Overload rejections are
+    /// not failures and never come through here.
+    fn note_write_failure(&self, error: &StorageError) {
+        let failures = self
+            .health
+            .consecutive_failures
+            .fetch_add(1, Ordering::SeqCst)
+            .saturating_add(1);
+        let hc = &self.config.health;
+        let target = if failures >= hc.read_only_after.max(1) {
+            HealthState::ReadOnly
+        } else if failures >= hc.degrade_after.max(1) {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        let prev = self.health();
+        if target > prev {
+            self.health
+                .state
+                .store(target.gauge_value() as u32, Ordering::SeqCst);
+            if let Some(plane) = &self.plane {
+                let severity = match target {
+                    HealthState::ReadOnly => Severity::Error,
+                    _ => Severity::Warn,
+                };
+                plane.event(
+                    severity,
+                    "health_transition",
+                    format!(
+                        "write path {prev} -> {target} after {failures} consecutive \
+                         write failure(s): {}",
+                        error.chain_string()
+                    ),
+                    current_trace_id(),
+                );
+            }
+        }
+    }
+
+    /// Test the device with one probe write when the engine is not
+    /// `Healthy`, rate-limited to
+    /// [`probe_interval_ms`](crate::config::HealthConfig::probe_interval_ms).
+    /// A probe that lands resets the engine to `Healthy` (recovery is
+    /// automatic); one that fails walks the ladder further down. The
+    /// background scheduler calls this every tick; engines without a
+    /// scheduler can call it directly. Returns the state after the
+    /// probe.
+    pub fn probe_health(&self) -> HealthState {
+        let state = self.health();
+        if state == HealthState::Healthy {
+            return state;
+        }
+        let interval_ns = self
+            .config
+            .health
+            .probe_interval_ms
+            .saturating_mul(1_000_000);
+        let now = now_ns();
+        let last = self.health.last_probe_ns.load(Ordering::SeqCst);
+        if last != 0 && now.saturating_sub(last) < interval_ns {
+            return state;
+        }
+        self.health.last_probe_ns.store(now, Ordering::SeqCst);
+        // The probe blob uses the staging suffix: invisible to fragment
+        // discovery, and recovery sweeps it should this process die
+        // between the put and the delete.
+        let name = format!("probe-{:08}{STAGING_SUFFIX}", self.epoch);
+        match self.backend.put_atomic(&name, b"artsparse write probe") {
+            Ok(()) => {
+                let _ = self.backend.delete(&name);
+                self.note_write_success();
+            }
+            Err(e) => self.note_write_failure(&e),
+        }
+        self.health()
+    }
+
+    /// Reject callers outright while the engine is `ReadOnly`.
+    fn check_writable(&self) -> Result<()> {
+        if self.health() == HealthState::ReadOnly {
+            self.health.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::ReadOnly {
+                consecutive_failures: self.health.consecutive_failures.load(Ordering::SeqCst),
+            });
+        }
+        Ok(())
+    }
+
+    /// The low watermark for a tripped cap: admission reopens only below
+    /// this occupancy.
+    fn low_watermark(&self, cap: u64) -> u64 {
+        cap.saturating_mul(self.config.ingest.backpressure_resume_pct.min(100) as u64) / 100
+    }
+
+    /// Admit `incoming` value bytes against the buffer byte cap,
+    /// reserving them in the buffer on success (consumed by the append,
+    /// cancelled if the WAL ack fails). Applies shed hysteresis: once
+    /// the cap trips, admission stays closed until occupancy drains to
+    /// the low watermark.
+    fn admit_buffer(&self, incoming: usize) -> Result<()> {
+        let cap = self.config.ingest.max_buffered_bytes;
+        if cap == 0 {
+            self.buffer.try_reserve(incoming, 0);
+            return Ok(());
+        }
+        let occupancy = self.buffer.stats().value_bytes as u64;
+        if self.health.shed_buffer.load(Ordering::SeqCst) {
+            if occupancy <= self.low_watermark(cap as u64) {
+                self.health.shed_buffer.store(false, Ordering::SeqCst);
+            } else {
+                self.health.rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::Backpressure {
+                    resource: "buffer",
+                    occupancy,
+                    limit: cap as u64,
+                });
+            }
+        }
+        if !self.buffer.try_reserve(incoming, cap) {
+            if !self.health.shed_buffer.swap(true, Ordering::SeqCst) {
+                if let Some(plane) = &self.plane {
+                    plane.event(
+                        Severity::Warn,
+                        "backpressure",
+                        format!(
+                            "ingest buffer holds {occupancy} of {cap} bytes: shedding \
+                             until it drains below {}",
+                            self.low_watermark(cap as u64)
+                        ),
+                        current_trace_id(),
+                    );
+                }
+            }
+            self.health.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Backpressure {
+                resource: "buffer",
+                occupancy,
+                limit: cap as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admit (and atomically charge) one WAL blob of `len` bytes against
+    /// the WAL backlog cap, under the same shed hysteresis as the buffer
+    /// cap. The charge is reversed by [`uncharge_wal`] when the put
+    /// fails, or on retirement.
+    ///
+    /// [`uncharge_wal`]: StorageEngine::uncharge_wal
+    fn admit_wal(&self, name: &str, len: u64) -> Result<()> {
+        let cap = self.config.ingest.max_wal_backlog_bytes;
+        let mut backlog = self.wal_backlog.lock();
+        if cap > 0 {
+            if self.health.shed_wal.load(Ordering::SeqCst) {
+                if backlog.total <= self.low_watermark(cap) {
+                    self.health.shed_wal.store(false, Ordering::SeqCst);
+                } else {
+                    self.health.rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(StorageError::Backpressure {
+                        resource: "wal",
+                        occupancy: backlog.total,
+                        limit: cap,
+                    });
+                }
+            }
+            if backlog.total.saturating_add(len) > cap {
+                if !self.health.shed_wal.swap(true, Ordering::SeqCst) {
+                    if let Some(plane) = &self.plane {
+                        plane.event(
+                            Severity::Warn,
+                            "backpressure",
+                            format!(
+                                "WAL backlog holds {} of {cap} bytes: shedding until \
+                                 it drains below {}",
+                                backlog.total,
+                                self.low_watermark(cap)
+                            ),
+                            current_trace_id(),
+                        );
+                    }
+                }
+                self.health.rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::Backpressure {
+                    resource: "wal",
+                    occupancy: backlog.total,
+                    limit: cap,
+                });
+            }
+        }
+        backlog.sizes.insert(name.to_string(), len);
+        backlog.total += len;
+        Ok(())
+    }
+
+    /// Reverse a WAL backlog charge (the put failed, or the blob was
+    /// retired). Unknown names — blobs replayed at open, which were
+    /// never charged — are a no-op.
+    fn uncharge_wal(&self, name: &str) {
+        let mut backlog = self.wal_backlog.lock();
+        if let Some(len) = backlog.sizes.remove(name) {
+            backlog.total = backlog.total.saturating_sub(len);
+        }
     }
 
     /// Operation counter shared by all builds/reads on this engine.
@@ -757,6 +1121,7 @@ impl<B: StorageBackend> StorageEngine<B> {
     /// sweeps — readers, catalog reloads, and concurrent engines never
     /// observe a torn fragment.
     pub fn write(&self, coords: &CoordBuffer, values: &[u8]) -> Result<WriteReport> {
+        self.check_writable()?;
         // A plain write is strictly newer than everything buffered:
         // group-commit the buffer first so its fragment takes a lower
         // sequence number and this write keeps last-write-wins
@@ -905,22 +1270,27 @@ impl<B: StorageBackend> StorageEngine<B> {
     ) -> Result<()> {
         if self.config.commit_mode == crate::config::CommitMode::Direct && !force_staged {
             let _commit = Span::enter(&self.recorder, SpanKind::WriteCommit);
-            return self.backend.put_atomic(name, frag);
+            let outcome = self.with_write_retries(name, || self.backend.put_atomic(name, frag));
+            match &outcome {
+                Ok(()) => self.note_write_success(),
+                Err(e) => self.note_write_failure(e),
+            }
+            return outcome;
         }
         let staged = staged_name(name);
         self.inflight.lock().insert(staged.clone());
         let commit = (|| -> Result<()> {
             {
                 let _stage = Span::enter(&self.recorder, SpanKind::WriteStage);
-                self.backend.put(&staged, frag)?;
+                self.with_write_retries(&staged, || self.backend.put(&staged, frag))?;
             }
             if let Some(body) = tombstone {
                 // The delete set must be durable *before* the commit:
                 // a crash right after the rename must still delete the
                 // sources, or the store doubles its points.
                 let _tomb = Span::enter(&self.recorder, SpanKind::ConsolidateTombstone);
-                self.backend
-                    .put_atomic(&tombstone_name(name), body.as_bytes())?;
+                let tomb = tombstone_name(name);
+                self.with_write_retries(&tomb, || self.backend.put_atomic(&tomb, body.as_bytes()))?;
             }
             let _commit = Span::enter(
                 &self.recorder,
@@ -930,7 +1300,7 @@ impl<B: StorageBackend> StorageEngine<B> {
                     SpanKind::WriteCommit
                 },
             );
-            self.backend.rename(&staged, name)
+            self.with_write_retries(name, || self.backend.rename(&staged, name))
         })();
         self.inflight.lock().remove(&staged);
         if commit.is_err() {
@@ -940,6 +1310,10 @@ impl<B: StorageBackend> StorageEngine<B> {
             if tombstone.is_some() {
                 let _ = self.backend.delete(&tombstone_name(name));
             }
+        }
+        match &commit {
+            Ok(()) => self.note_write_success(),
+            Err(e) => self.note_write_failure(e),
         }
         commit
     }
@@ -997,6 +1371,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         if coords.is_empty() {
             return Ok(0);
         }
+        self.check_writable()?;
         let n = coords.len();
         let mut addrs = Vec::with_capacity(n);
         let mut flat = Vec::with_capacity(n * self.shape.ndim());
@@ -1004,31 +1379,18 @@ impl<B: StorageBackend> StorageEngine<B> {
             addrs.push(self.shape.linearize(p)?);
             flat.extend_from_slice(p);
         }
-        let wal = if self.config.ingest.wal {
-            let _wal_span = Span::enter(&self.recorder, SpanKind::IngestWal);
-            let blob = crate::wal::encode_record(
-                self.shape.ndim(),
-                self.elem_size as usize,
-                &flat,
-                values,
-            )?;
-            // The WAL draws from the same id sequence as fragments, so
-            // the name fixes the batch's place in the store's total
-            // (seq, epoch, cgen) precedence order at ack time. Replay
-            // commits the batch as a fragment under that very identity,
-            // which is what keeps replay safe no matter who performs it
-            // or when (see [`StorageEngine::replay_wal`]).
-            let name =
-                crate::wal::wal_name(self.next_id.fetch_add(1, Ordering::SeqCst), self.epoch);
-            // The ack point: the batch is durable once this atomic put
-            // lands. A put that dies mid-write persists nothing (or a
-            // torn prefix the CRC framing rejects at replay), and the
-            // error propagates before anything reaches the buffer.
-            self.backend.put_atomic(&name, &blob)?;
-            charge(|io| io.wal_bytes += blob.len() as u64);
-            Some(name)
-        } else {
-            None
+        // Admission control: reserve the batch's value bytes against the
+        // buffer cap *before* the WAL put, so two racing overweight
+        // batches cannot both slip under it. The reservation converts
+        // into real occupancy at the append below, or is cancelled if
+        // the WAL ack fails.
+        self.admit_buffer(values.len())?;
+        let wal = match self.wal_append(&flat, values) {
+            Ok(wal) => wal,
+            Err(e) => {
+                self.buffer.cancel_reservation(values.len());
+                return Err(e);
+            }
         };
         self.buffer.append(addrs, flat, values.to_vec(), wal);
         let stats = self.buffer.stats();
@@ -1038,6 +1400,43 @@ impl<B: StorageBackend> StorageEngine<B> {
             self.flush()?;
         }
         Ok(n)
+    }
+
+    /// Durably ack one ingest batch: encode the WAL record, admit it
+    /// against the backlog cap, and land it with write retries. Returns
+    /// the blob name (`None` when the WAL is disabled).
+    fn wal_append(&self, flat: &[u64], values: &[u8]) -> Result<Option<String>> {
+        if !self.config.ingest.wal {
+            return Ok(None);
+        }
+        let _wal_span = Span::enter(&self.recorder, SpanKind::IngestWal);
+        let blob =
+            crate::wal::encode_record(self.shape.ndim(), self.elem_size as usize, flat, values)?;
+        // The WAL draws from the same id sequence as fragments, so
+        // the name fixes the batch's place in the store's total
+        // (seq, epoch, cgen) precedence order at ack time. Replay
+        // commits the batch as a fragment under that very identity,
+        // which is what keeps replay safe no matter who performs it
+        // or when (see [`StorageEngine::replay_wal`]).
+        let name = crate::wal::wal_name(self.next_id.fetch_add(1, Ordering::SeqCst), self.epoch);
+        self.admit_wal(&name, blob.len() as u64)?;
+        // The ack point: the batch is durable once this atomic put
+        // lands (re-attempted through the write retry policy for
+        // transient device faults). A put that dies mid-write persists
+        // nothing (or a torn prefix the CRC framing rejects at replay),
+        // and the error propagates before anything reaches the buffer.
+        match self.with_write_retries(&name, || self.backend.put_atomic(&name, &blob)) {
+            Ok(()) => {
+                self.note_write_success();
+                charge(|io| io.wal_bytes += blob.len() as u64);
+                Ok(Some(name))
+            }
+            Err(e) => {
+                self.uncharge_wal(&name);
+                self.note_write_failure(&e);
+                Err(e)
+            }
+        }
     }
 
     /// Typed streaming-ingest convenience.
@@ -1096,9 +1495,30 @@ impl<B: StorageBackend> StorageEngine<B> {
         for name in pending {
             match self.backend.delete(&name) {
                 Err(e) if !e.is_not_found() => queue.push(name),
-                _ => {}
+                // Gone (or never there): the blob no longer counts
+                // against the WAL backlog cap.
+                _ => self.uncharge_wal(&name),
             }
         }
+    }
+
+    /// Retry retiring WAL blobs whose deletion failed earlier, without
+    /// flushing anything. The background scheduler calls this every tick
+    /// and once more on shutdown, so orphans from a failed flush-time
+    /// delete drain even when no further flush ever runs (previously
+    /// they waited for the *next* flush, indefinitely on a quiet
+    /// engine).
+    pub fn retire_pending_wals(&self) {
+        self.retire_wals(Vec::new());
+    }
+
+    /// Orderly shutdown for engines without a scheduler: group-commit
+    /// whatever is buffered and retry any queued WAL retirements. Safe
+    /// to call more than once; the engine stays usable afterwards.
+    pub fn shutdown(&self) -> Result<()> {
+        let report = self.flush();
+        self.retire_pending_wals();
+        report.map(|_| ())
     }
 
     /// Occupancy of the streaming-ingest write buffer.
@@ -1782,6 +2202,40 @@ impl<B: StorageBackend> StorageEngine<B> {
         }
     }
 
+    /// Run a mutating backend call under the write-side
+    /// [`RetryPolicy`](crate::config::RetryPolicy). The same
+    /// transient/permanent split as the read path applies — a flaking
+    /// put or rename is re-attempted with backoff (deterministic jitter
+    /// seeded by the blob name), while a permanent fault (no space,
+    /// corruption) surfaces immediately. Exhausted transient faults wrap
+    /// in [`StorageError::RetriesExhausted`].
+    fn with_write_retries<T>(&self, name: &str, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let policy = &self.config.write_retry;
+        let attempts = policy.attempts();
+        let seed = fnv1a(name.as_bytes());
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < attempts && e.is_transient() => {
+                    charge(|io| io.retries += 1);
+                    let pause = policy.backoff(attempt, seed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+                Err(e) if attempt > 0 && e.is_transient() => {
+                    return Err(StorageError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        source: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Every scanned fragment must store the same tensor: same shape
     /// (which implies same dimensionality) as this engine.
     fn check_entry_shape(&self, entry: &CatalogEntry) -> Result<()> {
@@ -1838,6 +2292,16 @@ pub struct StoreStats {
     pub scheduler_last_error: Option<String>,
     /// Unix milliseconds of that failure.
     pub scheduler_last_error_at_ms: Option<u64>,
+    /// Write-path health state (`Healthy`, `Degraded`, or `ReadOnly`).
+    pub health: HealthState,
+    /// Consecutive write failures driving the health state machine.
+    pub consecutive_write_failures: u32,
+    /// Writes refused so far with a typed `Backpressure` or `ReadOnly`
+    /// rejection.
+    pub backpressure_rejections: u64,
+    /// Bytes of acked, unretired WAL blobs counted against
+    /// [`max_wal_backlog_bytes`](crate::config::IngestConfig::max_wal_backlog_bytes).
+    pub wal_backlog_bytes: u64,
 }
 
 impl<B: StorageBackend> StorageEngine<B> {
@@ -1859,6 +2323,10 @@ impl<B: StorageBackend> StorageEngine<B> {
             stats.scheduler_last_error = Some(message);
             stats.scheduler_last_error_at_ms = Some(at_ms);
         }
+        stats.health = self.health();
+        stats.consecutive_write_failures = self.health.consecutive_failures.load(Ordering::SeqCst);
+        stats.backpressure_rejections = self.health.rejections.load(Ordering::Relaxed);
+        stats.wal_backlog_bytes = self.wal_backlog.lock().total;
         for entry in self.catalog.snapshot_all() {
             let meta = &entry.meta;
             stats.fragments += 1;
@@ -2213,7 +2681,7 @@ impl<B: StorageBackend> StorageEngine<B> {
             // the source as vanished instead of failing on NotFound.
             self.catalog.remove(name);
             self.cache.invalidate(name);
-            match self.backend.delete(name) {
+            match self.with_write_retries(name, || self.backend.delete(name)) {
                 Err(e) if !e.is_not_found() => return Err(e),
                 _ => {}
             }
@@ -2345,7 +2813,7 @@ impl<B: StorageBackend> StorageEngine<B> {
         let _sweep = Span::enter(&self.recorder, SpanKind::ConsolidateSweep);
         self.catalog.remove(&entry.name);
         self.cache.invalidate(&entry.name);
-        match self.backend.delete(&entry.name) {
+        match self.with_write_retries(&entry.name, || self.backend.delete(&entry.name)) {
             Err(e) if !e.is_not_found() => return Err(e),
             _ => {}
         }
@@ -3629,5 +4097,276 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].code, "scheduler_error");
         assert!(events[0].message.contains("synthetic failure"));
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_to_success() {
+        use crate::config::RetryPolicy;
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default().with_write_retry(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter_pct: 0,
+            }),
+        )
+        .unwrap();
+        // Two flaky puts, then the device heals: the WAL append lands on
+        // the third attempt and the batch is acked normally.
+        e.backend().fail_next_writes(2);
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        assert_eq!(e.backend().write_faults_remaining(), 0);
+        assert_eq!(e.health(), HealthState::Healthy);
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[1, 1]])).unwrap(),
+            vec![Some(1.0)]
+        );
+        // Plain writes retry through commit_fragment too.
+        e.backend().fail_next_writes(2);
+        e.write_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        assert_eq!(e.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn write_failures_walk_the_health_ladder_and_probes_recover_it() {
+        use crate::config::{HealthConfig, RetryPolicy};
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default()
+                .with_write_retry(RetryPolicy::none())
+                .with_health(HealthConfig {
+                    degrade_after: 1,
+                    read_only_after: 2,
+                    probe_interval_ms: 0,
+                })
+                .with_observability(crate::config::ObservabilityConfig::default()),
+        )
+        .unwrap();
+        // One acked batch before the device breaks.
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+
+        e.backend().fail_next_writes(u64::MAX);
+        // First failed WAL append: Healthy -> Degraded. The batch was
+        // never acked, so it must not be visible.
+        assert!(e.ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0]).is_err());
+        assert_eq!(e.health(), HealthState::Degraded);
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[2, 2]])).unwrap(),
+            vec![None]
+        );
+        // Second: Degraded -> ReadOnly.
+        assert!(e.ingest_points::<f64>(&coords(&[[3, 3]]), &[3.0]).is_err());
+        assert_eq!(e.health(), HealthState::ReadOnly);
+
+        // ReadOnly refuses new writes with a typed, permanent rejection
+        // without touching the device...
+        e.backend().disarm();
+        let err = e
+            .ingest_points::<f64>(&coords(&[[4, 4]]), &[4.0])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ReadOnly { .. }), "{err}");
+        assert!(err.is_rejection() && !err.is_transient());
+        let err = e
+            .write_points::<f64>(&coords(&[[4, 4]]), &[4.0])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ReadOnly { .. }), "{err}");
+        // ...but keeps serving reads, including the acked batch.
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[1, 1]])).unwrap(),
+            vec![Some(1.0)]
+        );
+
+        // The device healed (disarm above): one probe recovers the
+        // engine, and writes flow again.
+        assert_eq!(e.probe_health(), HealthState::Healthy);
+        e.ingest_points::<f64>(&coords(&[[5, 5]]), &[5.0]).unwrap();
+        let s = e.stats().unwrap();
+        assert_eq!(s.health, HealthState::Healthy);
+        assert_eq!(s.consecutive_write_failures, 0);
+        assert!(s.backpressure_rejections >= 2);
+
+        // Every transition was journaled.
+        let events = e.observability().unwrap().journal().drain_new();
+        let transitions: Vec<&str> = events
+            .iter()
+            .filter(|ev| ev.code == "health_transition")
+            .map(|ev| ev.message.as_str())
+            .collect();
+        assert!(
+            transitions.iter().any(|m| m.contains("degraded")),
+            "{transitions:?}"
+        );
+        assert!(
+            transitions.iter().any(|m| m.contains("read-only")),
+            "{transitions:?}"
+        );
+        assert!(
+            transitions.iter().any(|m| m.contains("recovered")),
+            "{transitions:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_space_is_permanent_and_parks_the_engine_read_only() {
+        use crate::config::{HealthConfig, RetryPolicy};
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default()
+                // A generous retry budget must NOT spin on ENOSPC: the
+                // fault is permanent, so each ingest fails in one attempt.
+                .with_write_retry(RetryPolicy::default())
+                .with_health(HealthConfig {
+                    degrade_after: 1,
+                    read_only_after: 2,
+                    probe_interval_ms: 0,
+                }),
+        )
+        .unwrap();
+        e.backend().set_out_of_space(true);
+        assert!(e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).is_err());
+        assert!(e.ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0]).is_err());
+        assert_eq!(e.health(), HealthState::ReadOnly);
+        // Probes keep failing while the device is full...
+        assert_eq!(e.probe_health(), HealthState::ReadOnly);
+        // ...and recover the engine once space frees up.
+        e.backend().set_out_of_space(false);
+        assert_eq!(e.probe_health(), HealthState::Healthy);
+        e.ingest_points::<f64>(&coords(&[[3, 3]]), &[3.0]).unwrap();
+    }
+
+    #[test]
+    fn buffer_cap_backpressure_trips_and_resumes_after_a_flush() {
+        use crate::config::IngestConfig;
+        let e = engine(FormatKind::Linear).with_config(EngineConfig::default().with_ingest(
+            IngestConfig {
+                flush_points: usize::MAX,
+                flush_bytes: usize::MAX,
+                wal: false,
+                max_buffered_bytes: 64, // eight f64 records
+                backpressure_resume_pct: 50,
+                ..Default::default()
+            },
+        ));
+        let pts: Vec<[u64; 2]> = (0..8).map(|i| [i, i]).collect();
+        let vals: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        e.ingest_points::<f64>(&coords(&pts), &vals).unwrap();
+        // The buffer is exactly at the cap: one more byte is refused
+        // with a typed Backpressure naming the resource and occupancy.
+        let err = e
+            .ingest_points::<f64>(&coords(&[[9, 9]]), &[9.0])
+            .unwrap_err();
+        match &err {
+            StorageError::Backpressure {
+                resource,
+                occupancy,
+                limit,
+            } => {
+                assert_eq!(*resource, "buffer");
+                assert_eq!((*occupancy, *limit), (64, 64));
+            }
+            other => panic!("expected backpressure, got {other}"),
+        }
+        assert!(err.is_rejection() && !err.is_transient());
+        assert!(e.stats().unwrap().backpressure_rejections >= 1);
+        // Nothing from the rejected batch leaked in.
+        assert_eq!(e.buffer_stats().value_bytes, 64);
+        // Draining the buffer reopens admission (occupancy 0 is under
+        // the 50% resume watermark).
+        e.flush().unwrap();
+        e.ingest_points::<f64>(&coords(&[[9, 9]]), &[9.0]).unwrap();
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[9, 9]])).unwrap(),
+            vec![Some(9.0)]
+        );
+    }
+
+    #[test]
+    fn wal_backlog_cap_rejects_until_blobs_retire() {
+        use crate::config::IngestConfig;
+        // Size one WAL blob exactly, then cap the backlog at 1.5 blobs:
+        // the first batch is admitted, the second refused.
+        let one_blob = crate::wal::encode_record(2, 8, &[1, 1], &1.0f64.to_le_bytes())
+            .unwrap()
+            .len() as u64;
+        let e = engine(FormatKind::Linear).with_config(EngineConfig::default().with_ingest(
+            IngestConfig {
+                flush_points: usize::MAX,
+                flush_bytes: usize::MAX,
+                wal: true,
+                max_wal_backlog_bytes: one_blob + one_blob / 2,
+                backpressure_resume_pct: 50,
+                ..Default::default()
+            },
+        ));
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        assert_eq!(e.wal_backlog_bytes(), one_blob);
+        let err = e
+            .ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0])
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                StorageError::Backpressure {
+                    resource: "wal",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A group commit retires the blob; the backlog drains to zero
+        // and admission reopens.
+        e.flush().unwrap();
+        assert_eq!(e.wal_backlog_bytes(), 0);
+        e.ingest_points::<f64>(&coords(&[[2, 2]]), &[2.0]).unwrap();
+        assert_eq!(e.wal_backlog_bytes(), one_blob);
+        // The rejected batch was never acked and never became visible.
+        assert_eq!(
+            e.read_values::<f64>(&coords(&[[2, 2]])).unwrap(),
+            vec![Some(2.0)]
+        );
+    }
+
+    #[test]
+    fn engine_shutdown_flushes_and_retires() {
+        use crate::faults::FailingBackend;
+        let e = StorageEngine::open_with(
+            FailingBackend::new(MemBackend::new()),
+            FormatKind::Linear,
+            Shape::new(vec![16, 16]).unwrap(),
+            8,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        e.ingest_points::<f64>(&coords(&[[1, 1]]), &[1.0]).unwrap();
+        // Strand the WAL blob: the flush commits but cannot delete it.
+        e.backend().fail_deletes(true);
+        e.flush().unwrap();
+        let wals = |e: &StorageEngine<FailingBackend<MemBackend>>| {
+            e.backend()
+                .list()
+                .unwrap()
+                .into_iter()
+                .filter(|n| n.ends_with(".wal"))
+                .count()
+        };
+        assert_eq!(wals(&e), 1);
+        e.backend().disarm();
+        // Shutdown drains the orphan without another flush trigger.
+        e.shutdown().unwrap();
+        assert_eq!(wals(&e), 0);
+        assert_eq!(e.wal_backlog_bytes(), 0);
     }
 }

@@ -69,6 +69,27 @@ pub enum StorageError {
         /// The error the last attempt failed with.
         source: Box<StorageError>,
     },
+    /// Admission control rejected an ingest batch: accepting it would
+    /// push a buffered resource past its configured hard cap (see
+    /// [`IngestConfig`](crate::config::IngestConfig)). Nothing was acked
+    /// — the caller may retry after backing off, and admission reopens
+    /// once the resource drains below its low watermark.
+    Backpressure {
+        /// Which resource is saturated (`"buffer"` or `"wal"`).
+        resource: &'static str,
+        /// Current occupancy of that resource, in bytes.
+        occupancy: u64,
+        /// The configured cap, in bytes.
+        limit: u64,
+    },
+    /// The engine's health state machine has entered `ReadOnly` after
+    /// repeated write failures: new writes are refused, reads and every
+    /// previously acked batch are preserved, and recovery probes keep
+    /// testing the device. Nothing was acked.
+    ReadOnly {
+        /// Consecutive write failures that forced the transition.
+        consecutive_failures: u32,
+    },
     /// The engine was asked to mix incompatible tensors.
     Mismatch {
         /// Description of the mismatch.
@@ -152,6 +173,18 @@ impl StorageError {
         }
     }
 
+    /// Whether this is an overload rejection —
+    /// [`StorageError::Backpressure`] or [`StorageError::ReadOnly`] —
+    /// i.e. the engine refused the write *by design* and nothing was
+    /// acked. Callers distinguishing shed load from genuine failures
+    /// (and the torture harness) key off this.
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Backpressure { .. } | StorageError::ReadOnly { .. }
+        )
+    }
+
     /// Whether this error is (or wraps, through retry exhaustion) a
     /// checksum mismatch — the signature of data corruption as opposed to
     /// availability problems.
@@ -200,6 +233,22 @@ impl fmt::Display for StorageError {
             StorageError::RetriesExhausted { attempts, .. } => {
                 write!(f, "operation still failing after {attempts} attempts")
             }
+            StorageError::Backpressure {
+                resource,
+                occupancy,
+                limit,
+            } => write!(
+                f,
+                "backpressure: ingest {resource} holds {occupancy} bytes \
+                 against a {limit}-byte cap; retry after the store drains"
+            ),
+            StorageError::ReadOnly {
+                consecutive_failures,
+            } => write!(
+                f,
+                "engine is read-only after {consecutive_failures} consecutive \
+                 write failures; reads and acked batches are preserved"
+            ),
             StorageError::Mismatch { reason } => write!(f, "mismatch: {reason}"),
             StorageError::ElementSizeMismatch { expected, found } => write!(
                 f,
@@ -312,6 +361,28 @@ mod tests {
         ] {
             assert!(!permanent.is_transient(), "{permanent}");
         }
+    }
+
+    #[test]
+    fn overload_rejections_are_typed_and_permanent() {
+        let bp = StorageError::Backpressure {
+            resource: "buffer",
+            occupancy: 2048,
+            limit: 1024,
+        };
+        assert!(bp.is_rejection());
+        assert!(!bp.is_transient(), "the caller backs off, not the engine");
+        let msg = bp.to_string();
+        assert!(msg.contains("buffer") && msg.contains("2048") && msg.contains("1024"));
+
+        let ro = StorageError::ReadOnly {
+            consecutive_failures: 5,
+        };
+        assert!(ro.is_rejection() && !ro.is_transient());
+        assert!(ro.to_string().contains("read-only"));
+        assert!(ro.to_string().contains('5'));
+
+        assert!(!StorageError::corrupt("f", "x").is_rejection());
     }
 
     #[test]

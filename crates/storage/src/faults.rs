@@ -9,6 +9,11 @@
 //! work): N-transient-errors-then-succeed, per-read latency, and
 //! deterministic seeded bit-flips in returned payloads — the chaos
 //! primitives the retry/checksum/quarantine machinery is tested against.
+//! **Write faults** (the write-path fault-domain work):
+//! N-transient-errors-then-succeed across every mutating operation, a
+//! persistent `ENOSPC`-style no-space mode, and per-write latency — the
+//! primitives the write retry policy, backpressure, and health state
+//! machine are tortured against.
 //!
 //! Every injected error carries a typed [`InjectedFault`] payload (not
 //! just a formatted string), so tests match on `op`/`transient` via
@@ -69,6 +74,22 @@ fn crash(op: &'static str, name: &str) -> StorageError {
     .into()
 }
 
+/// A persistent no-space fault: `ErrorKind::StorageFull`, which
+/// [`StorageError::is_transient`] classifies as permanent — retrying
+/// cannot make room on a full device.
+fn no_space(op: &'static str, name: &str) -> StorageError {
+    artsparse_metrics::charge(|io| io.fault_trips += 1);
+    std::io::Error::new(
+        std::io::ErrorKind::StorageFull,
+        InjectedFault {
+            op,
+            name: name.to_string(),
+            transient: false,
+        },
+    )
+    .into()
+}
+
 /// A transient read fault: `ErrorKind::Interrupted`, which
 /// [`StorageError::is_transient`] classifies as retryable.
 fn flake(op: &'static str, name: &str) -> StorageError {
@@ -114,6 +135,14 @@ pub struct FailingBackend<B> {
     read_latency_nanos: AtomicU64,
     /// Bit-flip corruption state; `None` = reads return clean bytes.
     corrupt_state: Mutex<Option<u64>>,
+    /// How many upcoming write operations fail with a transient error
+    /// before writes start succeeding again.
+    write_faults_left: AtomicU64,
+    /// When set, every write operation fails permanently with a
+    /// `StorageFull` error (an `ENOSPC` device).
+    out_of_space: AtomicBool,
+    /// Artificial per-write latency (a saturated or throttled device).
+    write_latency_nanos: AtomicU64,
 }
 
 impl<B: StorageBackend> FailingBackend<B> {
@@ -127,6 +156,9 @@ impl<B: StorageBackend> FailingBackend<B> {
             read_faults_left: AtomicU64::new(0),
             read_latency_nanos: AtomicU64::new(0),
             corrupt_state: Mutex::new(None),
+            write_faults_left: AtomicU64::new(0),
+            out_of_space: AtomicBool::new(false),
+            write_latency_nanos: AtomicU64::new(0),
         }
     }
 
@@ -157,6 +189,9 @@ impl<B: StorageBackend> FailingBackend<B> {
         self.read_faults_left.store(0, Ordering::SeqCst);
         self.read_latency_nanos.store(0, Ordering::SeqCst);
         *self.corrupt_state.lock() = None;
+        self.write_faults_left.store(0, Ordering::SeqCst);
+        self.out_of_space.store(false, Ordering::SeqCst);
+        self.write_latency_nanos.store(0, Ordering::SeqCst);
     }
 
     /// Make every `rename` fail (a crash between staging and commit).
@@ -204,6 +239,57 @@ impl<B: StorageBackend> FailingBackend<B> {
         *self.corrupt_state.lock() = None;
     }
 
+    /// Arm `n` transient write faults: the next `n` write operations
+    /// (`put`/`put_atomic`/`put_exclusive`/`rename`/`delete`) fail with
+    /// a retryable error and leave device state untouched, then writes
+    /// succeed again — the N-errors-then-succeed shape the write-side
+    /// retry policy is tested against.
+    pub fn fail_next_writes(&self, n: u64) {
+        self.write_faults_left.store(n, Ordering::SeqCst);
+    }
+
+    /// Transient write faults still armed (not yet consumed).
+    pub fn write_faults_remaining(&self) -> u64 {
+        self.write_faults_left.load(Ordering::SeqCst)
+    }
+
+    /// Simulate a full device: while set, every write operation fails
+    /// permanently with a `StorageFull` (`ENOSPC`-style) error; reads
+    /// are unaffected. Retrying cannot succeed until space is "freed"
+    /// by turning this off.
+    pub fn set_out_of_space(&self, on: bool) {
+        self.out_of_space.store(on, Ordering::SeqCst);
+    }
+
+    /// Add a fixed latency to every write operation (a saturated or
+    /// throttled device). `Duration::ZERO` turns it off.
+    pub fn set_write_latency(&self, latency: Duration) {
+        self.write_latency_nanos
+            .store(latency.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Consume one armed write fault or the no-space condition, if any;
+    /// then apply write latency.
+    fn write_gate(&self, op: &'static str, name: &str) -> Result<()> {
+        if self.out_of_space.load(Ordering::SeqCst) {
+            return Err(no_space(op, name));
+        }
+        let fire = self
+            .write_faults_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                left.checked_sub(1)
+            })
+            .is_ok();
+        if fire {
+            return Err(flake(op, name));
+        }
+        let nanos = self.write_latency_nanos.load(Ordering::SeqCst);
+        if nanos > 0 {
+            std::thread::sleep(Duration::from_nanos(nanos));
+        }
+        Ok(())
+    }
+
     /// Consume one armed read fault, if any; then apply latency.
     fn read_gate(&self, op: &'static str, name: &str) -> Result<()> {
         let fire = self
@@ -243,6 +329,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn put(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_gate("put", name)?;
         match self.take_budget(data.len() as u64) {
             None => self.inner.put(name, data),
             Some(allowed) if allowed >= data.len() as u64 => self.inner.put(name, data),
@@ -255,6 +342,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn put_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_gate("put_atomic", name)?;
         match self.take_budget(data.len() as u64) {
             None => self.inner.put_atomic(name, data),
             Some(allowed) if allowed >= data.len() as u64 => self.inner.put_atomic(name, data),
@@ -264,6 +352,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn put_exclusive(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_gate("put_exclusive", name)?;
         match self.take_budget(data.len() as u64) {
             None => self.inner.put_exclusive(name, data),
             Some(allowed) if allowed >= data.len() as u64 => self.inner.put_exclusive(name, data),
@@ -272,6 +361,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.write_gate("rename", from)?;
         if self.fail_renames.load(Ordering::SeqCst) {
             return Err(crash("rename", from));
         }
@@ -279,6 +369,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn delete(&self, name: &str) -> Result<()> {
+        self.write_gate("delete", name)?;
         if self.fail_deletes.load(Ordering::SeqCst) {
             return Err(crash("delete", name));
         }
@@ -471,6 +562,61 @@ mod tests {
         b.corrupt_reads(7);
         b.put("e", &[]).unwrap();
         assert_eq!(b.get("e").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn write_faults_fire_transiently_then_clear() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.fail_next_writes(3);
+        let err = b.put("x", &[1]).unwrap_err();
+        assert!(err.is_transient(), "armed write faults are retryable");
+        let fault = injected_fault(&err).expect("typed payload");
+        assert_eq!(fault.op, "put");
+        assert!(fault.transient);
+        assert!(!b.exists("x"), "a faulted write leaves no blob");
+        assert!(b.put_atomic("x", &[1]).is_err());
+        assert_eq!(b.write_faults_remaining(), 1);
+        assert!(b.rename("x", "y").is_err());
+        assert_eq!(b.write_faults_remaining(), 0);
+        // The budget is spent: writes succeed again.
+        b.put("x", &[1, 2]).unwrap();
+        b.rename("x", "y").unwrap();
+        b.delete("y").unwrap();
+        // Reads never consume write faults.
+        b.put("z", &[9]).unwrap();
+        b.fail_next_writes(1);
+        assert_eq!(b.get("z").unwrap(), vec![9]);
+        assert_eq!(b.write_faults_remaining(), 1);
+        b.disarm();
+        b.put("w", &[1]).unwrap();
+    }
+
+    #[test]
+    fn out_of_space_is_persistent_and_permanent() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.put("x", &[1]).unwrap();
+        b.set_out_of_space(true);
+        for _ in 0..3 {
+            let err = b.put_atomic("y", &[2]).unwrap_err();
+            assert!(!err.is_transient(), "ENOSPC never retries clean");
+            assert!(!injected_fault(&err).unwrap().transient);
+        }
+        assert!(b.delete("x").is_err());
+        // Reads keep working on a full device.
+        assert_eq!(b.get("x").unwrap(), vec![1]);
+        b.set_out_of_space(false);
+        b.put("y", &[2]).unwrap();
+    }
+
+    #[test]
+    fn write_latency_is_applied() {
+        let b = FailingBackend::new(MemBackend::new());
+        b.set_write_latency(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        b.put("x", &[1]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        b.set_write_latency(Duration::ZERO);
+        b.put("x", &[1]).unwrap();
     }
 
     #[test]

@@ -67,12 +67,12 @@ pub use cache::{CacheStats, DecodedFragment, FragmentCache};
 pub use catalog::{CatalogEntry, FragmentCatalog, ReadPlan};
 pub use codec::Codec;
 pub use config::{
-    AdaptiveReorg, CommitMode, EngineConfig, IngestConfig, ObservabilityConfig, ReorgProfile,
-    RetryPolicy, SchedulerConfig,
+    AdaptiveReorg, CommitMode, EngineConfig, HealthConfig, IngestConfig, ObservabilityConfig,
+    ReorgProfile, RetryPolicy, SchedulerConfig,
 };
 pub use engine::{
-    ConsolidateReport, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding, ScrubReport,
-    StorageEngine, StoreStats, WriteReport, BUFFER_FRAGMENT,
+    ConsolidateReport, HealthState, ReadHit, ReadOutcome, ReadResult, RecoveryReport, ScrubFinding,
+    ScrubReport, StorageEngine, StoreStats, WriteReport, BUFFER_FRAGMENT,
 };
 pub use error::{FragmentSection, Result, StorageError};
 pub use exporter::{ExporterStats, MetricsExporter, JOURNAL_JSONL, METRICS_JSONL, METRICS_PROM};

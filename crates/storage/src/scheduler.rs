@@ -17,17 +17,27 @@
 //!    [`SchedulerConfig::min_consolidate_interval_ms`] regardless of how
 //!    fragmented the store looks.
 //!
+//! Every pass additionally retries queued WAL retirements (so orphans
+//! from a failed flush-time delete drain even on a quiet engine) and
+//! probes an unhealthy write path
+//! ([`StorageEngine::probe_health`](crate::engine::StorageEngine::probe_health))
+//! so a degraded or read-only engine recovers automatically once the
+//! device heals.
+//!
 //! Every pass runs under an `engine.scheduler.run` telemetry span and
 //! charges the `scheduler_runs` counter. [`IngestScheduler::shutdown`]
 //! (also run on drop) stops the thread cleanly: the current pass
-//! finishes, no new one starts, and the thread is joined.
+//! finishes, no new one starts, and the thread is joined — but the wait
+//! is bounded by [`SchedulerConfig::shutdown_timeout_ms`]: a worker
+//! stuck inside a hung backend call is detached and surfaced as a
+//! `scheduler_error` instead of blocking drop forever.
 //!
 //! [`IngestConfig::flush_interval_ms`]: crate::config::IngestConfig::flush_interval_ms
 
 use crate::backend::StorageBackend;
 use crate::config::SchedulerConfig;
 use crate::engine::StorageEngine;
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 use artsparse_metrics::{charge, Span, SpanKind};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,6 +63,7 @@ pub struct SchedulerStats {
 #[derive(Default)]
 struct Shared {
     stop: AtomicBool,
+    done: AtomicBool,
     runs: AtomicU64,
     flushes: AtomicU64,
     consolidations: AtomicU64,
@@ -61,10 +72,13 @@ struct Shared {
 }
 
 /// Handle to the background scheduler thread. Dropping it shuts the
-/// thread down cleanly (current pass finishes, thread joined).
+/// thread down cleanly (current pass finishes, thread joined, wait
+/// bounded by [`SchedulerConfig::shutdown_timeout_ms`]).
 pub struct IngestScheduler {
     shared: Arc<Shared>,
     handle: Option<std::thread::JoinHandle<()>>,
+    shutdown_timeout: Duration,
+    note_error: Arc<dyn Fn(&StorageError) + Send + Sync>,
 }
 
 impl IngestScheduler {
@@ -79,6 +93,10 @@ impl IngestScheduler {
     {
         let shared = Arc::new(Shared::default());
         let worker = Arc::clone(&shared);
+        let shutdown_timeout = Duration::from_millis(config.shutdown_timeout_ms);
+        // Weak: the handle must not keep the engine alive (callers
+        // reclaim it with Arc::into_inner after shutdown).
+        let note_engine = Arc::downgrade(&engine);
         let handle = std::thread::Builder::new()
             .name("artsparse-ingest-scheduler".into())
             .spawn(move || scheduler_loop(&engine, &config, &worker))
@@ -86,6 +104,12 @@ impl IngestScheduler {
         IngestScheduler {
             shared,
             handle: Some(handle),
+            shutdown_timeout,
+            note_error: Arc::new(move |e| {
+                if let Some(engine) = note_engine.upgrade() {
+                    engine.note_scheduler_error(e);
+                }
+            }),
         }
     }
 
@@ -101,14 +125,48 @@ impl IngestScheduler {
     }
 
     /// Stop the scheduler: no new pass starts, the in-flight pass (if
-    /// any) completes, and the thread is joined before this returns.
-    /// Idempotent; also runs on drop.
+    /// any) completes, and the thread is joined before this returns —
+    /// waiting at most [`SchedulerConfig::shutdown_timeout_ms`]. A
+    /// worker stuck inside a hung backend call (a device that never
+    /// returns) is *detached* rather than joined, so drop never hangs;
+    /// the timeout is counted as a scheduler error and journaled as a
+    /// `scheduler_error` event. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.handle.take() {
-            handle.thread().unpark();
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        handle.thread().unpark();
+        if self.shutdown_timeout.is_zero() {
             let _ = handle.join();
+            return;
         }
+        let deadline = Instant::now() + self.shutdown_timeout;
+        while !self.shared.done.load(Ordering::SeqCst) {
+            if Instant::now() >= deadline {
+                // The worker is wedged inside a backend call. Joining
+                // would inherit the hang; leak the thread instead (it
+                // holds only Arcs and exits on its own if the backend
+                // ever returns) and surface the timeout.
+                let error = StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "scheduler shutdown timed out after {:?}; detaching the stuck                          worker thread",
+                        self.shutdown_timeout
+                    ),
+                ));
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                *self.shared.last_error.lock() = Some(error.chain_string());
+                (self.note_error)(&error);
+                drop(handle);
+                return;
+            }
+            handle.thread().unpark();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // `done` is set as the very last statement of the worker loop;
+        // this join is immediate.
+        let _ = handle.join();
     }
 }
 
@@ -164,6 +222,10 @@ fn scheduler_loop<B: StorageBackend + Send + Sync>(
             std::thread::park_timeout(tick);
         }
     }
+    // One parting retirement attempt, so an engine shut down right
+    // after a failed flush-time delete does not strand its orphans.
+    engine.retire_pending_wals();
+    shared.done.store(true, Ordering::SeqCst);
 }
 
 /// One scheduler pass: staleness flush, then the size-tiered
@@ -179,6 +241,13 @@ fn scheduler_pass<B: StorageBackend + Send + Sync>(
     shared.runs.fetch_add(1, Ordering::Relaxed);
     engine.note_scheduler_run();
     charge(|io| io.scheduler_runs += 1);
+
+    // Retry WAL retirements queued by an earlier failed delete — on
+    // every tick, not only when a flush happens to run.
+    engine.retire_pending_wals();
+    // Probe an unhealthy write path so recovery is automatic: a probe
+    // that lands resets the engine to Healthy before this tick's flush.
+    engine.probe_health();
 
     let flush_after = Duration::from_millis(engine.config().ingest.flush_interval_ms);
     if engine.buffer_age().is_some_and(|age| age >= flush_after) && engine.flush()?.is_some() {
@@ -238,6 +307,7 @@ mod tests {
             flush_bytes: usize::MAX,
             flush_interval_ms: 1,
             wal: true,
+            ..Default::default()
         });
         let c = CoordBuffer::from_points(2, &[[1u64, 2u64]]).unwrap();
         engine.ingest_points::<f64>(&c, &[1.0]).unwrap();
@@ -281,6 +351,7 @@ mod tests {
                 tick_ms: 1,
                 tier_fragments: 4,
                 min_consolidate_interval_ms: 0,
+                ..Default::default()
             },
         );
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -316,6 +387,7 @@ mod tests {
                         flush_bytes: usize::MAX,
                         flush_interval_ms: 0,
                         wal: false,
+                        ..Default::default()
                     })
                     .with_observability(ObservabilityConfig::default()),
             )
@@ -359,6 +431,112 @@ mod tests {
     }
 
     #[test]
+    fn wal_orphans_drain_on_scheduler_ticks_without_a_flush() {
+        use crate::faults::FailingBackend;
+        // A flush whose WAL deletion fails queues the blob for retry.
+        // Before the tick-time retirement, that retry only ran on the
+        // *next flush* — on a quiet engine, never. The scheduler must
+        // now drain the queue on ordinary ticks.
+        let engine = Arc::new(
+            StorageEngine::open_with(
+                FailingBackend::new(MemBackend::new()),
+                FormatKind::Coo,
+                Shape::new(vec![64, 64]).unwrap(),
+                8,
+                EngineConfig::default().with_ingest(IngestConfig {
+                    flush_points: 1, // every ingest self-flushes
+                    ..Default::default()
+                }),
+            )
+            .unwrap(),
+        );
+        engine.backend().fail_deletes(true);
+        let c = CoordBuffer::from_points(2, &[[1u64, 2u64]]).unwrap();
+        engine.ingest_points::<f64>(&c, &[1.0]).unwrap();
+        // The flush committed but could not retire its WAL blob.
+        let orphans = |e: &StorageEngine<FailingBackend<MemBackend>>| {
+            e.backend()
+                .list()
+                .unwrap()
+                .into_iter()
+                .filter(|n| n.ends_with(".wal"))
+                .count()
+        };
+        assert_eq!(orphans(&engine), 1, "delete failure must strand the blob");
+        engine.backend().disarm();
+        // No buffered data, so no flush will ever run — only ticks.
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                ..Default::default()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while orphans(&engine) > 0 {
+            assert!(Instant::now() < deadline, "ticks never retired the orphan");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.shutdown();
+        assert_eq!(engine.stats().unwrap().wal_backlog_bytes, 0);
+    }
+
+    #[test]
+    fn shutdown_with_a_stuck_backend_returns_within_the_timeout() {
+        use crate::faults::FailingBackend;
+        // A worker wedged inside a slow backend call must not hang
+        // shutdown (and therefore drop) indefinitely: the bounded wait
+        // detaches it and surfaces a scheduler error.
+        let engine = Arc::new(
+            StorageEngine::open_with(
+                FailingBackend::new(MemBackend::new()),
+                FormatKind::Coo,
+                Shape::new(vec![64, 64]).unwrap(),
+                8,
+                EngineConfig::default()
+                    .with_ingest(IngestConfig {
+                        flush_points: 1_000_000,
+                        flush_bytes: usize::MAX,
+                        flush_interval_ms: 0, // every tick wants to flush
+                        wal: false,
+                        ..Default::default()
+                    })
+                    .with_observability(crate::config::ObservabilityConfig::default()),
+            )
+            .unwrap(),
+        );
+        let c = CoordBuffer::from_points(2, &[[1u64, 2u64]]).unwrap();
+        engine.ingest_points::<f64>(&c, &[1.0]).unwrap();
+        // Every write now takes ~20s; the first tick's flush wedges.
+        engine.backend().set_write_latency(Duration::from_secs(20));
+        let mut sched = IngestScheduler::spawn(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                tick_ms: 1,
+                shutdown_timeout_ms: 100,
+                ..Default::default()
+            },
+        );
+        // Give the worker time to enter the wedged backend call.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        sched.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "shutdown must be bounded, took {:?}",
+            started.elapsed()
+        );
+        let stats = sched.stats();
+        assert!(stats.errors >= 1);
+        assert!(stats.last_error.unwrap().contains("timed out"));
+        // The timeout is journaled like any other scheduler failure.
+        let events = engine.observability().unwrap().journal().drain_new();
+        assert!(events
+            .iter()
+            .any(|e| e.code == "scheduler_error" && e.message.contains("timed out")));
+    }
+
+    #[test]
     fn shutdown_mid_flush_completes_the_flush() {
         // A shutdown while a pass is mid-flight must let the pass finish:
         // spawn, immediately shut down, and verify nothing is torn — the
@@ -368,6 +546,7 @@ mod tests {
             flush_bytes: usize::MAX,
             flush_interval_ms: 0,
             wal: true,
+            ..Default::default()
         });
         let c = CoordBuffer::from_points(2, &[[5u64, 5u64]]).unwrap();
         engine.ingest_points::<f64>(&c, &[5.0]).unwrap();

@@ -583,6 +583,7 @@ fn scheduler_shutdown_mid_flush_leaves_consistent_store() {
         flush_bytes: usize::MAX,
         flush_interval_ms: 0, // every tick wants to flush
         wal: true,
+        ..Default::default()
     });
     let engine = Arc::new(
         StorageEngine::open_with(MemBackend::new(), FormatKind::Linear, shape(), 8, config)

@@ -300,6 +300,114 @@ fn chaos_corrupted_reads_never_return_wrong_values() {
     }
 }
 
+/// Seeded write chaos: a schedule of transient write-fault bursts and
+/// full-device windows derived from `CHAOS_SEED` runs against the
+/// streaming write path. Acked batches must always read back exactly —
+/// including across a reopen that relies on WAL replay — and batches the
+/// engine refused or failed must never become visible. Once the device
+/// heals, probes must walk the engine back to `Healthy` and a scrub must
+/// come back clean.
+#[test]
+fn chaos_write_faults_never_lose_acked_batches() {
+    use artsparse::storage::{HealthConfig, HealthState, IngestConfig};
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let config = EngineConfig::default()
+        .with_ingest(IngestConfig {
+            // Explicit flushes only — the schedule decides when groups
+            // commit, so every fault window hits a known operation.
+            flush_points: usize::MAX,
+            flush_bytes: usize::MAX,
+            ..IngestConfig::default()
+        })
+        .with_write_retry(instant_retries(3))
+        .with_health(HealthConfig {
+            degrade_after: 2,
+            read_only_after: 4,
+            probe_interval_ms: 0,
+        });
+    let e = StorageEngine::open_with(
+        FailingBackend::new(MemBackend::new()),
+        FormatKind::Linear,
+        shape(),
+        8,
+        config.clone(),
+    )
+    .unwrap();
+
+    let mut rng = seed | 1;
+    let mut step_rng = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut acked: std::collections::BTreeMap<[u64; 2], f64> = std::collections::BTreeMap::new();
+    let mut refused: Vec<[u64; 2]> = Vec::new();
+    let mut acked_batches = 0u32;
+    for step in 0..200u64 {
+        match step_rng() % 10 {
+            // Arm a transient burst; 3-attempt retries absorb short ones.
+            0 => e.backend().fail_next_writes(step_rng() % 4 + 1),
+            // A brief full-device window.
+            1 => {
+                e.backend().set_out_of_space(true);
+                let _ = e.flush();
+                e.backend().set_out_of_space(false);
+            }
+            2 => {
+                let _ = e.flush();
+            }
+            3 => {
+                e.probe_health();
+            }
+            _ => {
+                let p = [step_rng() % 16, step_rng() % 16];
+                let v = step as f64;
+                match e.ingest_points::<f64>(&coords(&[p]), &[v]) {
+                    Ok(_) => {
+                        acked.insert(p, v);
+                        acked_batches += 1;
+                    }
+                    Err(_) => refused.push(p),
+                }
+            }
+        }
+        // A refused batch must not be visible (unless an earlier acked
+        // write legitimately covers the same address).
+        if let Some(&p) = refused.last() {
+            if !acked.contains_key(&p) {
+                let got = e.read_values::<f64>(&coords(&[p])).unwrap();
+                assert_eq!(got, vec![None], "seed {seed}: refused point visible");
+            }
+        }
+    }
+    assert!(acked_batches > 0, "seed {seed}: schedule never acked");
+
+    // The device heals; bounded probing must restore write health.
+    e.backend().disarm();
+    for _ in 0..8 {
+        if e.probe_health() == HealthState::Healthy {
+            break;
+        }
+    }
+    assert_eq!(e.health(), HealthState::Healthy, "seed {seed}");
+
+    // Reopen without flushing: WAL replay must resurrect every acked
+    // batch that was still buffer-only, and the store must scrub clean.
+    let e =
+        StorageEngine::open_with(e.into_backend(), FormatKind::Linear, shape(), 8, config).unwrap();
+    for (p, v) in &acked {
+        let got = e.read_values::<f64>(&coords(&[*p])).unwrap();
+        assert_eq!(got, vec![Some(*v)], "seed {seed}: acked point {p:?} lost");
+    }
+    e.flush().unwrap();
+    e.consolidate().unwrap();
+    assert!(e.scrub().unwrap().is_clean(), "seed {seed}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
