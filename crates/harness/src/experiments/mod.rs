@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod ingest;
 pub mod io;
+pub mod load;
 pub mod observe;
 pub mod sweep;
 pub mod table1;

@@ -227,6 +227,19 @@ pub fn render_frame(
         g("artsparse_backpressure_rejections_total"),
         g("artsparse_wal_backlog_bytes"),
     ));
+    // Present only when the directory is published by artsparse-server
+    // (`--metrics-out`) rather than a bare engine exporter.
+    if doc.value("artsparse_server_sessions_open").is_some() {
+        out.push_str(&format!(
+            "  server    sessions {} open / {} total · commands {} · \
+             shed {} · quota refusals {}\n",
+            g("artsparse_server_sessions_open"),
+            g("artsparse_server_sessions_total"),
+            g("artsparse_server_commands_total"),
+            g("artsparse_server_backpressure_errors_total"),
+            g("artsparse_server_quota_rejections_total"),
+        ));
+    }
     out.push_str(&format!(
         "  journal   {} event(s), {new_events} new\n",
         journal.len()
@@ -342,6 +355,34 @@ mod tests {
             "{frame}"
         );
         assert!(frame.contains("1 event(s), 1 new"), "{frame}");
+        // No server series in a bare engine exposition: no server line.
+        assert!(!frame.contains("  server    "), "{frame}");
+    }
+
+    #[test]
+    fn server_line_renders_when_server_series_are_published() {
+        let text = "# HELP artsparse_server_sessions_open Open sessions.\n\
+                    # TYPE artsparse_server_sessions_open gauge\n\
+                    artsparse_server_sessions_open 2\n\
+                    # HELP artsparse_server_sessions_total Sessions accepted.\n\
+                    # TYPE artsparse_server_sessions_total counter\n\
+                    artsparse_server_sessions_total 7\n\
+                    # HELP artsparse_server_commands_total Commands served.\n\
+                    # TYPE artsparse_server_commands_total counter\n\
+                    artsparse_server_commands_total 120\n\
+                    # HELP artsparse_server_backpressure_errors_total Shed.\n\
+                    # TYPE artsparse_server_backpressure_errors_total counter\n\
+                    artsparse_server_backpressure_errors_total 3\n\
+                    # HELP artsparse_server_quota_rejections_total Refused.\n\
+                    # TYPE artsparse_server_quota_rejections_total counter\n\
+                    artsparse_server_quota_rejections_total 1\n";
+        let doc = exposition::parse(text).unwrap();
+        let frame = render_frame("srv", 1, Some(&doc), &[], 0);
+        assert!(
+            frame.contains("server    sessions 2 open / 7 total · commands 120"),
+            "{frame}"
+        );
+        assert!(frame.contains("shed 3 · quota refusals 1"), "{frame}");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! `artsparse-server`: a multi-tenant tensor server exposing the
+//! [`artsparse_storage`] engine over a line-oriented wire protocol.
+//!
+//! # Architecture
+//!
+//! - **Shards** — `N` worker threads, each *owning* a set of
+//!   [`artsparse_storage::StorageEngine`]s outright. Datasets are hashed
+//!   onto shards by FNV-1a of their tenant-qualified name, so all
+//!   cross-session coordination reduces to per-shard message channels.
+//! - **Sessions** — one thread per client connection (TCP or Unix
+//!   socket), speaking the `artsparse/1` protocol documented in
+//!   `PROTOCOL.md` at the repository root and codified in [`protocol`].
+//! - **Tenancy** — every session binds a tenant with `HELLO`; dataset
+//!   names are namespaced per tenant, and each tenant is held to a
+//!   point/byte [`quota::Quota`] charged before every write.
+//! - **Typed load shedding** — the engine's
+//!   [`Backpressure`](artsparse_storage::StorageError::Backpressure) and
+//!   [`ReadOnly`](artsparse_storage::StorageError::ReadOnly) rejections
+//!   surface as `ERR BACKPRESSURE` / `ERR READONLY` responses clients
+//!   can back off on — never as dropped connections.
+//!
+//! # Example: embed a server and round-trip a point over TCP
+//!
+//! ```
+//! use artsparse_server::{MemFactory, Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let config = ServerConfig {
+//!     tcp: Some("127.0.0.1:0".into()), // ephemeral port
+//!     shards: 2,
+//!     ..ServerConfig::default()
+//! };
+//! let mut handle = Server::start(config, MemFactory).unwrap();
+//!
+//! let stream = std::net::TcpStream::connect(handle.tcp_addr().unwrap()).unwrap();
+//! let mut reader = BufReader::new(stream.try_clone().unwrap());
+//! let mut writer = stream;
+//! let mut greeting = String::new();
+//! reader.read_line(&mut greeting).unwrap();
+//! assert!(greeting.starts_with("OK artsparse/1 ready"));
+//!
+//! writer
+//!     .write_all(b"HELLO demo\nCREATE grid 8x8\nPUT grid 1\n3 4 2.5\nGET grid 3 4\n")
+//!     .unwrap();
+//! let mut lines = reader.lines().map(|l| l.unwrap());
+//! assert_eq!(lines.next().unwrap(), "OK tenant=demo proto=artsparse/1");
+//! assert_eq!(lines.next().unwrap(), "OK created=grid existed=false");
+//! assert!(lines.next().unwrap().starts_with("OK acked=1 fragment="));
+//! assert_eq!(lines.next().unwrap(), "OK found=true value=2.5");
+//!
+//! handle.shutdown();
+//! ```
+//!
+//! # Example: quotas refuse whole batches, typed and refundable
+//!
+//! ```
+//! use artsparse_server::quota::{Quota, QuotaBook, QuotaExceeded};
+//!
+//! let book = QuotaBook::new(Quota { max_points: 10, max_bytes: 80 });
+//! assert!(book.charge("tenant", 10, 80).is_ok());
+//! // The next batch would cross the cap: refused whole, nothing charged.
+//! assert!(matches!(
+//!     book.charge("tenant", 1, 8),
+//!     Err(QuotaExceeded::Points { used: 10, limit: 10 })
+//! ));
+//! // A write the engine later rejects is refunded.
+//! book.refund("tenant", 10, 80);
+//! assert_eq!(book.standing("tenant").points, 0);
+//! ```
+
+mod metrics;
+pub mod protocol;
+pub mod quota;
+mod server;
+mod session;
+mod shard;
+
+pub use server::{
+    BackendFactory, DrainReport, FsFactory, MemFactory, Server, ServerConfig, ServerHandle,
+};

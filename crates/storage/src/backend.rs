@@ -110,7 +110,7 @@ pub trait StorageBackend: Send + Sync {
     }
 }
 
-impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
+impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
     fn kind_name(&self) -> &'static str {
         (**self).kind_name()
     }
@@ -149,7 +149,7 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     }
 }
 
-impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
+impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     fn kind_name(&self) -> &'static str {
         (**self).kind_name()
     }
